@@ -1,0 +1,686 @@
+//! The AI-Processor traffic engine: AI-core↔L2 read/write streams and
+//! L2↔HBM DMA streams competing for the NoC (paper §5.4, Table 7 and
+//! Figure 14).
+//!
+//! Transactions are independent and stateless (§3.2.2): cores issue
+//! closed-loop reads/writes against interleaved L2 slices; the system
+//! DMA moves lines between HBM stacks and the L2 slices on their own
+//! horizontal ring.
+
+use crate::soc::AiProcessor;
+use noc_core::{EnqueueError, FlitClass, NodeId};
+use noc_sim::SimRng;
+use std::collections::{HashMap, VecDeque};
+
+/// What a token stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Core→L2 read request.
+    ReadReq { core: NodeId },
+    /// L2→core read data.
+    ReadData { core: NodeId },
+    /// Core→L2 write data.
+    WriteData { core: NodeId },
+    /// L2→core write acknowledgement.
+    WriteAck { core: NodeId },
+    /// DMA line between HBM and L2 (either direction).
+    Dma,
+    /// Core→LLC directory lookup (Fig. 8B Path 1, when the LLC path is
+    /// enabled).
+    LlcReq {
+        /// The requesting core.
+        core: NodeId,
+    },
+}
+
+/// Traffic parameters for one bandwidth run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AiTraffic {
+    /// Fraction of core transactions that are reads (R:W ratio).
+    pub read_frac: f64,
+    /// Closed-loop outstanding transactions per AI core.
+    pub outstanding: u32,
+    /// Probability per cycle that each HBM stack starts a DMA line
+    /// transfer.
+    pub dma_rate: f64,
+    /// L2 array access latency in cycles.
+    pub l2_latency: u64,
+    /// L2 slice port width in bytes/cycle, per direction. This is the
+    /// byte-limited resource that makes balanced read/write mixes beat
+    /// lopsided ones (paper Table 7): pure reads saturate the response
+    /// port while the receive port idles, and vice versa.
+    pub l2_port_bytes: u64,
+    /// Route reads through the LLC directory (Fig. 8B Paths 1→2): the
+    /// core asks the LLC, which forwards the request to an L2 slice on
+    /// its own horizontal ring; data returns L2→core directly. Adds a
+    /// directory hop per read.
+    pub via_llc: bool,
+    /// LLC directory lookup latency in cycles.
+    pub llc_latency: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AiTraffic {
+    fn default() -> Self {
+        AiTraffic {
+            read_frac: 0.5,
+            outstanding: 16,
+            dma_rate: 0.27,
+            l2_latency: 6,
+            l2_port_bytes: 96,
+            via_llc: false,
+            llc_latency: 4,
+            seed: 0xA1,
+        }
+    }
+}
+
+impl AiTraffic {
+    /// Build a traffic mix from an `R:W` ratio like the Table 7 rows
+    /// (`(1,1)`, `(2,1)`, `(4,1)`, `(3,2)`, `(1,0)`, `(0,1)`).
+    pub fn from_ratio(read: u32, write: u32) -> Self {
+        let total = read + write;
+        assert!(total > 0, "R:W ratio cannot be 0:0");
+        AiTraffic {
+            read_frac: read as f64 / total as f64,
+            ..Default::default()
+        }
+    }
+}
+
+/// Bandwidth report of one run (paper Table 7 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AiBandwidthReport {
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Core read data bytes delivered.
+    pub read_bytes: u64,
+    /// Core write data bytes delivered.
+    pub write_bytes: u64,
+    /// DMA bytes delivered.
+    pub dma_bytes: u64,
+    /// NoC clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl AiBandwidthReport {
+    fn tbs(&self, bytes: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.cycles as f64 * self.clock_ghz * 1e9 / 1e12
+    }
+
+    /// Read bandwidth in TB/s.
+    pub fn read_tbs(&self) -> f64 {
+        self.tbs(self.read_bytes)
+    }
+
+    /// Write bandwidth in TB/s.
+    pub fn write_tbs(&self) -> f64 {
+        self.tbs(self.write_bytes)
+    }
+
+    /// DMA bandwidth in TB/s.
+    pub fn dma_tbs(&self) -> f64 {
+        self.tbs(self.dma_bytes)
+    }
+
+    /// Total NoC data bandwidth in TB/s.
+    pub fn total_tbs(&self) -> f64 {
+        self.tbs(self.read_bytes + self.write_bytes + self.dma_bytes)
+    }
+}
+
+/// One L2 slice's byte-limited port pair plus its array pipeline.
+#[derive(Debug, Clone, Default)]
+struct L2Ports {
+    /// Cycle the receive (eject-side) port frees up.
+    in_free: u64,
+    /// Cycle the respond (inject-side) port frees up.
+    out_free: u64,
+    /// Requests whose array access completes at `.0`.
+    pending: VecDeque<(u64, u64)>,
+}
+
+/// The traffic engine driving an [`AiProcessor`].
+#[derive(Debug)]
+pub struct AiEngine {
+    proc: AiProcessor,
+    traffic: AiTraffic,
+    rng: SimRng,
+    tokens: HashMap<u64, Kind>,
+    next_token: u64,
+    l2_ports: Vec<L2Ports>,
+    /// Pending directory lookups per LLC slice: (ready cycle, token).
+    llc_pending: Vec<VecDeque<(u64, u64)>>,
+    /// Backpressured LLC forwards: (llc index, token).
+    llc_retry: Vec<(usize, u64)>,
+    core_outstanding: HashMap<NodeId, u32>,
+    dma_flip: bool,
+    dma_rr: usize,
+    /// Retry buffers for backpressured L2 responses: (l2 index, token).
+    retry: Vec<(usize, u64)>,
+    read_bytes: u64,
+    write_bytes: u64,
+    dma_bytes: u64,
+    recording: bool,
+}
+
+impl AiEngine {
+    /// Attach traffic to a built processor.
+    pub fn new(proc: AiProcessor, traffic: AiTraffic) -> Self {
+        let l2_ports = vec![L2Ports::default(); proc.map.l2s.len()];
+        let llc_pending = vec![VecDeque::new(); proc.map.llcs.len()];
+        let core_outstanding = proc.map.cores.iter().map(|&c| (c, 0)).collect();
+        AiEngine {
+            rng: SimRng::seed_from(traffic.seed),
+            l2_ports,
+            llc_pending,
+            llc_retry: Vec::new(),
+            core_outstanding,
+            dma_flip: false,
+            dma_rr: 0,
+            retry: Vec::new(),
+            tokens: HashMap::new(),
+            next_token: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            dma_bytes: 0,
+            recording: false,
+            proc,
+            traffic,
+        }
+    }
+
+    /// The wrapped processor.
+    pub fn processor(&self) -> &AiProcessor {
+        &self.proc
+    }
+
+    /// Mutable access (probes, stats).
+    pub fn processor_mut(&mut self) -> &mut AiProcessor {
+        &mut self.proc
+    }
+
+    fn alloc(&mut self, kind: Kind) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(t, kind);
+        t
+    }
+
+    fn offer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlitClass,
+        bytes: u32,
+        kind: Kind,
+    ) -> bool {
+        let token = self.alloc(kind);
+        match self.proc.net.enqueue(src, dst, class, bytes, token) {
+            Ok(_) => true,
+            Err(EnqueueError::InjectQueueFull { .. }) => {
+                self.tokens.remove(&token);
+                false
+            }
+            Err(e) => panic!("AI engine enqueue bug: {e}"),
+        }
+    }
+
+    fn issue_core_traffic(&mut self) {
+        let line = self.proc.cfg.line_bytes;
+        let cores = self.proc.map.cores.clone();
+        let n_l2 = self.proc.map.l2s.len();
+        for core in cores {
+            while self.core_outstanding[&core] < self.traffic.outstanding {
+                // Interleaved L2 addressing: uniform over slices
+                // (§3.2.2 — requests "evenly spread across the chip").
+                let l2 = self.proc.map.l2s[self.rng.gen_index(n_l2)];
+                let is_read = self.rng.gen_bool(self.traffic.read_frac);
+                let ok = if is_read {
+                    if self.traffic.via_llc {
+                        let n_llc = self.proc.map.llcs.len().max(1);
+                        let llc = self.proc.map.llcs[self.rng.gen_index(n_llc)];
+                        self.offer(core, llc, FlitClass::Request, 16, Kind::LlcReq { core })
+                    } else {
+                        self.offer(core, l2, FlitClass::Request, 16, Kind::ReadReq { core })
+                    }
+                } else {
+                    self.offer(core, l2, FlitClass::Data, line, Kind::WriteData { core })
+                };
+                if ok {
+                    *self.core_outstanding.get_mut(&core).expect("core") += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn issue_dma_traffic(&mut self) {
+        let line = self.proc.cfg.line_bytes;
+        for h in 0..self.proc.map.hbms.len() {
+            if !self.rng.gen_bool(self.traffic.dma_rate) {
+                continue;
+            }
+            let hbm = self.proc.map.hbms[h];
+            let partners = self.proc.map.l2s_on_ring_of_hbm(h);
+            if partners.is_empty() {
+                continue;
+            }
+            let l2 = partners[self.dma_rr % partners.len()];
+            self.dma_rr += 1;
+            self.dma_flip = !self.dma_flip;
+            // Alternate fill (HBM→L2) and drain (L2→HBM) directions.
+            if self.dma_flip {
+                self.offer(hbm, l2, FlitClass::Data, line, Kind::Dma);
+            } else {
+                self.offer(l2, hbm, FlitClass::Data, line, Kind::Dma);
+            }
+        }
+    }
+
+    fn respond(&mut self, l2_idx: usize, token: u64) -> bool {
+        let l2 = self.proc.map.l2s[l2_idx];
+        let line = self.proc.cfg.line_bytes;
+        match self.tokens[&token] {
+            Kind::ReadReq { core } => {
+                let t = self.alloc(Kind::ReadData { core });
+                match self.proc.net.enqueue(l2, core, FlitClass::Data, line, t) {
+                    Ok(_) => {
+                        self.tokens.remove(&token);
+                        true
+                    }
+                    Err(_) => {
+                        self.tokens.remove(&t);
+                        false
+                    }
+                }
+            }
+            Kind::WriteData { core } => {
+                let t = self.alloc(Kind::WriteAck { core });
+                match self.proc.net.enqueue(l2, core, FlitClass::Response, 8, t) {
+                    Ok(_) => {
+                        self.tokens.remove(&token);
+                        true
+                    }
+                    Err(_) => {
+                        self.tokens.remove(&t);
+                        false
+                    }
+                }
+            }
+            other => unreachable!("L2 service queue held {other:?}"),
+        }
+    }
+
+    fn drain_deliveries(&mut self) {
+        let now = self.proc.net.now().raw();
+        let line = u64::from(self.proc.cfg.line_bytes);
+        // L2-side arrivals: charge the byte-limited receive port, then
+        // the array pipeline.
+        let width = self.traffic.l2_port_bytes.max(1);
+        let latency = self.traffic.l2_latency;
+        for i in 0..self.proc.map.l2s.len() {
+            let l2 = self.proc.map.l2s[i];
+            while let Some(f) = self.proc.net.pop_delivered(l2) {
+                let in_cost = (u64::from(f.payload_bytes) / width).max(1);
+                match self.tokens[&f.token] {
+                    Kind::ReadReq { .. } => {
+                        let p = &mut self.l2_ports[i];
+                        p.in_free = p.in_free.max(now) + in_cost;
+                        p.pending.push_back((p.in_free + latency, f.token));
+                    }
+                    Kind::WriteData { .. } => {
+                        if self.recording {
+                            self.write_bytes += line;
+                        }
+                        let p = &mut self.l2_ports[i];
+                        p.in_free = p.in_free.max(now) + in_cost;
+                        p.pending.push_back((p.in_free + latency, f.token));
+                    }
+                    Kind::Dma => {
+                        if self.recording {
+                            self.dma_bytes += line;
+                        }
+                        let p = &mut self.l2_ports[i];
+                        p.in_free = p.in_free.max(now) + in_cost;
+                        self.tokens.remove(&f.token);
+                    }
+                    other => unreachable!("L2 received {other:?}"),
+                }
+            }
+        }
+        // Core-side arrivals.
+        for core in self.proc.map.cores.clone() {
+            while let Some(f) = self.proc.net.pop_delivered(core) {
+                match self.tokens.remove(&f.token) {
+                    Some(Kind::ReadData { core: c }) => {
+                        if self.recording {
+                            self.read_bytes += line;
+                        }
+                        *self.core_outstanding.get_mut(&c).expect("core") -= 1;
+                    }
+                    Some(Kind::WriteAck { core: c }) => {
+                        *self.core_outstanding.get_mut(&c).expect("core") -= 1;
+                    }
+                    other => unreachable!("core received {other:?}"),
+                }
+            }
+        }
+        // LLC directory arrivals (Path 1).
+        for i in 0..self.proc.map.llcs.len() {
+            let llc = self.proc.map.llcs[i];
+            while let Some(f) = self.proc.net.pop_delivered(llc) {
+                match self.tokens[&f.token] {
+                    Kind::LlcReq { .. } => {
+                        self.llc_pending[i]
+                            .push_back((now + self.traffic.llc_latency, f.token));
+                    }
+                    other => unreachable!("LLC received {other:?}"),
+                }
+            }
+        }
+        // HBM and other memory-side sinks (DMA arrivals).
+        for hbm in self.proc.map.hbms.clone() {
+            while let Some(f) = self.proc.net.pop_delivered(hbm) {
+                match self.tokens.remove(&f.token) {
+                    Some(Kind::Dma) => {
+                        if self.recording {
+                            self.dma_bytes += line;
+                        }
+                    }
+                    other => unreachable!("HBM received {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn service_l2(&mut self) {
+        let now = self.proc.net.now().raw();
+        let width = self.traffic.l2_port_bytes.max(1);
+        let line = u64::from(self.proc.cfg.line_bytes);
+        // Retry backpressured responses first (out-port already paid).
+        let mut still = Vec::new();
+        for (i, token) in std::mem::take(&mut self.retry) {
+            if !self.respond(i, token) {
+                still.push((i, token));
+            }
+        }
+        self.retry = still;
+        for i in 0..self.l2_ports.len() {
+            loop {
+                let p = &self.l2_ports[i];
+                let Some(&(done, token)) = p.pending.front() else {
+                    break;
+                };
+                if done > now || p.out_free > now {
+                    break;
+                }
+                let out_bytes = match self.tokens[&token] {
+                    Kind::ReadReq { .. } => line,
+                    Kind::WriteData { .. } => 8,
+                    other => unreachable!("pending held {other:?}"),
+                };
+                let p = &mut self.l2_ports[i];
+                p.pending.pop_front();
+                p.out_free = p.out_free.max(now) + (out_bytes / width).max(1);
+                if !self.respond(i, token) {
+                    self.retry.push((i, token));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Diagnostic snapshot of engine state (token table size, summed
+    /// outstanding counters, retry backlog) for calibration tooling.
+    pub fn debug_state(&self) -> String {
+        let outst: u32 = self.core_outstanding.values().sum();
+        format!(
+            "tokens={} sum_outstanding={} retry={} in_flight={}",
+            self.tokens.len(),
+            outst,
+            self.retry.len(),
+            self.proc.net.in_flight()
+        )
+    }
+
+    fn forward_from_llc(&mut self, i: usize, token: u64) -> bool {
+        let Kind::LlcReq { core } = self.tokens[&token] else {
+            unreachable!("llc pending held a non-LlcReq token");
+        };
+        let llc = self.proc.map.llcs[i];
+        let partners = self.proc.map.l2s_on_ring_of_llc(i);
+        if partners.is_empty() {
+            // Degenerate config: fall back to any slice.
+            let n = self.proc.map.l2s.len();
+            let l2 = self.proc.map.l2s[self.rng.gen_index(n)];
+            return self.forward_to(llc, l2, core, token);
+        }
+        let l2 = partners[self.rng.gen_index(partners.len())];
+        self.forward_to(llc, l2, core, token)
+    }
+
+    fn forward_to(&mut self, llc: NodeId, l2: NodeId, core: NodeId, token: u64) -> bool {
+        let t = self.alloc(Kind::ReadReq { core });
+        match self.proc.net.enqueue(llc, l2, FlitClass::Request, 16, t) {
+            Ok(_) => {
+                self.tokens.remove(&token);
+                true
+            }
+            Err(_) => {
+                self.tokens.remove(&t);
+                false
+            }
+        }
+    }
+
+    fn service_llc(&mut self) {
+        let now = self.proc.net.now().raw();
+        let mut still = Vec::new();
+        for (i, token) in std::mem::take(&mut self.llc_retry) {
+            if !self.forward_from_llc(i, token) {
+                still.push((i, token));
+            }
+        }
+        self.llc_retry = still;
+        for i in 0..self.llc_pending.len() {
+            while self.llc_pending[i]
+                .front()
+                .is_some_and(|&(ready, _)| ready <= now)
+            {
+                let (_, token) = self.llc_pending[i].pop_front().expect("checked");
+                if !self.forward_from_llc(i, token) {
+                    self.llc_retry.push((i, token));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) {
+        self.issue_core_traffic();
+        self.issue_dma_traffic();
+        self.proc.net.tick();
+        self.drain_deliveries();
+        self.service_l2();
+        self.service_llc();
+    }
+
+    /// Run `warmup` unrecorded cycles then `measure` recorded cycles and
+    /// return the bandwidth report.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> AiBandwidthReport {
+        self.recording = false;
+        for _ in 0..warmup {
+            self.tick();
+        }
+        self.recording = true;
+        self.read_bytes = 0;
+        self.write_bytes = 0;
+        self.dma_bytes = 0;
+        for _ in 0..measure {
+            self.tick();
+        }
+        self.recording = false;
+        AiBandwidthReport {
+            cycles: measure,
+            read_bytes: self.read_bytes,
+            write_bytes: self.write_bytes,
+            dma_bytes: self.dma_bytes,
+            clock_ghz: self.proc.cfg.clock_ghz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::AiConfig;
+
+    fn small() -> AiConfig {
+        AiConfig {
+            v_rings: 4,
+            cores_per_vring: 4,
+            h_rings: 2,
+            l2_per_hring: 4,
+            hbm_count: 2,
+            dma_count: 2,
+            llc_count: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn balanced_mix_moves_reads_and_writes() {
+        let proc = AiProcessor::build(small()).unwrap();
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+        let r = e.run(1000, 4000);
+        assert!(r.read_bytes > 0, "reads must flow");
+        assert!(r.write_bytes > 0, "writes must flow");
+        assert!(r.dma_bytes > 0, "DMA must flow");
+        assert!(r.total_tbs() > 0.0);
+    }
+
+    #[test]
+    fn pure_read_has_no_write_bandwidth() {
+        let proc = AiProcessor::build(small()).unwrap();
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 0));
+        let r = e.run(500, 2000);
+        assert_eq!(r.write_bytes, 0);
+        assert!(r.read_bytes > 0);
+    }
+
+    #[test]
+    fn pure_write_has_no_read_bandwidth() {
+        let proc = AiProcessor::build(small()).unwrap();
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(0, 1));
+        let r = e.run(500, 2000);
+        assert_eq!(r.read_bytes, 0);
+        assert!(r.write_bytes > 0);
+    }
+
+    #[test]
+    fn balanced_mix_outperforms_lopsided() {
+        // The paper's Table 7 shape: 1:1 total bandwidth beats 1:0 and
+        // 0:1 because both directions of the full rings carry data.
+        let bw = |read, write| {
+            let proc = AiProcessor::build(small()).unwrap();
+            let mut e = AiEngine::new(proc, AiTraffic::from_ratio(read, write));
+            e.run(1000, 6000).total_tbs()
+        };
+        let balanced = bw(1, 1);
+        let pure_read = bw(1, 0);
+        let pure_write = bw(0, 1);
+        assert!(
+            balanced > pure_read && balanced > pure_write,
+            "balanced {balanced} vs read {pure_read} / write {pure_write}"
+        );
+    }
+
+    #[test]
+    fn dma_rate_controls_dma_bandwidth() {
+        let run = |rate| {
+            let proc = AiProcessor::build(small()).unwrap();
+            let mut e = AiEngine::new(
+                proc,
+                AiTraffic {
+                    dma_rate: rate,
+                    ..AiTraffic::from_ratio(1, 1)
+                },
+            );
+            e.run(500, 3000).dma_tbs()
+        };
+        assert!(run(0.8) > run(0.1));
+        assert_eq!(run(0.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod llc_tests {
+    use super::*;
+    use crate::soc::{AiConfig, AiProcessor};
+
+    fn small() -> AiConfig {
+        AiConfig {
+            v_rings: 4,
+            cores_per_vring: 4,
+            h_rings: 2,
+            l2_per_hring: 4,
+            hbm_count: 2,
+            dma_count: 2,
+            llc_count: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn llc_path_reads_complete() {
+        let proc = AiProcessor::build(small()).unwrap();
+        let mut e = AiEngine::new(
+            proc,
+            AiTraffic {
+                via_llc: true,
+                ..AiTraffic::from_ratio(1, 0)
+            },
+        );
+        let r = e.run(500, 3000);
+        assert!(r.read_bytes > 0, "reads must flow through the directory");
+    }
+
+    #[test]
+    fn llc_path_costs_bandwidth_but_still_works() {
+        let bw = |via_llc| {
+            let proc = AiProcessor::build(small()).unwrap();
+            let mut e = AiEngine::new(
+                proc,
+                AiTraffic {
+                    via_llc,
+                    ..AiTraffic::from_ratio(1, 1)
+                },
+            );
+            e.run(800, 4000).total_tbs()
+        };
+        let direct = bw(false);
+        let routed = bw(true);
+        assert!(routed > 0.5 * direct, "direct {direct:.1} vs via-LLC {routed:.1}");
+    }
+
+    #[test]
+    fn llc_forwards_stay_on_local_ring() {
+        let proc = AiProcessor::build(small()).unwrap();
+        for i in 0..proc.map.llcs.len() {
+            let partners = proc.map.l2s_on_ring_of_llc(i);
+            assert!(!partners.is_empty());
+            let topo = proc.net.topology();
+            let llc_ring = topo.nodes()[proc.map.llcs[i].index()].ring;
+            for l2 in partners {
+                assert_eq!(topo.nodes()[l2.index()].ring, llc_ring);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The common interconnect interface used to compare the paper's NoC
+//! against baseline designs.
+
+use noc_core::FlitClass;
+
+/// A message delivered by an interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// Source endpoint index.
+    pub src: usize,
+    /// Destination endpoint index.
+    pub dst: usize,
+    /// Caller correlation token.
+    pub token: u64,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Cycle the message was accepted.
+    pub enqueued_at: u64,
+    /// Cycle the message reached the destination.
+    pub delivered_at: u64,
+    /// Router/station hops traversed.
+    pub hops: u32,
+}
+
+impl Delivered {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at - self.enqueued_at
+    }
+}
+
+/// Uniform cycle-level interface over interconnect implementations, so
+/// experiment harnesses can drive the paper's multi-ring NoC and the
+/// commercial-style baselines identically.
+pub trait Interconnect {
+    /// Number of attachable endpoints.
+    fn endpoints(&self) -> usize;
+
+    /// Offer a message; returns `false` when backpressured (retry next
+    /// cycle).
+    fn offer(&mut self, src: usize, dst: usize, class: FlitClass, bytes: u32, token: u64)
+        -> bool;
+
+    /// Advance one cycle.
+    fn tick(&mut self);
+
+    /// Pop the oldest delivery at `endpoint`.
+    fn pop_delivered(&mut self, endpoint: usize) -> Option<Delivered>;
+
+    /// Current cycle.
+    fn now(&self) -> u64;
+
+    /// Total messages delivered so far.
+    fn delivered_count(&self) -> u64;
+
+    /// Total payload bytes delivered so far.
+    fn delivered_bytes(&self) -> u64;
+
+    /// Mean end-to-end latency over all deliveries (cycles).
+    fn mean_latency(&self) -> f64;
+
+    /// Messages accepted but not yet delivered.
+    fn in_flight(&self) -> u64;
+
+    /// Short human-readable name for result tables.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_latency() {
+        let d = Delivered {
+            src: 0,
+            dst: 1,
+            token: 0,
+            bytes: 64,
+            enqueued_at: 10,
+            delivered_at: 25,
+            hops: 3,
+        };
+        assert_eq!(d.latency(), 15);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 9 / SWAP bench: the cross-ring saturation scenario with SWAP
+//! armed (the experiment also covers half/full, I-tag and scaling
+//! ablations via the repro binary).
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{ablations, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("swap_flood", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_swap(Scale::Quick)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Figure 3 bench: regenerate the roofline table.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{fig03, Scale};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig03_roofline", |b| {
+        b.iter(|| std::hint::black_box(fig03::run(Scale::Quick)))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 10 bench: single-core LMBench `rd` bandwidth on the server NoC.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_baseline::{MemHarness, MemHarnessConfig};
+use noc_experiments::systems;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("single_core_rd", |b| {
+        b.iter(|| {
+            let (ic, p) = systems::ours(12);
+            let mut h = MemHarness::new(ic, p.memories.clone(), MemHarnessConfig::default());
+            std::hint::black_box(h.run_closed_loop(&p.requesters[..1], 16, 1.0, 500, 2_000))
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 11 bench: one probe-with-noise latency point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_baseline::{MemHarness, MemHarnessConfig};
+use noc_experiments::systems;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("probe_with_noise", |b| {
+        b.iter(|| {
+            let (ic, p) = systems::ours(12);
+            let mut noise = p.requesters.clone();
+            let probe = noise.remove(0);
+            let mut h = MemHarness::new(ic, p.memories.clone(), MemHarnessConfig::default());
+            std::hint::black_box(h.run_probe_with_noise(probe, &noise, 0.2, 0.5, 300, 2_000))
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

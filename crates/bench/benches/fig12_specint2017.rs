@@ -1,0 +1,34 @@
+//! Figure 12 bench: SPECint-2017 score model on a synthetic latency
+//! profile (the measured-profile path is exercised by fig10/fig11).
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::fig12_13::LatencyProfile;
+use noc_server_cpu::experiments::LatencyPoint;
+use noc_workloads::specint2017;
+
+fn profile() -> LatencyProfile {
+    LatencyProfile {
+        name: "synthetic".into(),
+        curve: vec![
+            LatencyPoint { noise_rate: 0.0, probe_latency: 85.0 },
+            LatencyPoint { noise_rate: 0.2, probe_latency: 140.0 },
+            LatencyPoint { noise_rate: 0.6, probe_latency: 700.0 },
+        ],
+        cores: 96,
+        cores_per_requester: 4,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig12_score_model", |b| {
+        let p = profile();
+        let suite = specint2017();
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|s| s.score(p.package_latency(s), 3.0))
+                .sum::<f64>()
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 13 bench: SPECint-2006 score model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::fig12_13::LatencyProfile;
+use noc_server_cpu::experiments::LatencyPoint;
+use noc_workloads::specint2006;
+
+fn bench(c: &mut Criterion) {
+    let p = LatencyProfile {
+        name: "synthetic".into(),
+        curve: vec![
+            LatencyPoint { noise_rate: 0.0, probe_latency: 85.0 },
+            LatencyPoint { noise_rate: 0.6, probe_latency: 700.0 },
+        ],
+        cores: 96,
+        cores_per_requester: 4,
+    };
+    c.bench_function("fig13_score_model", |b| {
+        let suite = specint2006();
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|s| s.score(p.package_latency(s), 3.0))
+                .sum::<f64>()
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

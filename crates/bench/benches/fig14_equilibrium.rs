@@ -1,0 +1,14 @@
+//! Figure 14 bench: equilibrium probe collection on a reduced run.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{fig14, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("equilibrium_probes", |b| {
+        b.iter(|| std::hint::black_box(fig14::run(Scale::Quick)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

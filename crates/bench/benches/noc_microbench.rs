@@ -1,0 +1,50 @@
+//! Core micro-benchmarks: raw simulation throughput of the network
+//! engine (cycles/sec) and of one loaded ring — the numbers that bound
+//! how large an experiment the harness can run.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_core::{FlitClass, Network, NetworkConfig, RingKind, TopologyBuilder};
+
+fn loaded_ring() -> (Network, Vec<noc_core::NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let die = b.add_chiplet("die");
+    let r = b.add_ring(die, RingKind::Full, 16).expect("ring");
+    let eps: Vec<_> = (0..16)
+        .map(|i| b.add_node(format!("n{i}"), r, i).expect("node"))
+        .collect();
+    (Network::new(b.build().expect("valid"), NetworkConfig::default()), eps)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc_core");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("tick_1k_cycles_loaded_ring", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut net, eps) = loaded_ring();
+                for i in 0..64u64 {
+                    let s = eps[(i % 16) as usize];
+                    let d = eps[((i + 7) % 16) as usize];
+                    let _ = net.enqueue(s, d, FlitClass::Data, 64, i);
+                }
+                (net, eps)
+            },
+            |(mut net, eps)| {
+                for i in 0..1_000u64 {
+                    let s = eps[(i % 16) as usize];
+                    let d = eps[((i * 5 + 3) % 16) as usize];
+                    if s != d {
+                        let _ = net.enqueue(s, d, FlitClass::Data, 64, i);
+                    }
+                    net.tick();
+                    for &e in &eps {
+                        while net.pop_delivered(e).is_some() {}
+                    }
+                }
+                net
+            },
+        )
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

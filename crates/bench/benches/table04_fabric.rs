@@ -1,0 +1,11 @@
+//! Table 4 bench: wire-fabric and floorplan estimation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{table04, Scale};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table04_fabric", |b| {
+        b.iter(|| std::hint::black_box(table04::run(Scale::Quick)))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

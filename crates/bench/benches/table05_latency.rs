@@ -1,0 +1,30 @@
+//! Table 5 bench: one M-state coherence ping on the 96-core server.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_chi::LineAddr;
+use noc_server_cpu::experiments::{coherence_ping, PreparedState};
+use noc_server_cpu::{ServerCpu, ServerCpuConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table05");
+    g.sample_size(10);
+    g.bench_function("m_state_ping", |b| {
+        b.iter(|| {
+            let mut s = ServerCpu::build(ServerCpuConfig::default()).expect("builds");
+            let owner = s.map.clusters_of_ccd(0)[0];
+            let helper = s.map.clusters_of_ccd(0)[2];
+            let reader = s.map.clusters_of_ccd(1)[0];
+            let addrs: Vec<_> = (0..4).map(|i| LineAddr(0x100 + i)).collect();
+            std::hint::black_box(coherence_ping(
+                &mut s.sys,
+                owner,
+                helper,
+                reader,
+                PreparedState::M,
+                &addrs,
+            ))
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

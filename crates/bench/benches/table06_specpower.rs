@@ -1,0 +1,18 @@
+//! Table 6 bench: the SPECpower ops/watt ladder model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_workloads::PowerModel;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table06_power_ladder", |b| {
+        b.iter(|| {
+            let m = PowerModel {
+                peak_ops: std::hint::black_box(350_000.0),
+                idle_w: 92.0,
+                peak_w: 263.0,
+            };
+            std::hint::black_box(m.score())
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Table 7 bench: one R/W-ratio bandwidth measurement on the full-scale
+//! AI processor (1:1 row).
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_ai::{AiConfig, AiEngine, AiProcessor, AiTraffic};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table07");
+    g.sample_size(10);
+    g.bench_function("ratio_1_1", |b| {
+        b.iter(|| {
+            let proc = AiProcessor::build(AiConfig::default()).expect("builds");
+            let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+            std::hint::black_box(e.run(500, 2_000))
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

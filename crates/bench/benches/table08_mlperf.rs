@@ -1,0 +1,15 @@
+//! Table 8 bench: two-level roofline MLPerf estimates (uses a short
+//! Table 7 simulation for the measured on-chip bandwidth).
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{table08, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table08");
+    g.sample_size(10);
+    g.bench_function("mlperf_vs_a100", |b| {
+        b.iter(|| std::hint::black_box(table08::run(Scale::Quick)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Table 9 bench: render the commercial NoC survey.
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_experiments::{table09, Scale};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table09_survey", |b| {
+        b.iter(|| std::hint::black_box(table09::run(Scale::Quick)))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,783 @@
+//! Ablations of the design choices DESIGN.md calls out: SWAP deadlock
+//! resolution (Figure 9), half vs full rings, the bufferless multi-ring
+//! against a buffered mesh and a single ring, I-tag thresholds, and
+//! ring-count scaling of the AI mesh.
+
+use crate::report::{fnum, ExperimentResult, Scale};
+use noc_ai::{AiConfig, AiEngine, AiProcessor, AiTraffic};
+use noc_baseline::{BufferedMesh, Interconnect, MeshConfig, RingAdapter};
+use noc_core::{
+    BridgeConfig, FlitClass, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder,
+};
+
+/// Figure 9 scenario: adversarial cross-ring saturation with and
+/// without SWAP.
+fn cross_ring_flood(swap: bool) -> (Network, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let d0 = b.add_chiplet("d0");
+    let d1 = b.add_chiplet("d1");
+    let r0 = b.add_ring(d0, RingKind::Full, 6).expect("ring");
+    let r1 = b.add_ring(d1, RingKind::Full, 6).expect("ring");
+    let a: Vec<_> = (0..4)
+        .map(|i| b.add_node(format!("a{i}"), r0, i as u16).expect("node"))
+        .collect();
+    let z: Vec<_> = (0..4)
+        .map(|i| b.add_node(format!("z{i}"), r1, i as u16).expect("node"))
+        .collect();
+    let cfg = BridgeConfig::l2()
+        .with_latency(2)
+        .with_buffer_cap(2)
+        .with_width(1)
+        .with_swap(swap)
+        .with_deadlock_threshold(48)
+        .with_reserved_cap(2);
+    b.add_bridge(cfg, r0, 5, r1, 5).expect("bridge");
+    let net_cfg = NetworkConfig {
+        inject_queue_cap: 8,
+        eject_queue_cap: 2,
+        itag_threshold: 8,
+        ..NetworkConfig::default()
+    };
+    (Network::new(b.build().expect("valid"), net_cfg), a, z)
+}
+
+fn run_flood(net: &mut Network, a: &[NodeId], z: &[NodeId], cycles: u64) -> u64 {
+    let mut rr = 0usize;
+    for _ in 0..cycles {
+        for (i, &src) in a.iter().enumerate() {
+            let _ = net.enqueue(src, z[(i + rr) % z.len()], FlitClass::Data, 64, 0);
+        }
+        for (i, &src) in z.iter().enumerate() {
+            let _ = net.enqueue(src, a[(i + rr) % a.len()], FlitClass::Data, 64, 0);
+        }
+        rr += 1;
+        net.tick();
+        for &n in a.iter().chain(z) {
+            while net.pop_delivered(n).is_some() {}
+        }
+    }
+    net.stats().delivered.get()
+}
+
+/// Ablation: SWAP on/off under the Figure 9 deadlock scenario.
+pub fn run_swap(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(8_000, 30_000);
+    let mut r = ExperimentResult::new(
+        "ablation_swap",
+        "Figure 9 / §4.4: SWAP deadlock resolution under cross-ring saturation",
+    )
+    .with_header(vec![
+        "configuration",
+        "delivered flits",
+        "throughput (flits/kcycle)",
+        "DRM entries",
+        "swaps",
+    ]);
+    let mut delivered = Vec::new();
+    for swap in [true, false] {
+        let (mut net, a, z) = cross_ring_flood(swap);
+        let d = run_flood(&mut net, &a, &z, cycles);
+        delivered.push(d);
+        r.push_row(vec![
+            if swap { "SWAP enabled" } else { "SWAP disabled" }.to_string(),
+            d.to_string(),
+            fnum(d as f64 / cycles as f64 * 1000.0, 1),
+            net.stats().drm_entries.get().to_string(),
+            net.stats().swaps.get().to_string(),
+        ]);
+    }
+    let ratio = delivered[0] as f64 / delivered[1].max(1) as f64;
+    r.note(format!(
+        "SWAP sustains {ratio:.1}x the throughput of the SWAP-less configuration once the \
+         cross-ring dependency cycle forms — {}",
+        if ratio > 3.0 { "PASS (deadlock broken)" } else { "FAIL" }
+    ));
+    r
+}
+
+/// Ablation: half ring vs full ring at equal device count.
+pub fn run_half_vs_full(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(5_000, 20_000);
+    let build = |kind: RingKind| -> RingAdapter {
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let ring = b.add_ring(die, kind, 12).expect("ring");
+        let eps: Vec<NodeId> = (0..12)
+            .map(|i| b.add_node(format!("n{i}"), ring, i).expect("node"))
+            .collect();
+        RingAdapter::new(
+            format!("{kind:?}-ring"),
+            Network::new(b.build().expect("valid"), NetworkConfig::default()),
+            eps,
+        )
+    };
+    let mut r = ExperimentResult::new(
+        "ablation_half_full",
+        "§4.1.3: half ring vs full ring (12 devices, uniform traffic)",
+    )
+    .with_header(vec![
+        "ring kind",
+        "delivered",
+        "mean latency (cyc)",
+        "bytes/cycle",
+    ]);
+    let mut stats = Vec::new();
+    for kind in [RingKind::Half, RingKind::Full] {
+        let mut ic = build(kind);
+        let mut gen = noc_workloads::TrafficGen::new(
+            12,
+            0.25,
+            noc_workloads::Pattern::UniformRandom,
+            0.5,
+            7,
+        );
+        for _ in 0..cycles {
+            for (s, d, class, bytes) in gen.cycle_events() {
+                let _ = ic.offer(s, d, class, bytes, 0);
+            }
+            ic.tick();
+            for e in 0..12 {
+                while ic.pop_delivered(e).is_some() {}
+            }
+        }
+        stats.push((ic.delivered_count(), ic.mean_latency(), ic.delivered_bytes()));
+        r.push_row(vec![
+            format!("{kind:?}"),
+            ic.delivered_count().to_string(),
+            fnum(ic.mean_latency(), 1),
+            fnum(ic.delivered_bytes() as f64 / cycles as f64, 1),
+        ]);
+    }
+    r.note(format!(
+        "full ring: {:.1}x the throughput and {:.0}% of the latency of the half ring — {}",
+        stats[1].0 as f64 / stats[0].0 as f64,
+        stats[1].1 / stats[0].1 * 100.0,
+        if stats[1].0 > stats[0].0 && stats[1].1 < stats[0].1 {
+            "PASS ('higher capacity and throughput at the cost of hardware area')"
+        } else {
+            "FAIL"
+        }
+    ));
+    r
+}
+
+/// Ablation: bufferless multi-ring vs buffered mesh vs single ring at
+/// 36 endpoints under uniform traffic.
+pub fn run_vs_alternatives(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(5_000, 20_000);
+    let loads = [0.05, 0.15, 0.3];
+    let mut r = ExperimentResult::new(
+        "ablation_alternatives",
+        "Bufferless multi-ring vs buffered mesh vs single ring (36 endpoints)",
+    )
+    .with_header(vec![
+        "design",
+        "load (flits/node/cyc)",
+        "delivered",
+        "mean latency",
+    ]);
+
+    // Multi-ring: 6 rings × 6 devices, fully bridged neighbours.
+    let multi_ring = || -> RingAdapter {
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let rings: Vec<_> = (0..6)
+            .map(|_| b.add_ring(die, RingKind::Full, 8).expect("ring"))
+            .collect();
+        let mut eps = Vec::new();
+        for (ri, &ring) in rings.iter().enumerate() {
+            for i in 0..6u16 {
+                eps.push(b.add_node(format!("n{ri}_{i}"), ring, i).expect("node"));
+            }
+        }
+        for w in 0..rings.len() {
+            let next = (w + 1) % rings.len();
+            b.add_bridge(BridgeConfig::l1().with_width(2), rings[w], 6, rings[next], 7)
+                .expect("bridge");
+        }
+        RingAdapter::new(
+            "multi-ring",
+            Network::new(b.build().expect("valid"), NetworkConfig::default()),
+            eps,
+        )
+    };
+
+    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+    for &load in &loads {
+        let mut drive = |name: &str, ic: &mut dyn Interconnect| {
+            let n = ic.endpoints().min(36);
+            let mut gen = noc_workloads::TrafficGen::new(
+                n,
+                load,
+                noc_workloads::Pattern::UniformRandom,
+                0.5,
+                11,
+            );
+            for _ in 0..cycles {
+                for (s, d, class, bytes) in gen.cycle_events() {
+                    let _ = ic.offer(s, d, class, bytes, 0);
+                }
+                ic.tick();
+                for e in 0..n {
+                    while ic.pop_delivered(e).is_some() {}
+                }
+            }
+            r.push_row(vec![
+                name.to_string(),
+                fnum(load, 2),
+                ic.delivered_count().to_string(),
+                fnum(ic.mean_latency(), 1),
+            ]);
+            summary.push((name.to_string(), load, ic.mean_latency()));
+        };
+        drive("multi-ring (this work)", &mut multi_ring());
+        drive(
+            "buffered mesh",
+            &mut BufferedMesh::new(MeshConfig {
+                k: 6,
+                ..Default::default()
+            }),
+        );
+        drive(
+            "single ring",
+            &mut RingAdapter::single_ring(36, NetworkConfig::default()),
+        );
+    }
+    let low_load: Vec<_> = summary.iter().filter(|s| s.1 == loads[0]).collect();
+    let ours = low_load
+        .iter()
+        .find(|s| s.0.contains("multi-ring"))
+        .expect("present")
+        .2;
+    let mesh = low_load
+        .iter()
+        .find(|s| s.0.contains("mesh"))
+        .expect("present")
+        .2;
+    let single = low_load
+        .iter()
+        .find(|s| s.0.contains("single"))
+        .expect("present")
+        .2;
+    r.note(format!(
+        "low-load latency: multi-ring {ours:.1} vs buffered mesh {mesh:.1} vs single ring {single:.1} — {}",
+        if ours < mesh && ours < single {
+            "PASS (multi-ring 'can decrease average latency when the number of agents rises', §3.4.2)"
+        } else {
+            "FAIL"
+        }
+    ));
+    r
+}
+
+/// Ablation: I-tag threshold vs victim progress under a
+/// starvation-prone pattern (two upstream aggressors monopolize the
+/// lane; without I-tags the downstream victim starves outright).
+pub fn run_itag_threshold(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(5_000, 20_000);
+    let mut r = ExperimentResult::new(
+        "ablation_itag",
+        "I-tag starvation threshold vs victim progress",
+    )
+    .with_header(vec![
+        "itag threshold",
+        "victim flits delivered",
+        "victim mean latency",
+        "itags placed",
+    ]);
+    let mut progress = Vec::new();
+    for threshold in [4u32, 8, 32, 1_000_000] {
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let ring = b.add_ring(die, RingKind::Full, 12).expect("ring");
+        let a0 = b.add_node("agg0", ring, 0).expect("node");
+        let a1 = b.add_node("agg1", ring, 1).expect("node");
+        let victim = b.add_node("victim", ring, 5).expect("node");
+        let sink = b.add_node("sink", ring, 6).expect("node");
+        let mut net = Network::new(
+            b.build().expect("valid"),
+            NetworkConfig {
+                itag_threshold: threshold,
+                ..NetworkConfig::default()
+            },
+        );
+        let mut victim_lat = noc_sim::Histogram::new("victim");
+        for _ in 0..cycles {
+            let _ = net.enqueue(a0, sink, FlitClass::Data, 64, 0);
+            let _ = net.enqueue(a1, sink, FlitClass::Data, 64, 0);
+            let _ = net.enqueue(victim, sink, FlitClass::Request, 64, 1);
+            net.tick();
+            while let Some(f) = net.pop_delivered(sink) {
+                if f.src == victim {
+                    victim_lat.record(f.total_latency(net.now()));
+                }
+            }
+        }
+        progress.push(victim_lat.count());
+        r.push_row(vec![
+            if threshold > 100_000 {
+                "off".to_string()
+            } else {
+                threshold.to_string()
+            },
+            victim_lat.count().to_string(),
+            fnum(victim_lat.mean(), 1),
+            net.stats().itags_placed.get().to_string(),
+        ]);
+    }
+    r.note(format!(
+        "starvation freedom: victim delivers {} flits with threshold 8 vs {} with I-tags          disabled (upstream aggressors monopolize the lane) — {}",
+        progress[1],
+        progress[3],
+        if progress[1] > 5 * progress[3].max(1) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    r
+}
+
+/// Ablation: AI-mesh ring-count scaling (§3.4.2 scalability claim).
+pub fn run_ring_scaling(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ablation_scaling",
+        "AI-mesh bandwidth vs vertical-ring count (64 cores fixed)",
+    )
+    .with_header(vec!["v-rings", "cores/ring", "total TB/s"]);
+    let mut totals = Vec::new();
+    for (v, c) in [(4usize, 16usize), (8, 8), (16, 4)] {
+        let cfg = AiConfig {
+            v_rings: v,
+            cores_per_vring: c,
+            ..Default::default()
+        };
+        let proc = AiProcessor::build(cfg).expect("builds");
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+        let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
+        totals.push(rep.total_tbs());
+        r.push_row(vec![
+            v.to_string(),
+            c.to_string(),
+            fnum(rep.total_tbs(), 1),
+        ]);
+    }
+    r.note(format!(
+        "more, shorter rings raise bandwidth at fixed core count ({:.1} → {:.1} TB/s) — {}",
+        totals[0],
+        totals[2],
+        if totals[2] > totals[0] { "PASS" } else { "FAIL" }
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_ablation_quick() {
+        let r = run_swap(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn half_vs_full_quick() {
+        let r = run_half_vs_full(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn itag_ablation_quick() {
+        let r = run_itag_threshold(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
+}
+
+/// Ablation: the Fig. 8B LLC-directory read path vs direct core→L2
+/// addressing — the directory hop's bandwidth/latency cost.
+pub fn run_llc_path(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ablation_llc",
+        "Fig. 8B read path: via LLC directory vs direct L2 addressing",
+    )
+    .with_header(vec!["read path", "total TB/s", "read TB/s"]);
+    let mut totals = Vec::new();
+    for via_llc in [false, true] {
+        let proc = AiProcessor::build(AiConfig::default()).expect("builds");
+        let mut e = AiEngine::new(
+            proc,
+            AiTraffic {
+                via_llc,
+                ..AiTraffic::from_ratio(1, 1)
+            },
+        );
+        let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
+        totals.push(rep.total_tbs());
+        r.push_row(vec![
+            if via_llc { "via LLC (Paths 1→2)" } else { "direct" }.to_string(),
+            crate::report::fnum(rep.total_tbs(), 1),
+            crate::report::fnum(rep.read_tbs(), 1),
+        ]);
+    }
+    r.note(format!(
+        "directory hop costs {:.0}% of total bandwidth ({:.1} → {:.1} TB/s); the LLC keeps \
+         its L2 partners on its own ring so no route exceeds one ring change — {}",
+        (1.0 - totals[1] / totals[0]) * 100.0,
+        totals[0],
+        totals[1],
+        if totals[1] > 0.5 * totals[0] { "PASS" } else { "FAIL" }
+    ));
+    r
+}
+
+/// Ablation: multi-package scale-up over PA SerDes (§4.2's 4P system) —
+/// cross-package coherence latency by package count.
+pub fn run_multi_package(scale: Scale) -> ExperimentResult {
+    use noc_chi::{LineAddr, ReadKind};
+    use noc_server_cpu::{ServerCpu, ServerCpuConfig};
+    let lines = scale.pick(6, 24);
+    let mut r = ExperimentResult::new(
+        "ablation_4p",
+        "§4.2 scale-up: cross-package dirty-read latency via PA SerDes",
+    )
+    .with_header(vec![
+        "packages",
+        "total cores",
+        "same-package read (cyc)",
+        "cross-package read (cyc)",
+    ]);
+    let mut cross = Vec::new();
+    for packages in [1usize, 2, 4] {
+        let cfg = ServerCpuConfig {
+            packages,
+            clusters_per_ccd: 4,
+            hn_per_ccd: 2,
+            ddr_per_ccd: 2,
+            ..Default::default()
+        };
+        let cores = cfg.cores();
+        let mut s = ServerCpu::build(cfg).expect("builds");
+        let per_pkg = 2 * 4;
+        let writer = s.map.clusters[0];
+        let local_reader = s.map.clusters[1];
+        let remote_reader = if packages > 1 {
+            Some(s.map.clusters[per_pkg])
+        } else {
+            None
+        };
+        // Keep the tested lines homed in the writer's package, as the
+        // paper's setup does: otherwise "same-package" reads may chase a
+        // home node behind the SerDes.
+        let local_hns: Vec<_> = s.map.home_nodes[..2 * 2].to_vec();
+        let addrs = noc_server_cpu::experiments::lines_homed_at(
+            &s.sys, &local_hns, lines as usize, 0x9000,
+        );
+        let mut local_sum = 0u64;
+        let mut remote_sum = 0u64;
+        for &addr in &addrs {
+            let _ = LineAddr(0); // keep the import used in all cfgs
+            let t = s.sys.write(writer, addr);
+            s.sys.run_until_complete(t, 500_000).expect("write");
+            let t = s.sys.read(local_reader, addr, ReadKind::Shared);
+            local_sum += s
+                .sys
+                .run_until_complete(t, 500_000)
+                .expect("local read")
+                .latency();
+            if let Some(rr) = remote_reader {
+                // Re-dirty so the remote read snoops too.
+                let t = s.sys.write(writer, addr);
+                s.sys.run_until_complete(t, 500_000).expect("re-dirty");
+                let t = s.sys.read(rr, addr, ReadKind::Shared);
+                remote_sum += s
+                    .sys
+                    .run_until_complete(t, 500_000)
+                    .expect("remote read")
+                    .latency();
+            }
+        }
+        let local = local_sum as f64 / lines as f64;
+        let remote = remote_sum as f64 / lines as f64;
+        if remote_reader.is_some() {
+            cross.push(remote);
+        }
+        r.push_row(vec![
+            packages.to_string(),
+            cores.to_string(),
+            crate::report::fnum(local, 0),
+            if remote_reader.is_some() {
+                crate::report::fnum(remote, 0)
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    r.note(format!(
+        "coherence holds across packages; same-package latency is unchanged by scale-up \
+         while cross-package reads pay the PA SerDes (2P {:.0} cyc, 4P {:.0} cyc) — {}",
+        cross[0],
+        cross[1],
+        if cross.iter().all(|&c| c > 60.0) { "PASS" } else { "FAIL" }
+    ));
+    r
+}
+
+/// Ablation: SWAP vs always-on escape buffers vs nothing (§4.4's
+/// argument against the escape-virtual-channel recovery style).
+pub fn run_escape_vs_swap(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(8_000, 30_000);
+    let mut r = ExperimentResult::new(
+        "ablation_escape",
+        "§4.4: SWAP vs always-on escape buffers under cross-ring saturation",
+    )
+    .with_header(vec![
+        "deadlock strategy",
+        "delivered flits",
+        "throughput (flits/kcycle)",
+        "mean latency (cyc)",
+    ]);
+    let build = |swap: bool, escape: bool| {
+        let mut b = TopologyBuilder::new();
+        let d0 = b.add_chiplet("d0");
+        let d1 = b.add_chiplet("d1");
+        let r0 = b.add_ring(d0, RingKind::Full, 6).expect("ring");
+        let r1 = b.add_ring(d1, RingKind::Full, 6).expect("ring");
+        let a: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("a{i}"), r0, i as u16).expect("node"))
+            .collect();
+        let z: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("z{i}"), r1, i as u16).expect("node"))
+            .collect();
+        let cfg = BridgeConfig::l2()
+            .with_latency(2)
+            .with_buffer_cap(2)
+            .with_width(1)
+            .with_swap(swap)
+            .with_escape_always(escape)
+            .with_deadlock_threshold(48)
+            .with_reserved_cap(2);
+        b.add_bridge(cfg, r0, 5, r1, 5).expect("bridge");
+        let net_cfg = NetworkConfig {
+            inject_queue_cap: 8,
+            eject_queue_cap: 2,
+            itag_threshold: 8,
+            ..NetworkConfig::default()
+        };
+        (Network::new(b.build().expect("valid"), net_cfg), a, z)
+    };
+    let mut rows = Vec::new();
+    for (name, swap, escape) in [
+        ("SWAP (this work)", true, false),
+        ("escape buffers always on", false, true),
+        ("none", false, false),
+    ] {
+        let (mut net, a, z) = build(swap, escape);
+        let d = run_flood(&mut net, &a, &z, cycles);
+        let lat = net.stats().mean_total_latency();
+        rows.push((name, d, lat));
+        r.push_row(vec![
+            name.to_string(),
+            d.to_string(),
+            fnum(d as f64 / cycles as f64 * 1000.0, 1),
+            fnum(lat, 1),
+        ]);
+    }
+    let swap_row = rows[0];
+    let escape_row = rows[1];
+    let none_row = rows[2];
+    r.note(format!(
+        "reserved escape buffers alone do NOT break the cycle (they fill and stall at \
+         {} flits, no better than nothing at {}): the *simultaneous inject+eject swap* \
+         is the essential ingredient, sustaining {} flits — {}",
+        escape_row.1,
+        none_row.1,
+        swap_row.1,
+        if swap_row.1 > 100 * escape_row.1.max(1) && swap_row.1 > 100 * none_row.1.max(1) {
+            "PASS (supports §4.4's choice of SWAP over passive buffering)"
+        } else {
+            "FAIL"
+        }
+    ));
+    r
+}
+
+/// Ablation: §3.4.2's scalability claim — "bufferless multi-ring NoC
+/// can decrease average latency when the number of agents rises".
+/// Sweep the agent count and compare one big ring against a multi-ring
+/// of the same total size.
+pub fn run_agent_scaling(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(4_000, 15_000);
+    let mut r = ExperimentResult::new(
+        "ablation_agents",
+        "§3.4.2: mean latency vs agent count, single ring vs multi-ring",
+    )
+    .with_header(vec![
+        "agents",
+        "single-ring latency",
+        "multi-ring latency",
+        "multi-ring advantage",
+    ]);
+
+    let multi_ring = |agents: usize| -> RingAdapter {
+        // sqrt-ish decomposition: rings of ~8 devices chained pairwise.
+        let per_ring = 8usize.min(agents);
+        let rings_n = agents.div_ceil(per_ring);
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let rings: Vec<_> = (0..rings_n)
+            .map(|_| b.add_ring(die, RingKind::Full, per_ring as u16 + 2).expect("ring"))
+            .collect();
+        let mut eps = Vec::new();
+        for (ri, &ring) in rings.iter().enumerate() {
+            for i in 0..per_ring.min(agents - ri * per_ring) {
+                eps.push(
+                    b.add_node(format!("n{ri}_{i}"), ring, i as u16)
+                        .expect("node"),
+                );
+            }
+        }
+        if rings_n > 1 {
+            for w in 0..rings_n {
+                let next = (w + 1) % rings_n;
+                if rings_n == 2 && w == 1 {
+                    break;
+                }
+                b.add_bridge(
+                    BridgeConfig::l1().with_width(2),
+                    rings[w],
+                    per_ring as u16,
+                    rings[next],
+                    per_ring as u16 + 1,
+                )
+                .expect("bridge");
+            }
+        }
+        RingAdapter::new(
+            "multi",
+            Network::new(b.build().expect("valid"), NetworkConfig::default()),
+            eps,
+        )
+    };
+
+    let drive = |ic: &mut dyn Interconnect, agents: usize| -> f64 {
+        let mut gen = noc_workloads::TrafficGen::new(
+            agents,
+            0.05,
+            noc_workloads::Pattern::UniformRandom,
+            0.5,
+            13,
+        );
+        for _ in 0..cycles {
+            for (s, d, class, bytes) in gen.cycle_events() {
+                let _ = ic.offer(s, d, class, bytes, 0);
+            }
+            ic.tick();
+            for e in 0..agents {
+                while ic.pop_delivered(e).is_some() {}
+            }
+        }
+        ic.mean_latency()
+    };
+
+    let mut gaps = Vec::new();
+    for agents in [8usize, 16, 32, 64] {
+        let single = {
+            let mut ic = RingAdapter::single_ring(agents, NetworkConfig::default());
+            drive(&mut ic, agents)
+        };
+        let multi = {
+            let mut ic = multi_ring(agents);
+            drive(&mut ic, agents)
+        };
+        gaps.push((agents, single / multi));
+        r.push_row(vec![
+            agents.to_string(),
+            fnum(single, 1),
+            fnum(multi, 1),
+            format!("{:.2}x", single / multi),
+        ]);
+    }
+    let small_gap = gaps[0].1;
+    let large_gap = gaps[3].1;
+    r.note(format!(
+        "the multi-ring's latency advantage grows with agent count ({small_gap:.2}x at 8 \
+         agents → {large_gap:.2}x at 64) — {}",
+        if large_gap > small_gap && large_gap > 1.0 {
+            "PASS (§3.4.2: 'decrease average latency when the number of agents rises')"
+        } else {
+            "FAIL"
+        }
+    ));
+    r
+}
+
+/// Ablation: §4.2's placement rationale — latency-tolerant devices live
+/// on the I/O die's half ring so their DMA traffic does not disturb the
+/// compute die's memory latency.
+pub fn run_io_interference(scale: Scale) -> ExperimentResult {
+    use noc_server_cpu::{build_topology, ServerCpuConfig};
+
+    let cfg = ServerCpuConfig {
+        clusters_per_ccd: 8,
+        hn_per_ccd: 2,
+        ddr_per_ccd: 2,
+        ..Default::default()
+    };
+    let mut r = ExperimentResult::new(
+        "ablation_io",
+        "§4.2: probe-core DDR latency with and without I/O-die DMA traffic",
+    )
+    .with_header(vec![
+        "I/O DMA duty",
+        "probe latency (cyc)",
+        "delta vs quiet",
+    ]);
+
+    let run = |io_rate: f64| -> f64 {
+        let (topo, map) = build_topology(&cfg).expect("builds");
+        let net = Network::new(topo, cfg.net.clone());
+        // Endpoints: probe cluster, DDRs, and the I/O devices.
+        let mut endpoints = vec![map.clusters[0]];
+        endpoints.extend(&map.ddrs);
+        endpoints.extend(&map.io_devices);
+        let n_ddr = map.ddrs.len();
+        let n_io = map.io_devices.len();
+        let ic = RingAdapter::new("server-io", net, endpoints);
+        let mut h = noc_baseline::MemHarness::new(
+            ic,
+            (1..=n_ddr).collect(),
+            noc_baseline::MemHarnessConfig::default(),
+        );
+        let io_eps: Vec<usize> = (1 + n_ddr..1 + n_ddr + n_io).collect();
+        let report = h.run_probe_with_noise(
+            0,
+            &io_eps,
+            io_rate,
+            0.5,
+            scale.pick(300, 1_500),
+            scale.pick(2_500, 8_000),
+        );
+        report.per_requester[0].mean_latency()
+    };
+
+    let quiet = run(0.0);
+    let mut worst = quiet;
+    for duty in [0.0, 0.25, 0.5, 1.0] {
+        let lat = run(duty);
+        worst = worst.max(lat);
+        r.push_row(vec![
+            fnum(duty, 2),
+            fnum(lat, 0),
+            format!("{:+.0}", lat - quiet),
+        ]);
+    }
+    r.note(format!(
+        "saturating every I/O device raises the compute probe's DDR latency by only \
+         {:.0}% ({quiet:.0} → {worst:.0} cyc): the half-ring I/O die isolates \
+         latency-tolerant traffic — {}",
+        (worst / quiet - 1.0) * 100.0,
+        if worst < 1.5 * quiet { "PASS" } else { "FAIL" }
+    ));
+    r
+}

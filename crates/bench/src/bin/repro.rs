@@ -1,0 +1,59 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [experiment-id ...]
+//! ```
+//!
+//! With no ids, runs everything in paper order. Results are printed as
+//! aligned tables with PASS/FAIL shape checks and also written as JSON
+//! to `results/<id>.json`.
+
+use noc_experiments::{all_experiments, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let experiments = all_experiments();
+    let selected: Vec<_> = if wanted.is_empty() {
+        experiments
+    } else {
+        experiments
+            .into_iter()
+            .filter(|(id, _)| wanted.iter().any(|w| w.as_str() == *id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; known ids:");
+        for (id, _) in all_experiments() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    let mut failures = 0usize;
+    for (id, runner) in selected {
+        let start = Instant::now();
+        let result = runner(scale);
+        let elapsed = start.elapsed();
+        println!("{result}");
+        println!("  ({id} completed in {:.1?}, scale {scale:?})\n", elapsed);
+        failures += result
+            .notes
+            .iter()
+            .filter(|n| n.ends_with("FAIL"))
+            .count();
+        if let Ok(json) = serde_json::to_string_pretty(&result) {
+            let _ = std::fs::write(format!("results/{id}.json"), json);
+        }
+    }
+    if failures > 0 {
+        println!("!! {failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all shape checks passed");
+}

@@ -1,0 +1,94 @@
+//! Figure 3: roofline model — "the arithmetic intensity of AI is the
+//! highest".
+
+use crate::report::{fnum, ExperimentResult, Scale};
+use noc_workloads::{figure3_app_points, table3_models, Machine};
+
+/// Machines whose rooflines frame the figure.
+pub fn machines() -> Vec<Machine> {
+    vec![
+        // Our AI processor: 64 cores × 16×16×16 cube × 2 FLOP × 2 GHz.
+        Machine::new("this-work-ai", 1048.0, 3.0),
+        Machine::new("a100-like", 312.0, 2.0),
+        // A server CPU: ~3 TFLOP/s FP16-equivalent, 8 DDR4 channels.
+        Machine::new("server-cpu", 3.2, 0.2),
+    ]
+}
+
+/// Reproduce Figure 3.
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig03",
+        "Roofline model: arithmetic intensity per application class",
+    )
+    .with_header(vec![
+        "application",
+        "AI (FLOP/byte)",
+        "attainable on AI-proc (TF/s)",
+        "attainable on server-CPU (TF/s)",
+        "bound",
+    ]);
+    let ms = machines();
+    let ai_m = &ms[0];
+    let cpu_m = &ms[2];
+
+    let mut points = figure3_app_points();
+    // Add the Table 3 model zoo as measured points.
+    for m in table3_models() {
+        points.push(noc_workloads::AppPoint {
+            name: m.name.clone(),
+            arithmetic_intensity: m.arithmetic_intensity(),
+        });
+    }
+    points.sort_by(|a, b| {
+        a.arithmetic_intensity
+            .partial_cmp(&b.arithmetic_intensity)
+            .expect("finite")
+    });
+    for p in &points {
+        let bound = if p.arithmetic_intensity >= ai_m.ridge_point() {
+            "compute"
+        } else {
+            "bandwidth"
+        };
+        r.push_row(vec![
+            p.name.clone(),
+            fnum(p.arithmetic_intensity, 2),
+            fnum(ai_m.attainable_tflops(p.arithmetic_intensity), 1),
+            fnum(cpu_m.attainable_tflops(p.arithmetic_intensity), 2),
+            bound.to_string(),
+        ]);
+    }
+    let max = points.last().expect("non-empty");
+    let min = points.first().expect("non-empty");
+    r.note(format!(
+        "shape check: highest-intensity class is '{}' (AI), lowest is '{}' (general-purpose) — {}",
+        max.name,
+        min.name,
+        if ["AI", "ResNet", "GPT", "BERT"]
+            .iter()
+            .any(|k| max.name.contains(k))
+        {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    r.note(format!(
+        "AI-processor ridge point {:.0} FLOP/byte; AI training workloads sit at or above it",
+        ms[0].ridge_point()
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_holds() {
+        let r = run(Scale::Quick);
+        assert!(r.rows.len() >= 8);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")));
+    }
+}

@@ -1,0 +1,135 @@
+//! Experiment result containers and table rendering.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Run scale: `Quick` for CI/benches, `Full` for paper-style runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short warmups and measurement windows; small line counts.
+    Quick,
+    /// Paper-style cycle counts.
+    Full,
+}
+
+impl Scale {
+    /// Pick `quick` or `full` by scale.
+    pub fn pick(self, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Stable id ("table07", "fig11", …).
+    pub id: String,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Formatted rows.
+    pub rows: Vec<Vec<String>>,
+    /// Shape checks and commentary (paper-vs-measured).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Create an empty result shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the header row.
+    pub fn with_header<S: Into<String>>(mut self, header: Vec<S>) -> Self {
+        self.header = header.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a note (shape check, observed-vs-paper commentary).
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))
+        };
+        if !self.header.is_empty() {
+            render(f, &self.header)?;
+            let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+            render(f, &sep)?;
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with `digits` decimals.
+pub fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = ExperimentResult::new("t1", "demo").with_header(vec!["a", "bbbb"]);
+        r.push_row(vec!["xxxx", "y"]);
+        r.note("check passed");
+        let s = r.to_string();
+        assert!(s.contains("== t1 — demo =="));
+        assert!(s.contains("| xxxx | y    |"));
+        assert!(s.contains("* check passed"));
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(3.14159, 2), "3.14");
+    }
+}

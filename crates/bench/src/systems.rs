@@ -1,0 +1,132 @@
+//! System factories shared by the Server-CPU experiments: this work's
+//! multi-ring NoC plus the two commercial-style baselines, all exposed
+//! through the same `Interconnect`/`ChiTransport` interfaces with
+//! normalized memory parameters (the paper normalizes DDR channel count
+//! and frequency across systems).
+
+use noc_baseline::{BufferedMesh, HubConfig, HubSpoke, MeshConfig, RingAdapter};
+use noc_chi::{CoherentSystem, LlcParams, MemoryParams, SystemSpec};
+use noc_core::NodeId;
+use noc_server_cpu::experiments::{server_interconnect, ServerEndpoints};
+use noc_server_cpu::{ServerCpu, ServerCpuConfig};
+
+/// Endpoint partition of a generic system.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Requester endpoints.
+    pub requesters: Vec<usize>,
+    /// Home-node endpoints (coherence experiments only).
+    pub home_nodes: Vec<usize>,
+    /// Memory endpoints.
+    pub memories: Vec<usize>,
+    /// Physical CPU cores represented by one requester endpoint.
+    pub cores_per_requester: usize,
+}
+
+/// This work: the Server-CPU multi-ring NoC as a raw interconnect
+/// (clusters then DDRs), with the given cluster count per compute die.
+pub fn ours(clusters_per_ccd: usize) -> (RingAdapter, Partition) {
+    let cfg = ServerCpuConfig {
+        clusters_per_ccd,
+        ..Default::default()
+    };
+    let (ic, eps): (RingAdapter, ServerEndpoints) =
+        server_interconnect(&cfg).expect("server config builds");
+    let part = Partition {
+        requesters: eps.clusters.clone(),
+        home_nodes: Vec::new(),
+        memories: eps.ddrs.clone(),
+        cores_per_requester: 4,
+    };
+    (ic, part)
+}
+
+/// Intel-like monolithic buffered mesh (Ice-Lake-SP style): a 7×7 mesh
+/// hosting 28 cores, 8 home nodes and 8 memory controllers on one die.
+pub fn intel_like() -> (BufferedMesh, Partition) {
+    let mesh = BufferedMesh::new(MeshConfig {
+        k: 7,
+        buf_cap: 4,
+        router_delay: 3,
+        delivery_cap: 8,
+    });
+    // Cores on the first 28 endpoints, HNs next, memories spread last.
+    let part = Partition {
+        requesters: (0..28).collect(),
+        home_nodes: (28..36).collect(),
+        memories: (36..44).collect(),
+        cores_per_requester: 1,
+    };
+    (mesh, part)
+}
+
+/// AMD-like chiplet hub-and-spoke (Milan style): 8 compute chiplets of
+/// 8 cores around a central switched IO die; home nodes and DDR sit on
+/// IO-die-attached chiplets, so every memory access crosses the hub.
+pub fn amd_like() -> (HubSpoke, Partition) {
+    let hub = HubSpoke::new(HubConfig {
+        chiplets: 10,
+        per_chiplet: 8,
+        ..Default::default()
+    });
+    let part = Partition {
+        requesters: (0..64).collect(),        // chiplets 0..8
+        home_nodes: (64..72).collect(),       // chiplet 8
+        memories: (72..80).collect(),         // chiplet 9
+        cores_per_requester: 1,
+    };
+    (hub, part)
+}
+
+/// Normalized memory model shared by every system.
+pub fn mem_params() -> MemoryParams {
+    MemoryParams::ddr4()
+}
+
+/// Build a CHI coherent system over any transport given a partition.
+pub fn coherent<T: noc_chi::system::ChiTransport>(
+    transport: T,
+    part: &Partition,
+) -> CoherentSystem<T> {
+    CoherentSystem::new(
+        transport,
+        SystemSpec {
+            requesters: part.requesters.iter().map(|&i| NodeId(i as u32)).collect(),
+            home_nodes: part.home_nodes.iter().map(|&i| NodeId(i as u32)).collect(),
+            memories: part.memories.iter().map(|&i| NodeId(i as u32)).collect(),
+            mem_params: mem_params(),
+            llc: LlcParams::default(),
+            line_bytes: 64,
+            local_hit_latency: 10,
+            hn_latency: 12,
+            snoop_latency: 6,
+        },
+    )
+}
+
+/// This work as a full coherent Server-CPU (for Table 5).
+pub fn ours_coherent() -> ServerCpu {
+    ServerCpu::build(ServerCpuConfig::default()).expect("default server builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_baseline::Interconnect;
+
+    #[test]
+    fn factories_have_consistent_partitions() {
+        let (ic, p) = ours(12);
+        assert_eq!(p.requesters.len(), 24);
+        assert_eq!(p.memories.len(), 8);
+        assert!(p.requesters.iter().chain(&p.memories).all(|&e| e < ic.endpoints()));
+
+        let (mesh, p) = intel_like();
+        assert!(p.memories.iter().all(|&e| e < mesh.endpoints()));
+        assert_eq!(p.requesters.len(), 28);
+
+        let (hub, p) = amd_like();
+        assert!(p.home_nodes.iter().all(|&e| e < hub.endpoints()));
+        assert_eq!(p.requesters.len(), 64);
+    }
+}

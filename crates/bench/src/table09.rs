@@ -1,0 +1,133 @@
+//! Table 9: state-of-the-art commercial processor NoC survey, with this
+//! work's row appended.
+
+use crate::report::{ExperimentResult, Scale};
+
+/// One survey row.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Processor name.
+    pub name: &'static str,
+    /// Core count (or compute-engine count).
+    pub cores: &'static str,
+    /// Intra-chiplet NoC.
+    pub intra: &'static str,
+    /// Inter-chiplet NoC.
+    pub inter: &'static str,
+    /// Buffering strategy.
+    pub buffering: &'static str,
+    /// Integration technology.
+    pub integration: &'static str,
+}
+
+/// The paper's survey rows plus this work.
+pub fn rows() -> Vec<SurveyRow> {
+    vec![
+        SurveyRow {
+            name: "Intel Ice Lake-SP",
+            cores: "40",
+            intra: "Mesh",
+            inter: "—",
+            buffering: "Bufferless",
+            integration: "1 die",
+        },
+        SurveyRow {
+            name: "Intel Sapphire Rapids",
+            cores: "56",
+            intra: "Mesh",
+            inter: "UPI",
+            buffering: "—",
+            integration: "EMIB",
+        },
+        SurveyRow {
+            name: "AMD Milan",
+            cores: "64",
+            intra: "Bi-directional ring bus",
+            inter: "Switched mesh",
+            buffering: "Buffered",
+            integration: "MCM",
+        },
+        SurveyRow {
+            name: "AMD Instinct MI200",
+            cores: "8 ACEs",
+            intra: "—",
+            inter: "Bi-directional rings",
+            buffering: "Buffered",
+            integration: "2.5D fanout bridge",
+        },
+        SurveyRow {
+            name: "Fujitsu Fugaku (A64FX)",
+            cores: "52",
+            intra: "Ring bus",
+            inter: "Tofu-D",
+            buffering: "Buffered",
+            integration: "CoWoS",
+        },
+        SurveyRow {
+            name: "Ampere Altra MAX",
+            cores: "128",
+            intra: "CoreLink CMN-600 mesh",
+            inter: "—",
+            buffering: "Buffered",
+            integration: "1 die",
+        },
+        SurveyRow {
+            name: "This work (Server-CPU)",
+            cores: "96 (384 at 4P)",
+            intra: "Bufferless multi-ring",
+            inter: "RBRG-L2 + PA SerDes",
+            buffering: "Bufferless",
+            integration: "heterogeneous chiplets",
+        },
+        SurveyRow {
+            name: "This work (AI-Processor)",
+            cores: "64 AI cores",
+            intra: "Bufferless multi-ring mesh",
+            inter: "RBRG-L2",
+            buffering: "Bufferless",
+            integration: "heterogeneous chiplets",
+        },
+    ]
+}
+
+/// Render Table 9.
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new("table09", "Commercial processor NoC survey").with_header(
+        vec![
+            "processor",
+            "cores",
+            "intra-chiplet NoC",
+            "inter-chiplet NoC",
+            "buffering",
+            "integration",
+        ],
+    );
+    for row in rows() {
+        r.push_row(vec![
+            row.name.to_string(),
+            row.cores.to_string(),
+            row.intra.to_string(),
+            row.inter.to_string(),
+            row.buffering.to_string(),
+            row.integration.to_string(),
+        ]);
+    }
+    r.note(
+        "this work is the only chiplet system in the survey with a bufferless inter-chiplet NoC"
+            .to_string(),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_includes_this_work_and_paper_rows() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.rows.len(), 8);
+        assert!(r.rows.iter().any(|row| row[0].contains("This work")));
+        assert!(r.rows.iter().any(|row| row[0].contains("Milan")));
+    }
+}

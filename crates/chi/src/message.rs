@@ -1,0 +1,120 @@
+//! Protocol messages carried by NoC flits.
+//!
+//! Each message travels as exactly one flit (paper §3.4.3). The flit's
+//! `token` field indexes a side table of [`Message`] structs kept by the
+//! [`CoherentSystem`](crate::CoherentSystem); the flit's class and
+//! payload size are derived from the opcode below.
+
+use crate::types::{LineAddr, MesiState, TxnId};
+use noc_core::{FlitClass, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// CHI-flavoured message opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgOp {
+    /// RN→HN: coherent read, shared copy acceptable.
+    ReadShared,
+    /// RN→HN: coherent read for ownership (write intent).
+    ReadUnique,
+    /// RN→HN: non-coherent read (bypasses the directory, straight to
+    /// memory via the home node).
+    ReadNoSnp,
+    /// RN→HN: write back a dirty owned line (carries data).
+    WriteBackFull,
+    /// HN→SN: non-coherent line write (LLC eviction, carries data).
+    WriteNoSnp,
+    /// HN→RN: downgrade to Shared, return data.
+    SnpShared,
+    /// HN→RN: invalidate, return data/ack.
+    SnpUnique,
+    /// RN→HN: snoop response carrying data (`was_dirty` = line was M).
+    SnpRespData {
+        /// Whether the snooped line was dirty at the holder.
+        was_dirty: bool,
+    },
+    /// HN→RN: read completion carrying data and the granted state.
+    CompData {
+        /// Coherence state granted to the requester.
+        state: MesiState,
+    },
+    /// HN→RN: dataless completion (write-back done).
+    Comp,
+    /// RN→HN: completion acknowledge — the home node keeps the line's
+    /// hazard (busy) set until this arrives, so a later snoop can never
+    /// overtake the grant it acknowledges.
+    CompAck,
+    /// HN→SN: memory read request.
+    MemRead,
+    /// SN→HN: memory read data.
+    MemData,
+    /// SN→HN: memory write acknowledgement.
+    MemAck,
+}
+
+impl MsgOp {
+    /// The NoC channel (flit class) this opcode travels on.
+    pub fn class(self) -> FlitClass {
+        match self {
+            MsgOp::ReadShared
+            | MsgOp::ReadUnique
+            | MsgOp::ReadNoSnp
+            | MsgOp::MemRead => FlitClass::Request,
+            MsgOp::SnpShared | MsgOp::SnpUnique => FlitClass::Snoop,
+            MsgOp::Comp | MsgOp::CompAck | MsgOp::MemAck => FlitClass::Response,
+            MsgOp::WriteBackFull
+            | MsgOp::WriteNoSnp
+            | MsgOp::SnpRespData { .. }
+            | MsgOp::CompData { .. }
+            | MsgOp::MemData => FlitClass::Data,
+        }
+    }
+
+    /// Flit payload bytes: headers for control, a cache line for data.
+    pub fn payload_bytes(self, line_bytes: u32) -> u32 {
+        match self.class() {
+            FlitClass::Request | FlitClass::Snoop => 16,
+            FlitClass::Response => 8,
+            FlitClass::Data => line_bytes,
+        }
+    }
+}
+
+/// A protocol message between two agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// The transaction this message belongs to.
+    pub txn: TxnId,
+    /// Opcode.
+    pub op: MsgOp,
+    /// The line the transaction concerns.
+    pub addr: LineAddr,
+    /// Sending agent.
+    pub from: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_channels() {
+        assert_eq!(MsgOp::ReadShared.class(), FlitClass::Request);
+        assert_eq!(MsgOp::SnpUnique.class(), FlitClass::Snoop);
+        assert_eq!(MsgOp::Comp.class(), FlitClass::Response);
+        assert_eq!(
+            MsgOp::CompData {
+                state: MesiState::Shared
+            }
+            .class(),
+            FlitClass::Data
+        );
+        assert_eq!(MsgOp::MemData.class(), FlitClass::Data);
+    }
+
+    #[test]
+    fn data_messages_carry_the_line() {
+        assert_eq!(MsgOp::MemData.payload_bytes(64), 64);
+        assert_eq!(MsgOp::ReadShared.payload_bytes(64), 16);
+        assert_eq!(MsgOp::Comp.payload_bytes(64), 8);
+    }
+}

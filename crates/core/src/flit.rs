@@ -1,0 +1,150 @@
+//! Flits: the unit of transport.
+//!
+//! Per the paper's §3.4.3, every NoC transaction is a **single flit**
+//! carrying its full routing header, because the architecture guarantees
+//! transactions are independent and stateless. A flit therefore carries
+//! its own source, destination, message class and payload byte count.
+
+use crate::ids::NodeId;
+use noc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// AMBA5-CHI-style message class of a flit.
+///
+/// CHI is layered over four channels; we keep the same split because the
+/// coherence substrate needs to distinguish them for latency accounting
+/// (a `Data` flit carries a cache line, a `Request` only a header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitClass {
+    /// REQ channel: reads, writes, cache maintenance.
+    Request,
+    /// RSP channel: completions, acknowledgements.
+    Response,
+    /// SNP channel: snoops from the home node.
+    Snoop,
+    /// DAT channel: cache-line data transfers.
+    Data,
+}
+
+impl FlitClass {
+    /// All classes, in channel order.
+    pub const ALL: [FlitClass; 4] = [
+        FlitClass::Request,
+        FlitClass::Response,
+        FlitClass::Snoop,
+        FlitClass::Data,
+    ];
+
+    /// Stable index for per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FlitClass::Request => 0,
+            FlitClass::Response => 1,
+            FlitClass::Snoop => 2,
+            FlitClass::Data => 3,
+        }
+    }
+}
+
+/// A single-flit transaction travelling through the network.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{Flit, FlitClass, NodeId};
+/// use noc_sim::Cycle;
+/// let f = Flit::new(1, NodeId(0), NodeId(5), FlitClass::Request, 16, 99, Cycle(10));
+/// assert_eq!(f.dst, NodeId(5));
+/// assert_eq!(f.deflections, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Globally unique flit id (allocation order).
+    pub id: u64,
+    /// Originating agent.
+    pub src: NodeId,
+    /// Destination agent.
+    pub dst: NodeId,
+    /// Message class.
+    pub class: FlitClass,
+    /// Payload size in bytes (header overhead excluded; used for
+    /// bandwidth accounting).
+    pub payload_bytes: u32,
+    /// Opaque correlation token for the sender (e.g. a transaction id).
+    pub token: u64,
+    /// When the flit was enqueued at the source's Inject Queue.
+    pub created_at: Cycle,
+    /// When the flit first won a ring slot (None while still queued).
+    pub injected_at: Option<Cycle>,
+    /// Ring hops travelled so far.
+    pub hops: u32,
+    /// Times the flit was deflected past its intended eject point.
+    pub deflections: u32,
+    /// Ring changes performed (bridge traversals).
+    pub ring_changes: u32,
+    /// Whether an E-tag eject reservation is pending for this flit.
+    pub etag: bool,
+}
+
+impl Flit {
+    /// Create a fresh flit at time `now`.
+    pub fn new(
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        class: FlitClass,
+        payload_bytes: u32,
+        token: u64,
+        now: Cycle,
+    ) -> Self {
+        Flit {
+            id,
+            src,
+            dst,
+            class,
+            payload_bytes,
+            token,
+            created_at: now,
+            injected_at: None,
+            hops: 0,
+            deflections: 0,
+            ring_changes: 0,
+            etag: false,
+        }
+    }
+
+    /// End-to-end latency including source queueing, if delivered at `now`.
+    pub fn total_latency(&self, now: Cycle) -> u64 {
+        now.since(self.created_at)
+    }
+
+    /// In-network latency (excludes source queueing), if delivered at
+    /// `now`. Zero if the flit was never injected.
+    pub fn network_latency(&self, now: Cycle) -> u64 {
+        self.injected_at.map_or(0, |inj| now.since(inj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_unique() {
+        let mut seen = [false; 4];
+        for c in FlitClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut f = Flit::new(0, NodeId(0), NodeId(1), FlitClass::Data, 64, 0, Cycle(100));
+        assert_eq!(f.network_latency(Cycle(130)), 0);
+        f.injected_at = Some(Cycle(110));
+        assert_eq!(f.total_latency(Cycle(130)), 30);
+        assert_eq!(f.network_latency(Cycle(130)), 20);
+    }
+}

@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers for network entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one network agent (device node or bridge endpoint).
+    ///
+    /// ```
+    /// use noc_core::NodeId;
+    /// assert_eq!(NodeId(3).to_string(), "n3");
+    /// assert_eq!(NodeId::from(3u32), NodeId(3));
+    /// ```
+    NodeId, u32, "n"
+);
+id_type!(
+    /// Identifies one ring.
+    RingId, u16, "r"
+);
+id_type!(
+    /// Identifies one chiplet (die).
+    ChipletId, u8, "d"
+);
+id_type!(
+    /// Identifies one ring bridge (RBRG-L1 or RBRG-L2).
+    BridgeId, u16, "b"
+);
+
+/// Travel direction on a ring lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Clockwise: station index increases each hop.
+    Cw,
+    /// Counter-clockwise: station index decreases each hop.
+    Ccw,
+}
+
+impl Direction {
+    /// Lane index within a ring (`Cw` = 0, `Ccw` = 1).
+    #[inline]
+    pub fn lane(self) -> usize {
+        match self {
+            Direction::Cw => 0,
+            Direction::Ccw => 1,
+        }
+    }
+}
+
+/// Ring flavour (paper Figure 7 B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingKind {
+    /// A single unidirectional (clockwise) loop — fewer wires, used on
+    /// the latency-tolerant I/O die.
+    Half,
+    /// Bidirectional loops (clockwise + counter-clockwise) — twice the
+    /// capacity, used on compute dies.
+    Full,
+}
+
+impl RingKind {
+    /// Number of lanes this ring kind provides.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            RingKind::Half => 1,
+            RingKind::Full => 2,
+        }
+    }
+}
+
+/// Which of a cross station's two node interfaces a node occupies.
+pub type Port = u8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(RingId(2).to_string(), "r2");
+        assert_eq!(ChipletId(3).to_string(), "d3");
+        assert_eq!(BridgeId(4).to_string(), "b4");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(RingId::from(9u16), RingId(9));
+    }
+
+    #[test]
+    fn direction_lanes() {
+        assert_eq!(Direction::Cw.lane(), 0);
+        assert_eq!(Direction::Ccw.lane(), 1);
+    }
+
+    #[test]
+    fn ring_kind_lanes() {
+        assert_eq!(RingKind::Half.lanes(), 1);
+        assert_eq!(RingKind::Full.lanes(), 2);
+    }
+}

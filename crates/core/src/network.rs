@@ -1,0 +1,759 @@
+//! The network engine: cross-station arbitration, I-tag/E-tag
+//! starvation and livelock protection, ring bridges and SWAP deadlock
+//! resolution — the complete §4 of the paper, cycle by cycle.
+
+use crate::config::{BridgeLevel, NetworkConfig};
+use crate::error::EnqueueError;
+use crate::flit::{Flit, FlitClass};
+use crate::ids::{BridgeId, NodeId, RingId};
+use crate::queue::Fifo;
+use crate::ring::Ring;
+use crate::route::{ring_travel, RouteTable};
+use crate::stats::NetStats;
+use crate::topology::{NodeKind, Topology};
+use noc_sim::{BandwidthProbe, Component, Cycle};
+use std::collections::VecDeque;
+
+/// Per-node runtime state: the two queues of a node interface plus tag
+/// bookkeeping.
+#[derive(Debug, Clone)]
+struct NodeState {
+    ring: RingId,
+    station: u16,
+    kind: NodeKind,
+    inject: Fifo<Flit>,
+    eject: Fifo<Flit>,
+    /// Consecutive cycles the head of `inject` failed to win a slot.
+    starve: u32,
+    /// Whether an I-tagged slot is circulating for this node.
+    itag_pending: bool,
+    /// E-tag reservations: ids of flits entitled to freed eject buffers,
+    /// oldest first.
+    etag_list: VecDeque<u64>,
+    /// Deflections of flits that targeted this node (diagnostics).
+    deflected_here: u64,
+}
+
+/// Per-bridge runtime state.
+#[derive(Debug, Clone)]
+struct BridgeState {
+    cfg: crate::config::BridgeConfig,
+    a: NodeId,
+    b: NodeId,
+    /// In-flight flits a→b: (ready cycle, flit).
+    pipe_ab: VecDeque<(u64, Flit)>,
+    /// In-flight flits b→a.
+    pipe_ba: VecDeque<(u64, Flit)>,
+    /// Reserved escape buffers for each side (used only in DRM).
+    reserved: [Vec<Flit>; 2],
+    /// Whether each side is in deadlock resolution mode.
+    drm: [bool; 2],
+}
+
+impl BridgeState {
+    fn side_of(&self, node: NodeId) -> usize {
+        if node == self.a {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// The bufferless multi-ring network.
+///
+/// Create one from a [`crate::Topology`] and a
+/// [`NetworkConfig`], then alternate [`Network::enqueue`] /
+/// [`Network::tick`] / [`Network::pop_delivered`].
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{BridgeConfig, FlitClass, NetworkConfig, Network,
+///                RingKind, TopologyBuilder};
+///
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die0");
+/// let ring = b.add_ring(die, RingKind::Full, 8)?;
+/// let src = b.add_node("src", ring, 0)?;
+/// let dst = b.add_node("dst", ring, 4)?;
+/// let mut net = Network::new(b.build()?, NetworkConfig::default());
+///
+/// net.enqueue(src, dst, FlitClass::Request, 64, 0).unwrap();
+/// for _ in 0..20 {
+///     net.tick();
+/// }
+/// let flit = net.pop_delivered(dst).expect("delivered");
+/// assert_eq!(flit.src, src);
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetworkConfig,
+    topo: Topology,
+    route: RouteTable,
+    rings: Vec<Ring>,
+    nodes: Vec<NodeState>,
+    bridges: Vec<BridgeState>,
+    /// Round-robin pointer per (ring, station, lane).
+    rr: Vec<Vec<[u8; 2]>>,
+    /// Node ids attached per (ring, station): up to two ports.
+    ports: Vec<Vec<[Option<NodeId>; 2]>>,
+    now: Cycle,
+    next_flit_id: u64,
+    stats: NetStats,
+    probes: Vec<Option<BandwidthProbe>>,
+}
+
+impl Network {
+    /// Instantiate the runtime network for a validated topology.
+    pub fn new(topo: Topology, cfg: NetworkConfig) -> Self {
+        let route = RouteTable::build(&topo);
+        let rings: Vec<Ring> = topo
+            .rings()
+            .iter()
+            .map(|r| Ring::new(r.id, r.chiplet, r.kind, r.stations))
+            .collect();
+        let nodes: Vec<NodeState> = topo
+            .nodes()
+            .iter()
+            .map(|n| NodeState {
+                ring: n.ring,
+                station: n.station,
+                kind: n.kind,
+                inject: Fifo::new(cfg.inject_queue_cap),
+                eject: Fifo::new(cfg.eject_queue_cap),
+                starve: 0,
+                itag_pending: false,
+                etag_list: VecDeque::new(),
+                deflected_here: 0,
+            })
+            .collect();
+        let bridges: Vec<BridgeState> = topo
+            .bridges()
+            .iter()
+            .map(|b| BridgeState {
+                cfg: b.config.clone(),
+                a: b.a,
+                b: b.b,
+                pipe_ab: VecDeque::new(),
+                pipe_ba: VecDeque::new(),
+                reserved: [Vec::new(), Vec::new()],
+                drm: [false, false],
+            })
+            .collect();
+        let mut ports = Vec::with_capacity(rings.len());
+        for r in topo.rings() {
+            ports.push(vec![[None, None]; r.stations as usize]);
+        }
+        for n in topo.nodes() {
+            ports[n.ring.index()][n.station as usize][n.port as usize] = Some(n.id);
+        }
+        let rr = topo
+            .rings()
+            .iter()
+            .map(|r| vec![[0u8; 2]; r.stations as usize])
+            .collect();
+        let probes = if cfg.probe_window > 0 {
+            topo.nodes()
+                .iter()
+                .map(|n| {
+                    matches!(n.kind, NodeKind::Device)
+                        .then(|| BandwidthProbe::new(n.name.clone(), cfg.probe_window))
+                })
+                .collect()
+        } else {
+            vec![None; topo.nodes().len()]
+        };
+        Network {
+            cfg,
+            topo,
+            route,
+            rings,
+            nodes,
+            bridges,
+            rr,
+            ports,
+            now: Cycle::ZERO,
+            next_flit_id: 0,
+            stats: NetStats::new(),
+            probes,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The topology the network was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Route table (exit stations, ring-change distances).
+    pub fn route(&self) -> &RouteTable {
+        &self.route
+    }
+
+    /// Flits inside the network (queued, on rings, in bridges) that have
+    /// not yet been delivered to a device.
+    pub fn in_flight(&self) -> u64 {
+        self.stats.outstanding()
+    }
+
+    /// Whether `src` currently has room to enqueue another flit.
+    pub fn can_enqueue(&self, src: NodeId) -> bool {
+        self.nodes
+            .get(src.index())
+            .is_some_and(|n| !n.inject.is_full())
+    }
+
+    /// Enqueue a new single-flit transaction at `src`'s Inject Queue.
+    /// Returns the flit id for correlation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the node ids are invalid, equal, not devices, or the
+    /// Inject Queue is full (backpressure: retry next cycle).
+    pub fn enqueue(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlitClass,
+        payload_bytes: u32,
+        token: u64,
+    ) -> Result<u64, EnqueueError> {
+        if src.index() >= self.nodes.len() {
+            return Err(EnqueueError::UnknownNode { node: src });
+        }
+        if dst.index() >= self.nodes.len() {
+            return Err(EnqueueError::UnknownNode { node: dst });
+        }
+        if src == dst {
+            return Err(EnqueueError::SelfSend { node: src });
+        }
+        if !matches!(self.nodes[src.index()].kind, NodeKind::Device) {
+            return Err(EnqueueError::NotAddressable { node: src });
+        }
+        if !matches!(self.nodes[dst.index()].kind, NodeKind::Device) {
+            return Err(EnqueueError::NotAddressable { node: dst });
+        }
+        let id = self.next_flit_id;
+        let flit = Flit::new(id, src, dst, class, payload_bytes, token, self.now);
+        match self.nodes[src.index()].inject.push(flit) {
+            Ok(()) => {
+                self.next_flit_id += 1;
+                self.stats.enqueued.inc();
+                Ok(id)
+            }
+            Err(_) => Err(EnqueueError::InjectQueueFull { node: src }),
+        }
+    }
+
+    /// Pop the oldest flit delivered to device `node`, if any. Devices
+    /// must drain their Eject Queues or the network will backpressure
+    /// (E-tag deflections).
+    pub fn pop_delivered(&mut self, node: NodeId) -> Option<Flit> {
+        self.nodes.get_mut(node.index())?.eject.pop()
+    }
+
+    /// Number of delivered flits waiting at device `node`.
+    pub fn delivered_len(&self, node: NodeId) -> usize {
+        self.nodes
+            .get(node.index())
+            .map_or(0, |n| n.eject.len())
+    }
+
+    /// Occupied inject-queue depth at `node`.
+    pub fn inject_len(&self, node: NodeId) -> usize {
+        self.nodes.get(node.index()).map_or(0, |n| n.inject.len())
+    }
+
+    /// Deflections charged to flits targeting `node` (diagnostics).
+    pub fn deflections_at(&self, node: NodeId) -> u64 {
+        self.nodes.get(node.index()).map_or(0, |n| n.deflected_here)
+    }
+
+    /// Current consecutive-injection-failure count at `node`
+    /// (diagnostics; feeds I-tag placement and L2 deadlock detection).
+    pub fn starve_of(&self, node: NodeId) -> u32 {
+        self.nodes.get(node.index()).map_or(0, |n| n.starve)
+    }
+
+    /// Outstanding E-tag reservations at `node` (diagnostics).
+    pub fn etag_backlog(&self, node: NodeId) -> usize {
+        self.nodes.get(node.index()).map_or(0, |n| n.etag_list.len())
+    }
+
+    /// Flits currently riding ring `ring`.
+    pub fn ring_occupancy(&self, ring: RingId) -> usize {
+        self.rings[ring.index()].occupancy()
+    }
+
+    /// Slots of `ring` currently reserved by circulating I-tags.
+    pub fn ring_itag_count(&self, ring: RingId) -> usize {
+        self.rings[ring.index()].itag_count()
+    }
+
+    /// Whether either side of `bridge` is in deadlock resolution mode.
+    pub fn bridge_in_drm(&self, bridge: BridgeId) -> bool {
+        let b = &self.bridges[bridge.index()];
+        b.drm[0] || b.drm[1]
+    }
+
+    /// Per-device bandwidth probes (present when
+    /// [`NetworkConfig::probe_window`] is non-zero), keyed by node index.
+    pub fn probes(&self) -> impl Iterator<Item = (NodeId, &BandwidthProbe)> {
+        self.probes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (NodeId(i as u32), p)))
+    }
+
+    /// Flush probe windows at end of run.
+    pub fn finish_probes(&mut self) {
+        let now = self.now;
+        for p in self.probes.iter_mut().flatten() {
+            p.finish(now);
+        }
+    }
+
+    /// Total flits physically present anywhere inside the network
+    /// (queues, slots, pipelines, escape buffers). Used by conservation
+    /// checks.
+    pub fn count_resident_flits(&self) -> u64 {
+        let mut n = 0u64;
+        for node in &self.nodes {
+            n += (node.inject.len() + node.eject.len()) as u64;
+        }
+        for ring in &self.rings {
+            n += ring.occupancy() as u64;
+        }
+        for b in &self.bridges {
+            n += (b.pipe_ab.len() + b.pipe_ba.len()) as u64;
+            n += (b.reserved[0].len() + b.reserved[1].len()) as u64;
+        }
+        // Delivered flits still sitting in device eject queues were
+        // counted above but are already "delivered" in stats; subtract
+        // them so the value matches `in_flight` + undrained deliveries.
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation step
+    // ------------------------------------------------------------------
+
+    /// Advance the network by one clock cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.bridge_deliver();
+        self.local_deliveries();
+        for ri in 0..self.rings.len() {
+            let lanes = self.rings[ri].lanes.len();
+            let stations = self.rings[ri].stations;
+            for li in 0..lanes {
+                for s in 0..stations {
+                    self.process_station(ri, li, s);
+                }
+            }
+        }
+        for ring in &mut self.rings {
+            for lane in &mut ring.lanes {
+                lane.advance();
+            }
+        }
+        self.bridge_intake();
+        self.drm_update();
+    }
+
+    /// Move matured bridge-pipeline flits into destination endpoint
+    /// inject queues.
+    fn bridge_deliver(&mut self) {
+        let now = self.now.raw();
+        for bi in 0..self.bridges.len() {
+            for dir in 0..2 {
+                loop {
+                    let b = &mut self.bridges[bi];
+                    let (pipe, dst) = if dir == 0 {
+                        (&mut b.pipe_ab, b.b)
+                    } else {
+                        (&mut b.pipe_ba, b.a)
+                    };
+                    let ready = pipe.front().is_some_and(|&(r, _)| r <= now);
+                    if !ready || self.nodes[dst.index()].inject.is_full() {
+                        break;
+                    }
+                    let (_, flit) = self.bridges[bi]
+                        .pipe_if(dir)
+                        .pop_front()
+                        .expect("checked non-empty");
+                    self.nodes[dst.index()]
+                        .inject
+                        .push(flit)
+                        .ok()
+                        .expect("checked not full");
+                    self.stats.bridge_crossings.inc();
+                }
+            }
+        }
+    }
+
+    /// Deliver head flits whose exit station equals their source node's
+    /// own station without touching the ring (zero-hop path).
+    fn local_deliveries(&mut self) {
+        for i in 0..self.nodes.len() {
+            let (ring, station) = (self.nodes[i].ring, self.nodes[i].station);
+            let Some(head) = self.nodes[i].inject.peek() else {
+                continue;
+            };
+            let hop = match self.route.exit(ring, head.dst) {
+                Some(h) => h,
+                None => continue,
+            };
+            if hop.station != station || hop.target.index() == i {
+                continue;
+            }
+            let t = hop.target.index();
+            // Normal-flit eject rule: leave reserved buffers alone.
+            let free = self.nodes[t].eject.free();
+            let reserved = self.nodes[t].etag_list.len();
+            if free > reserved {
+                let mut flit = self.nodes[i].inject.pop().expect("peeked");
+                flit.injected_at = Some(self.now);
+                self.stats.injected.inc();
+                self.finish_arrival(t, flit);
+                self.nodes[i].starve = 0;
+            }
+        }
+    }
+
+    fn process_station(&mut self, ri: usize, li: usize, s: u16) {
+        let ring_id = RingId(ri as u16);
+        // ---- arrival / ejection ----
+        if let Some(flit) = self.rings[ri].lanes[li].slot_at_mut(s).flit.take() {
+            let hop = self
+                .route
+                .exit(ring_id, flit.dst)
+                .expect("validated topology routes every destination");
+            if hop.station == s {
+                self.arrive(ri, li, s, hop.target, flit);
+            } else {
+                self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+            }
+        }
+        // ---- injection ----
+        let mut injected_port: Option<u8> = None;
+        let slot_free = self.rings[ri].lanes[li].slot_at(s).flit.is_none();
+        if slot_free {
+            let itag = self.rings[ri].lanes[li].slot_at(s).itag;
+            if let Some(owner) = itag {
+                let o = owner.index();
+                if self.nodes[o].ring == ring_id && self.nodes[o].station == s {
+                    match self.head_lane(o) {
+                        Some(lane) if lane == li => {
+                            self.inject_head(o, ri, li, s);
+                            injected_port = self.ports[ri][s as usize]
+                                .iter()
+                                .position(|&p| p == Some(owner))
+                                .map(|p| p as u8);
+                            let slot = self.rings[ri].lanes[li].slot_at_mut(s);
+                            slot.itag = None;
+                            self.nodes[o].itag_pending = false;
+                        }
+                        Some(_) | None => {
+                            // Stale tag: head now prefers the other lane
+                            // or queue drained. Release the slot.
+                            self.rings[ri].lanes[li].slot_at_mut(s).itag = None;
+                            self.nodes[o].itag_pending = false;
+                        }
+                    }
+                }
+                // Tag owned by a node elsewhere on the ring: slot stays
+                // reserved and passes by.
+            } else {
+                // Round-robin arbitration between the two interfaces.
+                let start = self.rr[ri][s as usize][li];
+                for off in 0..2u8 {
+                    let port = (start + off) % 2;
+                    let Some(node) = self.ports[ri][s as usize][port as usize] else {
+                        continue;
+                    };
+                    let ni = node.index();
+                    if self.head_lane(ni) == Some(li) {
+                        self.inject_head(ni, ri, li, s);
+                        self.rr[ri][s as usize][li] = (port + 1) % 2;
+                        injected_port = Some(port);
+                        break;
+                    }
+                }
+            }
+        }
+        // ---- starvation accounting & I-tag placement ----
+        for port in 0..2u8 {
+            if injected_port == Some(port) {
+                continue;
+            }
+            let Some(node) = self.ports[ri][s as usize][port as usize] else {
+                continue;
+            };
+            let ni = node.index();
+            if self.head_lane(ni) != Some(li) {
+                continue;
+            }
+            self.nodes[ni].starve += 1;
+            if self.nodes[ni].starve >= self.cfg.itag_threshold
+                && !self.nodes[ni].itag_pending
+                && self.rings[ri].lanes[li].slot_at(s).itag.is_none()
+            {
+                self.rings[ri].lanes[li].slot_at_mut(s).itag = Some(node);
+                self.nodes[ni].itag_pending = true;
+                self.stats.itags_placed.inc();
+            }
+        }
+    }
+
+    /// Which lane the head flit of node `ni` wants, if it has one and
+    /// needs the ring (local zero-hop deliveries are handled elsewhere).
+    fn head_lane(&self, ni: usize) -> Option<usize> {
+        let node = &self.nodes[ni];
+        let head = node.inject.peek()?;
+        let hop = self.route.exit(node.ring, head.dst)?;
+        if hop.station == node.station {
+            return None; // zero-hop: local delivery path
+        }
+        let ring = &self.rings[node.ring.index()];
+        let (dir, _) = ring_travel(ring.kind, ring.stations, node.station, hop.station);
+        Some(dir.lane())
+    }
+
+    /// Move node `ni`'s head flit into the (empty) slot at its station.
+    fn inject_head(&mut self, ni: usize, ri: usize, li: usize, s: u16) {
+        let mut flit = self.nodes[ni].inject.pop().expect("head checked");
+        if flit.injected_at.is_none() {
+            flit.injected_at = Some(self.now);
+            self.stats.injected.inc();
+        }
+        self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+        self.nodes[ni].starve = 0;
+    }
+
+    /// Handle a flit arriving at its exit station: eject, SWAP, or
+    /// deflect with an E-tag.
+    fn arrive(&mut self, ri: usize, li: usize, s: u16, target: NodeId, mut flit: Flit) {
+        let t = target.index();
+        let free = self.nodes[t].eject.free();
+        let reserved_count = self.nodes[t].etag_list.len();
+
+        let may_eject = if flit.etag {
+            // A returning E-tag flit may use a freed buffer once its
+            // reservation is covered by the free count.
+            match self.nodes[t].etag_list.iter().position(|&id| id == flit.id) {
+                Some(pos) => free > pos,
+                None => free > reserved_count, // tagged for another node earlier
+            }
+        } else {
+            free > reserved_count
+        };
+
+        if may_eject {
+            if flit.etag {
+                self.consume_etag(t, flit.id);
+                flit.etag = false;
+            }
+            self.finish_arrival(t, flit);
+            return;
+        }
+
+        // SWAP path (§4.4): bridge endpoint in DRM (or permanently, in
+        // escape-buffer mode) with escape space.
+        if let NodeKind::BridgeEndpoint { bridge, .. } = self.nodes[t].kind {
+            let bi = bridge.index();
+            let side = self.bridges[bi].side_of(target);
+            let active = self.bridges[bi].drm[side] || self.bridges[bi].cfg.escape_always;
+            if active
+                && self.bridges[bi].reserved[side].len() < self.bridges[bi].cfg.reserved_cap
+                && !self.nodes[t].eject.is_empty()
+            {
+                // Push the Eject Queue head into a reserved Tx buffer…
+                let escaped = self.nodes[t].eject.pop().expect("non-empty");
+                self.bridges[bi].reserved[side].push(escaped);
+                // …eject the traversing flit into the vacated space…
+                if flit.etag {
+                    self.consume_etag(t, flit.id);
+                    flit.etag = false;
+                }
+                self.nodes[t]
+                    .eject
+                    .push(flit)
+                    .ok()
+                    .expect("space just vacated");
+                // …and, in SWAP mode, swap the Inject Queue head onto
+                // the ring slot in the same cycle. The escape-buffer
+                // alternative lacks this simultaneous injection — that
+                // is exactly the latency edge §4.4 claims for SWAP.
+                if self.bridges[bi].drm[side] && self.nodes[t].inject.peek().is_some() {
+                    self.inject_head(t, ri, li, s);
+                    self.stats.swaps.inc();
+                }
+                return;
+            }
+        }
+
+        // Deflect: place an E-tag reservation (once) and circle on.
+        if !flit.etag {
+            flit.etag = true;
+            self.nodes[t].etag_list.push_back(flit.id);
+            self.stats.etags_placed.inc();
+        }
+        flit.deflections += 1;
+        self.stats.deflections.inc();
+        self.nodes[t].deflected_here += 1;
+        self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+    }
+
+    fn consume_etag(&mut self, t: usize, flit_id: u64) {
+        if let Some(pos) = self.nodes[t].etag_list.iter().position(|&id| id == flit_id) {
+            self.nodes[t].etag_list.remove(pos);
+        }
+    }
+
+    /// Complete an arrival into node `t`'s eject queue, recording
+    /// delivery stats for devices.
+    fn finish_arrival(&mut self, t: usize, flit: Flit) {
+        let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
+        if is_device {
+            self.stats.record_delivery(&flit, self.now);
+            if let Some(p) = &mut self.probes[t] {
+                p.record(self.now, flit.payload_bytes as u64);
+            }
+        }
+        self.nodes[t]
+            .eject
+            .push(flit)
+            .ok()
+            .expect("caller checked eject space");
+    }
+
+    /// Pull flits from bridge endpoint eject queues into the pipelines,
+    /// draining reserved escape buffers first.
+    fn bridge_intake(&mut self) {
+        let now = self.now.raw();
+        for bi in 0..self.bridges.len() {
+            for side in 0..2 {
+                let (ep, latency, width, cap) = {
+                    let b = &self.bridges[bi];
+                    (
+                        if side == 0 { b.a } else { b.b },
+                        b.cfg.latency as u64,
+                        b.cfg.width_flits_per_cycle as usize,
+                        b.cfg.buffer_cap,
+                    )
+                };
+                let mut moved = 0usize;
+                // Priority: reserved escape buffers drain first.
+                while moved < width
+                    && !self.bridges[bi].reserved[side].is_empty()
+                    && self.bridges[bi].pipe_if_len(side) < cap
+                {
+                    let mut flit = self.bridges[bi].reserved[side].remove(0);
+                    flit.ring_changes += 1;
+                    self.bridges[bi]
+                        .pipe_for_side(side)
+                        .push_back((now + latency, flit));
+                    moved += 1;
+                }
+                while moved < width
+                    && !self.nodes[ep.index()].eject.is_empty()
+                    && self.bridges[bi].pipe_if_len(side) < cap
+                {
+                    let mut flit = self.nodes[ep.index()].eject.pop().expect("non-empty");
+                    flit.ring_changes += 1;
+                    self.bridges[bi]
+                        .pipe_for_side(side)
+                        .push_back((now + latency, flit));
+                    moved += 1;
+                }
+            }
+        }
+    }
+
+    /// Enter/exit deadlock resolution mode per L2 bridge side.
+    fn drm_update(&mut self) {
+        for bi in 0..self.bridges.len() {
+            if self.bridges[bi].cfg.level != BridgeLevel::L2
+                || !self.bridges[bi].cfg.swap_enabled
+            {
+                continue;
+            }
+            for side in 0..2 {
+                let ep = if side == 0 {
+                    self.bridges[bi].a
+                } else {
+                    self.bridges[bi].b
+                };
+                let starve = self.nodes[ep.index()].starve;
+                let b = &mut self.bridges[bi];
+                if !b.drm[side] {
+                    if starve >= b.cfg.deadlock_threshold
+                        && !self.nodes[ep.index()].inject.is_empty()
+                    {
+                        b.drm[side] = true;
+                        self.stats.drm_entries.inc();
+                    }
+                } else if b.reserved[side].len() <= b.cfg.drm_exit_occupancy
+                    && starve < b.cfg.deadlock_threshold
+                {
+                    b.drm[side] = false;
+                }
+            }
+        }
+    }
+}
+
+impl BridgeState {
+    fn pipe_if(&mut self, dir: usize) -> &mut VecDeque<(u64, Flit)> {
+        if dir == 0 {
+            &mut self.pipe_ab
+        } else {
+            &mut self.pipe_ba
+        }
+    }
+
+    /// Pipeline that carries flits AWAY from `side`.
+    fn pipe_for_side(&mut self, side: usize) -> &mut VecDeque<(u64, Flit)> {
+        if side == 0 {
+            &mut self.pipe_ab
+        } else {
+            &mut self.pipe_ba
+        }
+    }
+
+    fn pipe_if_len(&self, side: usize) -> usize {
+        if side == 0 {
+            self.pipe_ab.len()
+        } else {
+            self.pipe_ba.len()
+        }
+    }
+}
+
+impl Component for Network {
+    fn tick(&mut self, _now: Cycle) {
+        Network::tick(self);
+    }
+
+    fn busy(&self) -> bool {
+        self.in_flight() > 0
+    }
+}

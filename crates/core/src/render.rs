@@ -1,0 +1,173 @@
+//! Topology rendering: Graphviz DOT export and a terminal summary.
+
+use crate::topology::{NodeKind, Topology};
+use std::fmt::Write as _;
+
+/// Render a topology as a Graphviz DOT graph: chiplets as clusters,
+/// rings as labelled cycles of stations, devices as boxes, bridges as
+/// bold edges.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{render::to_dot, RingKind, TopologyBuilder};
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die");
+/// let r = b.add_ring(die, RingKind::Full, 4)?;
+/// b.add_node("cpu", r, 0)?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("cpu"));
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("digraph soc {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for (ci, chiplet) in topo.chiplets().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{ci} {{");
+        let _ = writeln!(out, "    label=\"{chiplet}\";");
+        for ring in topo.rings().iter().filter(|r| r.chiplet.index() == ci) {
+            let ri = ring.id.index();
+            // Stations as small circles, connected in a cycle.
+            for s in 0..ring.stations {
+                let _ = writeln!(
+                    out,
+                    "    r{ri}s{s} [label=\"{s}\", shape=circle, width=0.25];"
+                );
+            }
+            for s in 0..ring.stations {
+                let next = (s + 1) % ring.stations;
+                let style = match ring.kind {
+                    crate::ids::RingKind::Half => "",
+                    crate::ids::RingKind::Full => " [dir=both]",
+                };
+                let _ = writeln!(out, "    r{ri}s{s} -> r{ri}s{next}{style};");
+            }
+        }
+        // Devices attached inside this chiplet.
+        for node in topo.nodes() {
+            let ring = &topo.rings()[node.ring.index()];
+            if ring.chiplet.index() != ci {
+                continue;
+            }
+            if matches!(node.kind, NodeKind::Device) {
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\", shape=box, style=filled, fillcolor=lightblue];",
+                    node.id.index(),
+                    node.name
+                );
+                let _ = writeln!(
+                    out,
+                    "    n{} -> r{}s{} [dir=none, style=dotted];",
+                    node.id.index(),
+                    node.ring.index(),
+                    node.station
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Bridges as bold cross-cluster edges.
+    for bridge in topo.bridges() {
+        let a = &topo.nodes()[bridge.a.index()];
+        let b = &topo.nodes()[bridge.b.index()];
+        let _ = writeln!(
+            out,
+            "  r{}s{} -> r{}s{} [dir=both, style=bold, color=red, label=\"{:?}\"];",
+            a.ring.index(),
+            a.station,
+            b.ring.index(),
+            b.station,
+            bridge.config.level
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-line-per-ring terminal summary of a topology.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{render::summary, RingKind, TopologyBuilder};
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die");
+/// let r = b.add_ring(die, RingKind::Half, 3)?;
+/// b.add_node("x", r, 0)?;
+/// let s = summary(&b.build()?);
+/// assert!(s.contains("Half"));
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+pub fn summary(topo: &Topology) -> String {
+    let mut out = String::new();
+    for (ci, chiplet) in topo.chiplets().iter().enumerate() {
+        let _ = writeln!(out, "chiplet {chiplet}:");
+        for ring in topo.rings().iter().filter(|r| r.chiplet.index() == ci) {
+            let devices: Vec<&str> = topo
+                .nodes()
+                .iter()
+                .filter(|n| n.ring == ring.id && matches!(n.kind, NodeKind::Device))
+                .map(|n| n.name.as_str())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} {:?} x{}: [{}]",
+                ring.id,
+                ring.kind,
+                ring.stations,
+                devices.join(", ")
+            );
+        }
+    }
+    let _ = writeln!(out, "bridges: {}", topo.bridges().len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BridgeConfig;
+    use crate::ids::RingKind;
+    use crate::topology::TopologyBuilder;
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let d0 = b.add_chiplet("compute");
+        let d1 = b.add_chiplet("io");
+        let r0 = b.add_ring(d0, RingKind::Full, 4).unwrap();
+        let r1 = b.add_ring(d1, RingKind::Half, 3).unwrap();
+        b.add_node("cpu", r0, 0).unwrap();
+        b.add_node("nic", r1, 1).unwrap();
+        b.add_bridge(BridgeConfig::l2(), r0, 2, r1, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_structure() {
+        let dot = to_dot(&topo());
+        assert!(dot.starts_with("digraph soc {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("\"cpu\""));
+        assert!(dot.contains("\"nic\""));
+        assert!(dot.contains("color=red"), "bridge edge present");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_marks_half_rings_unidirectional() {
+        let dot = to_dot(&topo());
+        // Full-ring edges are dir=both; the half ring has plain edges.
+        assert!(dot.contains("[dir=both]"));
+        assert!(dot.contains("r1s0 -> r1s1;"));
+    }
+
+    #[test]
+    fn summary_lists_devices_and_bridges() {
+        let s = summary(&topo());
+        assert!(s.contains("chiplet compute:"));
+        assert!(s.contains("cpu"));
+        assert!(s.contains("bridges: 1"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Rings, lanes and slots.
+//!
+//! A lane is a circular conveyor of slots, one slot per cross station.
+//! Every cycle the whole lane shifts one station in its direction. Slots
+//! may carry a flit and/or an **I-tag** reservation riding on the slot
+//! itself (paper §4.1.2): a tagged slot may only be used by the starving
+//! node interface that placed the tag.
+
+use crate::flit::Flit;
+use crate::ids::{ChipletId, Direction, NodeId, RingId, RingKind};
+
+/// One circulating ring slot.
+#[derive(Debug, Clone, Default)]
+pub struct Slot {
+    /// The flit occupying the slot, if any.
+    pub flit: Option<Flit>,
+    /// I-tag: the node interface this slot is reserved for.
+    pub itag: Option<NodeId>,
+}
+
+/// One unidirectional lane of a ring.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    dir: Direction,
+    slots: Vec<Slot>,
+    /// Rotation offset: slot `i` currently sits at station
+    /// `(i + offset) mod n` (Cw) or `(i - offset) mod n` (Ccw).
+    offset: usize,
+}
+
+impl Lane {
+    /// Create an empty lane with `stations` slots.
+    pub fn new(dir: Direction, stations: u16) -> Self {
+        Lane {
+            dir,
+            slots: vec![Slot::default(); stations as usize],
+            offset: 0,
+        }
+    }
+
+    /// The lane's travel direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Number of slots (= stations).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the lane has zero slots (never true for built networks).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    fn index_of_station(&self, station: u16) -> usize {
+        let n = self.slots.len();
+        let s = station as usize;
+        match self.dir {
+            Direction::Cw => (s + n - self.offset % n) % n,
+            Direction::Ccw => (s + self.offset) % n,
+        }
+    }
+
+    /// The slot currently positioned at `station`.
+    #[inline]
+    pub fn slot_at(&self, station: u16) -> &Slot {
+        &self.slots[self.index_of_station(station)]
+    }
+
+    /// Mutable access to the slot currently at `station`.
+    #[inline]
+    pub fn slot_at_mut(&mut self, station: u16) -> &mut Slot {
+        let i = self.index_of_station(station);
+        &mut self.slots[i]
+    }
+
+    /// Shift every slot one station in the lane's direction and charge
+    /// one hop to each in-flight flit.
+    pub fn advance(&mut self) {
+        self.offset = (self.offset + 1) % self.slots.len().max(1);
+        for slot in &mut self.slots {
+            if let Some(f) = &mut slot.flit {
+                f.hops += 1;
+            }
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.flit.is_some()).count()
+    }
+
+    /// Iterate over all slots (arbitrary positional order).
+    pub fn slots(&self) -> impl Iterator<Item = &Slot> {
+        self.slots.iter()
+    }
+
+    /// Number of I-tag-reserved slots currently circulating.
+    pub fn itag_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.itag.is_some()).count()
+    }
+}
+
+/// A ring: metadata plus one or two lanes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// The ring's id.
+    pub id: RingId,
+    /// The chiplet the ring lives on.
+    pub chiplet: ChipletId,
+    /// Half or full.
+    pub kind: RingKind,
+    /// Station count.
+    pub stations: u16,
+    /// Lanes: `[Cw]` for half rings, `[Cw, Ccw]` for full rings.
+    pub lanes: Vec<Lane>,
+}
+
+impl Ring {
+    /// Create an empty ring.
+    pub fn new(id: RingId, chiplet: ChipletId, kind: RingKind, stations: u16) -> Self {
+        let lanes = match kind {
+            RingKind::Half => vec![Lane::new(Direction::Cw, stations)],
+            RingKind::Full => vec![
+                Lane::new(Direction::Cw, stations),
+                Lane::new(Direction::Ccw, stations),
+            ],
+        };
+        Ring {
+            id,
+            chiplet,
+            kind,
+            stations,
+            lanes,
+        }
+    }
+
+    /// Total flits currently on the ring.
+    pub fn occupancy(&self) -> usize {
+        self.lanes.iter().map(Lane::occupancy).sum()
+    }
+
+    /// Total slot capacity across lanes.
+    pub fn capacity(&self) -> usize {
+        self.lanes.iter().map(Lane::len).sum()
+    }
+
+    /// I-tag-reserved slots across lanes.
+    pub fn itag_count(&self) -> usize {
+        self.lanes.iter().map(Lane::itag_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitClass;
+    use noc_sim::Cycle;
+
+    fn test_flit(id: u64) -> Flit {
+        Flit::new(
+            id,
+            NodeId(0),
+            NodeId(1),
+            FlitClass::Request,
+            64,
+            0,
+            Cycle(0),
+        )
+    }
+
+    #[test]
+    fn cw_lane_moves_flit_forward() {
+        let mut lane = Lane::new(Direction::Cw, 4);
+        lane.slot_at_mut(0).flit = Some(test_flit(1));
+        lane.advance();
+        assert!(lane.slot_at(0).flit.is_none());
+        assert!(lane.slot_at(1).flit.is_some());
+        lane.advance();
+        assert!(lane.slot_at(2).flit.is_some());
+        // Wrap-around.
+        lane.advance();
+        lane.advance();
+        assert!(lane.slot_at(0).flit.is_some());
+    }
+
+    #[test]
+    fn ccw_lane_moves_flit_backward() {
+        let mut lane = Lane::new(Direction::Ccw, 4);
+        lane.slot_at_mut(2).flit = Some(test_flit(1));
+        lane.advance();
+        assert!(lane.slot_at(1).flit.is_some());
+        lane.advance();
+        assert!(lane.slot_at(0).flit.is_some());
+        lane.advance();
+        assert!(lane.slot_at(3).flit.is_some());
+    }
+
+    #[test]
+    fn advance_charges_hops() {
+        let mut lane = Lane::new(Direction::Cw, 4);
+        lane.slot_at_mut(0).flit = Some(test_flit(1));
+        lane.advance();
+        lane.advance();
+        assert_eq!(lane.slot_at(2).flit.as_ref().unwrap().hops, 2);
+    }
+
+    #[test]
+    fn itag_rides_the_slot() {
+        let mut lane = Lane::new(Direction::Cw, 4);
+        lane.slot_at_mut(0).itag = Some(NodeId(9));
+        lane.advance();
+        assert_eq!(lane.slot_at(1).itag, Some(NodeId(9)));
+        assert!(lane.slot_at(0).itag.is_none());
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut lane = Lane::new(Direction::Cw, 4);
+        assert_eq!(lane.occupancy(), 0);
+        lane.slot_at_mut(0).flit = Some(test_flit(1));
+        lane.slot_at_mut(2).flit = Some(test_flit(2));
+        assert_eq!(lane.occupancy(), 2);
+    }
+
+    #[test]
+    fn ring_lane_counts() {
+        let half = Ring::new(RingId(0), ChipletId(0), RingKind::Half, 6);
+        let full = Ring::new(RingId(1), ChipletId(0), RingKind::Full, 6);
+        assert_eq!(half.lanes.len(), 1);
+        assert_eq!(full.lanes.len(), 2);
+        assert_eq!(half.capacity(), 6);
+        assert_eq!(full.capacity(), 12);
+        assert_eq!(full.lanes[1].direction(), Direction::Ccw);
+    }
+}

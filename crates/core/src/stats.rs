@@ -1,0 +1,166 @@
+//! Network-wide statistics.
+
+use crate::flit::{Flit, FlitClass};
+use noc_sim::{Counter, Cycle, Histogram};
+
+/// Aggregated statistics of one [`Network`](crate::Network) run.
+///
+/// Counters cover every mechanism the paper describes: I-tag and E-tag
+/// placements, deflections, DRM (deadlock-resolution-mode) entries and
+/// SWAP operations.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Flits accepted into inject queues.
+    pub enqueued: Counter,
+    /// Flits that won a ring slot.
+    pub injected: Counter,
+    /// Flits delivered to a device eject queue.
+    pub delivered: Counter,
+    /// Payload bytes delivered to devices.
+    pub delivered_bytes: Counter,
+    /// Deflections (failed ejections that sent a flit onward).
+    pub deflections: Counter,
+    /// I-tags placed on passing slots.
+    pub itags_placed: Counter,
+    /// E-tag reservations created.
+    pub etags_placed: Counter,
+    /// Times an RBRG-L2 entered deadlock resolution mode.
+    pub drm_entries: Counter,
+    /// SWAP operations performed during DRM.
+    pub swaps: Counter,
+    /// Flits that crossed a bridge.
+    pub bridge_crossings: Counter,
+    /// End-to-end latency (enqueue → device delivery) per flit class.
+    pub total_latency: [Histogram; 4],
+    /// In-network latency (injection → device delivery) per flit class.
+    pub network_latency: [Histogram; 4],
+    /// Ring hops per delivered flit.
+    pub hops: Histogram,
+    /// Deflections per delivered flit.
+    pub deflections_per_flit: Histogram,
+}
+
+impl NetStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        let h = |name: &str| Histogram::new(name);
+        NetStats {
+            enqueued: Counter::new("enqueued"),
+            injected: Counter::new("injected"),
+            delivered: Counter::new("delivered"),
+            delivered_bytes: Counter::new("delivered_bytes"),
+            deflections: Counter::new("deflections"),
+            itags_placed: Counter::new("itags_placed"),
+            etags_placed: Counter::new("etags_placed"),
+            drm_entries: Counter::new("drm_entries"),
+            swaps: Counter::new("swaps"),
+            bridge_crossings: Counter::new("bridge_crossings"),
+            total_latency: [
+                h("total_latency.req"),
+                h("total_latency.rsp"),
+                h("total_latency.snp"),
+                h("total_latency.dat"),
+            ],
+            network_latency: [
+                h("network_latency.req"),
+                h("network_latency.rsp"),
+                h("network_latency.snp"),
+                h("network_latency.dat"),
+            ],
+            hops: h("hops"),
+            deflections_per_flit: h("deflections_per_flit"),
+        }
+    }
+
+    /// Record a device delivery at time `now`.
+    pub fn record_delivery(&mut self, flit: &Flit, now: Cycle) {
+        self.delivered.inc();
+        self.delivered_bytes.add(flit.payload_bytes as u64);
+        let i = flit.class.index();
+        self.total_latency[i].record(flit.total_latency(now));
+        self.network_latency[i].record(flit.network_latency(now));
+        self.hops.record(flit.hops as u64);
+        self.deflections_per_flit.record(flit.deflections as u64);
+    }
+
+    /// Mean end-to-end latency across all classes (cycles).
+    pub fn mean_total_latency(&self) -> f64 {
+        let (sum, count) = self
+            .total_latency
+            .iter()
+            .fold((0u64, 0u64), |(s, c), h| (s + h.sum(), c + h.count()));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Mean end-to-end latency for one class (cycles).
+    pub fn mean_total_latency_of(&self, class: FlitClass) -> f64 {
+        self.total_latency[class.index()].mean()
+    }
+
+    /// Delivered payload bandwidth in bytes/cycle over `elapsed` cycles.
+    pub fn bytes_per_cycle(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.delivered_bytes.get() as f64 / elapsed as f64
+        }
+    }
+
+    /// Conservation check value: enqueued − delivered (must equal the
+    /// number of flits still inside the network).
+    pub fn outstanding(&self) -> u64 {
+        self.enqueued.get() - self.delivered.get()
+    }
+}
+
+impl Default for NetStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn delivery_updates_everything() {
+        let mut s = NetStats::new();
+        let mut f = Flit::new(
+            1,
+            NodeId(0),
+            NodeId(1),
+            FlitClass::Data,
+            64,
+            0,
+            Cycle(10),
+        );
+        f.injected_at = Some(Cycle(12));
+        f.hops = 5;
+        f.deflections = 1;
+        s.enqueued.inc();
+        s.record_delivery(&f, Cycle(30));
+        assert_eq!(s.delivered.get(), 1);
+        assert_eq!(s.delivered_bytes.get(), 64);
+        assert_eq!(s.total_latency[FlitClass::Data.index()].mean(), 20.0);
+        assert_eq!(s.network_latency[FlitClass::Data.index()].mean(), 18.0);
+        assert_eq!(s.hops.max(), 5);
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.mean_total_latency(), 20.0);
+        assert_eq!(s.mean_total_latency_of(FlitClass::Data), 20.0);
+        assert_eq!(s.mean_total_latency_of(FlitClass::Request), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut s = NetStats::new();
+        s.delivered_bytes.add(1000);
+        assert!((s.bytes_per_cycle(100) - 10.0).abs() < 1e-12);
+        assert_eq!(s.bytes_per_cycle(0), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The §3.3 co-design decision procedure as code: given a floorplan and
+//! a target frequency, score the candidate fabrics and pick one.
+//!
+//! The paper's conclusion — "distance per cycle is a suitable metric and
+//! a simplified circuit structure is more friendly for physical
+//! optimization" — falls out of the scoring at its design point, but the
+//! procedure also exposes where the high-dense fabric *would* win
+//! (small dies, relaxed frequency, no SRAM to co-place).
+
+use crate::floorplan::{FloorplanEstimate, FloorplanSpec};
+use crate::wire::WireFabric;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the fabric-selection objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceWeights {
+    /// Weight on lap latency (cycles, lower is better).
+    pub latency: f64,
+    /// Weight on net blocked silicon (mm², lower is better).
+    pub area: f64,
+    /// Weight on cross-station count (complexity/timing effort).
+    pub stations: f64,
+}
+
+impl Default for ChoiceWeights {
+    /// Balanced weights reflecting the paper's three KPIs (§2.2).
+    fn default() -> Self {
+        ChoiceWeights {
+            latency: 1.0,
+            area: 1.0,
+            stations: 0.5,
+        }
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredFabric {
+    /// The candidate fabric's name.
+    pub fabric: String,
+    /// Its floorplan estimate.
+    pub estimate: FloorplanEstimate,
+    /// Weighted score (lower is better).
+    pub score: f64,
+}
+
+/// Score every candidate on `spec` and return them best-first.
+///
+/// Scores are weighted sums of normalized (per-candidate-maximum)
+/// latency, blocked area and station count.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn rank_fabrics(
+    spec: &FloorplanSpec,
+    candidates: &[WireFabric],
+    weights: ChoiceWeights,
+) -> Vec<ScoredFabric> {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let estimates: Vec<FloorplanEstimate> =
+        candidates.iter().map(|f| spec.estimate(f)).collect();
+    let max_lat = estimates
+        .iter()
+        .map(|e| e.lap_latency_cycles as f64)
+        .fold(1.0, f64::max);
+    let max_area = estimates
+        .iter()
+        .map(|e| e.net_blocked_mm2())
+        .fold(1e-9, f64::max);
+    let max_st = estimates
+        .iter()
+        .map(|e| e.stations as f64)
+        .fold(1.0, f64::max);
+    let mut out: Vec<ScoredFabric> = candidates
+        .iter()
+        .zip(estimates)
+        .map(|(f, e)| {
+            let score = weights.latency * e.lap_latency_cycles as f64 / max_lat
+                + weights.area * e.net_blocked_mm2() / max_area
+                + weights.stations * e.stations as f64 / max_st;
+            ScoredFabric {
+                fabric: f.name().to_string(),
+                estimate: e,
+                score,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    out
+}
+
+/// Pick the best fabric for `spec` among the Table 4 candidates with
+/// default weights.
+///
+/// # Example
+///
+/// ```
+/// use noc_fabric::{choose::best_fabric, FloorplanSpec};
+/// let spec = FloorplanSpec {
+///     width_mm: 20.0,
+///     height_mm: 15.0,
+///     ring_lanes: 2,
+///     bus_bits: 512,
+///     base_pitch_um: 0.08,
+///     station_area_mm2: 0.05,
+///     freq_ghz: 3.0,
+/// };
+/// // At the paper's design point the high-speed fabric wins.
+/// assert_eq!(best_fabric(&spec).fabric, "high-speed");
+/// ```
+pub fn best_fabric(spec: &FloorplanSpec) -> ScoredFabric {
+    rank_fabrics(
+        spec,
+        &[WireFabric::high_dense(), WireFabric::high_speed()],
+        ChoiceWeights::default(),
+    )
+    .into_iter()
+    .next()
+    .expect("non-empty candidate list")
+}
+
+/// Sweep target frequencies and report the winning fabric at each — the
+/// frequency axis of the co-design space.
+pub fn frequency_sweep(
+    base: &FloorplanSpec,
+    freqs_ghz: &[f64],
+) -> Vec<(f64, ScoredFabric)> {
+    freqs_ghz
+        .iter()
+        .map(|&f| {
+            let spec = FloorplanSpec {
+                freq_ghz: f,
+                ..*base
+            };
+            (f, best_fabric(&spec))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_spec() -> FloorplanSpec {
+        FloorplanSpec {
+            width_mm: 20.0,
+            height_mm: 15.0,
+            ring_lanes: 2,
+            bus_bits: 512,
+            base_pitch_um: 0.08,
+            station_area_mm2: 0.05,
+            freq_ghz: 3.0,
+        }
+    }
+
+    #[test]
+    fn paper_design_point_picks_high_speed() {
+        let best = best_fabric(&paper_spec());
+        assert_eq!(best.fabric, "high-speed");
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let ranked = rank_fabrics(
+            &paper_spec(),
+            &[WireFabric::high_dense(), WireFabric::high_speed()],
+            ChoiceWeights::default(),
+        );
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].score <= ranked[1].score);
+    }
+
+    #[test]
+    fn latency_only_weights_still_pick_high_speed() {
+        let ranked = rank_fabrics(
+            &paper_spec(),
+            &[WireFabric::high_dense(), WireFabric::high_speed()],
+            ChoiceWeights {
+                latency: 1.0,
+                area: 0.0,
+                stations: 0.0,
+            },
+        );
+        assert_eq!(ranked[0].fabric, "high-speed");
+    }
+
+    #[test]
+    fn frequency_sweep_covers_range() {
+        let sweep = frequency_sweep(&paper_spec(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sweep.len(), 4);
+        // Higher frequency shrinks the jump distance for both fabrics;
+        // the relative 3x advantage persists, so high-speed keeps winning.
+        for (_, best) in &sweep {
+            assert_eq!(best.fabric, "high-speed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_candidates_panic() {
+        let _ = rank_fabrics(&paper_spec(), &[], ChoiceWeights::default());
+    }
+}

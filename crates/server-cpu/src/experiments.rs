@@ -1,0 +1,288 @@
+//! Measurement runners behind the Server-CPU evaluation:
+//! coherence-latency pings (Table 5), DDR-latency-under-noise curves
+//! (Figure 11), and LMBench-style bandwidth runs (Figure 10).
+
+use crate::soc::{build_topology, ServerCpuConfig};
+use noc_baseline::{Interconnect, MemHarness, MemHarnessConfig, RingAdapter};
+use noc_chi::system::ChiTransport;
+use noc_chi::{CoherentSystem, LineAddr, ReadKind};
+use noc_core::{Network, NodeId, TopologyError};
+
+/// Coherence state prepared at the first core before the measured read
+/// (paper Table 5 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreparedState {
+    /// Modified: owner wrote the lines.
+    M,
+    /// Exclusive: owner read fresh lines (sole copy).
+    E,
+    /// Shared: owner and a helper both read the lines.
+    S,
+}
+
+/// Prepare `lines` cache lines in `state` at `owner` (with `helper`
+/// for S), then measure `reader`'s mean read latency over them — the
+/// Table 5 experiment, generic over the transport so the same protocol
+/// runs on the multi-ring NoC and the baselines.
+///
+/// # Panics
+///
+/// Panics if any preparation or measured transaction fails to complete
+/// within a generous cycle budget.
+pub fn coherence_ping<T: ChiTransport>(
+    sys: &mut CoherentSystem<T>,
+    owner: NodeId,
+    helper: NodeId,
+    reader: NodeId,
+    state: PreparedState,
+    addrs: &[LineAddr],
+) -> f64 {
+    const BUDGET: u64 = 200_000;
+    for &addr in addrs {
+        match state {
+            PreparedState::M => {
+                let t = sys.write(owner, addr);
+                sys.run_until_complete(t, BUDGET).expect("prepare M");
+            }
+            PreparedState::E => {
+                let t = sys.read(owner, addr, ReadKind::Shared);
+                sys.run_until_complete(t, BUDGET).expect("prepare E");
+            }
+            PreparedState::S => {
+                let t = sys.read(owner, addr, ReadKind::Shared);
+                sys.run_until_complete(t, BUDGET).expect("prepare S/owner");
+                let t = sys.read(helper, addr, ReadKind::Shared);
+                sys.run_until_complete(t, BUDGET).expect("prepare S/helper");
+            }
+        }
+    }
+    let mut total = 0u64;
+    for &addr in addrs {
+        let t = sys.read(reader, addr, ReadKind::Shared);
+        let c = sys.run_until_complete(t, BUDGET).expect("measured read");
+        total += c.latency();
+    }
+    total as f64 / addrs.len() as f64
+}
+
+/// Pick `count` line addresses (scanning upward from `start`) whose
+/// home node is in `allowed` — the paper's Table 5 setup keeps the
+/// tested data resident in one chiplet's L3, so intra-chiplet pings
+/// must use locally-homed lines.
+pub fn lines_homed_at<T: ChiTransport>(
+    sys: &CoherentSystem<T>,
+    allowed: &[NodeId],
+    count: usize,
+    start: u64,
+) -> Vec<LineAddr> {
+    let mut out = Vec::with_capacity(count);
+    let mut a = start;
+    while out.len() < count {
+        let addr = LineAddr(a);
+        if allowed.contains(&sys.home_of(addr)) {
+            out.push(addr);
+        }
+        a += 1;
+    }
+    out
+}
+
+/// Endpoint indices of a [`server_interconnect`] adapter.
+#[derive(Debug, Clone)]
+pub struct ServerEndpoints {
+    /// Cluster endpoints (requesters), build order.
+    pub clusters: Vec<usize>,
+    /// DDR endpoints (memory side).
+    pub ddrs: Vec<usize>,
+}
+
+/// Build the Server-CPU topology and expose it through the generic
+/// [`Interconnect`] interface (clusters first, then DDR controllers),
+/// for raw-NoC bandwidth/latency experiments that the baselines can run
+/// identically.
+///
+/// # Errors
+///
+/// Propagates topology errors from degenerate configurations.
+pub fn server_interconnect(
+    cfg: &ServerCpuConfig,
+) -> Result<(RingAdapter, ServerEndpoints), TopologyError> {
+    let (topo, map) = build_topology(cfg)?;
+    let net = Network::new(topo, cfg.net.clone());
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    endpoints.extend(&map.clusters);
+    endpoints.extend(&map.ddrs);
+    let eps = ServerEndpoints {
+        clusters: (0..map.clusters.len()).collect(),
+        ddrs: (map.clusters.len()..map.clusters.len() + map.ddrs.len()).collect(),
+    };
+    Ok((RingAdapter::new("multi-ring-server", net, endpoints), eps))
+}
+
+/// One point of the Figure 11 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Background injection rate per noise core (requests/cycle).
+    pub noise_rate: f64,
+    /// Probe core's mean DDR round-trip latency (cycles).
+    pub probe_latency: f64,
+}
+
+/// Sweep background-noise rates and record the probe core's DDR
+/// latency — Figure 11. `factory` builds a fresh harness per point and
+/// returns `(harness, probe_endpoint, noise_endpoints)`.
+pub fn latency_vs_noise<I, F>(
+    factory: F,
+    rates: &[f64],
+    read_frac: f64,
+    warmup: u64,
+    measure: u64,
+) -> Vec<LatencyPoint>
+where
+    I: Interconnect,
+    F: Fn() -> (MemHarness<I>, usize, Vec<usize>),
+{
+    rates
+        .iter()
+        .map(|&rate| {
+            let (mut h, probe, noise) = factory();
+            let report =
+                h.run_probe_with_noise(probe, &noise, rate, read_frac, warmup, measure);
+            LatencyPoint {
+                noise_rate: rate,
+                probe_latency: report.per_requester[0].mean_latency(),
+            }
+        })
+        .collect()
+}
+
+/// The load level past which the curve is considered "turned": the
+/// first rate whose latency exceeds `threshold ×` the unloaded latency.
+pub fn turning_point(points: &[LatencyPoint], threshold: f64) -> Option<f64> {
+    let base = points.first()?.probe_latency;
+    turning_point_abs(points, base * threshold)
+}
+
+/// Turning point against an absolute latency threshold (for comparing
+/// systems with different unloaded latencies on the paper's shared
+/// y-axis): the first rate whose latency exceeds `latency_threshold`.
+pub fn turning_point_abs(points: &[LatencyPoint], latency_threshold: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.probe_latency > latency_threshold)
+        .map(|p| p.noise_rate)
+}
+
+/// LMBench-style closed-loop bandwidth run (Figure 10): `actives`
+/// requesters each keep `outstanding` requests in flight with the
+/// kernel's read fraction; returns delivered data bytes/cycle.
+pub fn lmbench_bandwidth<I: Interconnect>(
+    harness: &mut MemHarness<I>,
+    actives: &[usize],
+    outstanding: u32,
+    read_frac: f64,
+) -> f64 {
+    harness
+        .run_closed_loop(actives, outstanding, read_frac, 1_000, 10_000)
+        .bytes_per_cycle()
+}
+
+/// Default harness configuration used by the Server-CPU experiments
+/// (all systems get identical memory parameters — the paper normalizes
+/// DDR channel count and frequency).
+pub fn server_mem_cfg() -> MemHarnessConfig {
+    MemHarnessConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::ServerCpu;
+
+    fn small_cfg() -> ServerCpuConfig {
+        ServerCpuConfig {
+            clusters_per_ccd: 4,
+            hn_per_ccd: 2,
+            ddr_per_ccd: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn intra_beats_inter_chiplet_latency() {
+        let cfg = small_cfg();
+        let mut s = ServerCpu::build(cfg.clone()).unwrap();
+        // Lines homed in CCD0, where owner/helper/intra-reader live.
+        let local_hns: Vec<_> = s.map.home_nodes[..cfg.hn_per_ccd].to_vec();
+        let addrs = lines_homed_at(&s.sys, &local_hns, 16, 0x100);
+        let owner = s.map.clusters_of_ccd(0)[0];
+        let helper = s.map.clusters_of_ccd(0)[2];
+        let intra_reader = s.map.clusters_of_ccd(0)[1];
+        let inter_reader = s.map.clusters_of_ccd(1)[0];
+        let intra =
+            coherence_ping(&mut s.sys, owner, helper, intra_reader, PreparedState::M, &addrs);
+        let mut s2 = ServerCpu::build(cfg).unwrap();
+        let owner2 = s2.map.clusters_of_ccd(0)[0];
+        let helper2 = s2.map.clusters_of_ccd(0)[2];
+        let inter =
+            coherence_ping(&mut s2.sys, owner2, helper2, inter_reader, PreparedState::M, &addrs);
+        assert!(
+            inter > intra,
+            "cross-die coherence ({inter}) must cost more than intra ({intra})"
+        );
+    }
+
+    #[test]
+    fn server_interconnect_moves_traffic() {
+        let (ic, eps) = server_interconnect(&small_cfg()).unwrap();
+        let mut h = MemHarness::new(ic, eps.ddrs.clone(), server_mem_cfg());
+        let bw = lmbench_bandwidth(&mut h, &eps.clusters, 8, 1.0);
+        assert!(bw > 0.5, "bandwidth {bw} bytes/cycle too low");
+    }
+
+    #[test]
+    fn noise_sweep_raises_latency() {
+        let cfg = small_cfg();
+        let points = latency_vs_noise(
+            || {
+                let (ic, eps) = server_interconnect(&cfg).unwrap();
+                let mut noise = eps.clusters.clone();
+                let probe = noise.remove(0);
+                (
+                    MemHarness::new(ic, eps.ddrs.clone(), server_mem_cfg()),
+                    probe,
+                    noise,
+                )
+            },
+            &[0.0, 0.2, 0.8],
+            0.5,
+            500,
+            4000,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[2].probe_latency > points[0].probe_latency,
+            "heavy noise must raise latency: {points:?}"
+        );
+    }
+
+    #[test]
+    fn turning_point_detection() {
+        let pts = vec![
+            LatencyPoint {
+                noise_rate: 0.0,
+                probe_latency: 100.0,
+            },
+            LatencyPoint {
+                noise_rate: 0.5,
+                probe_latency: 110.0,
+            },
+            LatencyPoint {
+                noise_rate: 0.8,
+                probe_latency: 260.0,
+            },
+        ];
+        assert_eq!(turning_point(&pts, 2.0), Some(0.8));
+        assert_eq!(turning_point(&pts, 5.0), None);
+    }
+}

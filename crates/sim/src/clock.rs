@@ -1,0 +1,205 @@
+//! Simulation time: [`Cycle`] newtype and the [`Clock`] that advances it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, measured in clock cycles since reset.
+///
+/// `Cycle` is ordered and supports the small amount of arithmetic a
+/// cycle-accurate model needs (`+ u64`, `- Cycle`).
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::Cycle;
+/// let t = Cycle(100);
+/// assert_eq!(t + 10, Cycle(110));
+/// assert_eq!((t + 10) - t, 10);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero (reset).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in cycles (`self - earlier`), zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Elapsed cycles between two points in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle difference");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A free-running clock with a physical frequency, used to convert cycle
+/// counts into seconds and bandwidths.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::Clock;
+/// let mut clk = Clock::new(3.0e9); // the paper's 3 GHz target
+/// clk.advance();
+/// assert_eq!(clk.now().raw(), 1);
+/// assert!((clk.seconds_of(3_000_000_000) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clock {
+    now: Cycle,
+    freq_hz: f64,
+}
+
+impl Clock {
+    /// Create a clock running at `freq_hz` hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not finite and positive.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "clock frequency must be positive"
+        );
+        Clock {
+            now: Cycle::ZERO,
+            freq_hz,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The clock frequency in hertz.
+    #[inline]
+    pub fn frequency_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Advance one cycle and return the new time.
+    #[inline]
+    pub fn advance(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Convert a cycle count into wall seconds at this clock's frequency.
+    #[inline]
+    pub fn seconds_of(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz
+    }
+
+    /// Bytes moved over `cycles` expressed in GB/s at this frequency.
+    #[inline]
+    pub fn gbps(&self, bytes: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.seconds_of(cycles) / 1e9
+    }
+}
+
+impl Default for Clock {
+    /// A 3 GHz clock, the paper's physical-implementation target frequency.
+    fn default() -> Self {
+        Clock::new(3.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle(10);
+        assert_eq!(a + 5, Cycle(15));
+        assert_eq!(Cycle(15) - a, 5);
+        assert_eq!(a.since(Cycle(20)), 0);
+        assert_eq!(Cycle(20).since(a), 10);
+    }
+
+    #[test]
+    fn cycle_add_assign_and_display() {
+        let mut c = Cycle::ZERO;
+        c += 7;
+        assert_eq!(c.raw(), 7);
+        assert_eq!(format!("{c}"), "cycle 7");
+    }
+
+    #[test]
+    fn cycle_ordering() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn clock_advances_and_converts() {
+        let mut clk = Clock::new(1.0e9);
+        for _ in 0..10 {
+            clk.advance();
+        }
+        assert_eq!(clk.now(), Cycle(10));
+        assert!((clk.seconds_of(10) - 10e-9).abs() < 1e-18);
+        // 64 bytes per cycle at 1 GHz = 64 GB/s.
+        assert!((clk.gbps(640, 10) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_gbps_zero_cycles_is_zero() {
+        let clk = Clock::default();
+        assert_eq!(clk.gbps(1000, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clock_rejects_zero_frequency() {
+        let _ = Clock::new(0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal run loop for cycle-driven components.
+
+use crate::clock::{Clock, Cycle};
+
+/// Anything that advances one clock cycle at a time.
+///
+/// The whole workspace is cycle-driven rather than event-driven: a NoC is
+/// a dense synchronous system where nearly every element does work every
+/// cycle, so a tick loop is both simpler and faster than an event queue.
+pub trait Component {
+    /// Advance the component by one cycle ending at time `now`.
+    fn tick(&mut self, now: Cycle);
+
+    /// Whether the component has outstanding work. Engines may stop early
+    /// once every component reports quiescence. Defaults to `true`
+    /// (always busy) for components without a natural idle notion.
+    fn busy(&self) -> bool {
+        true
+    }
+}
+
+/// Why an [`Engine`] run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The cycle budget was exhausted.
+    BudgetExhausted,
+    /// All components reported idle before the budget ran out.
+    Quiesced {
+        /// Cycle at which quiescence was observed.
+        at: Cycle,
+    },
+}
+
+/// Drives a set of [`Component`]s with a shared [`Clock`].
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::{Component, Cycle, Engine};
+///
+/// struct Countdown(u32);
+/// impl Component for Countdown {
+///     fn tick(&mut self, _now: Cycle) {
+///         self.0 = self.0.saturating_sub(1);
+///     }
+///     fn busy(&self) -> bool {
+///         self.0 > 0
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Clock::default());
+/// # use noc_sim::Clock;
+/// let outcome = engine.run(&mut Countdown(10), 100);
+/// assert!(matches!(outcome, noc_sim::RunOutcome::Quiesced { .. }));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    clock: Clock,
+}
+
+impl Engine {
+    /// Create an engine around the given clock.
+    pub fn new(clock: Clock) -> Self {
+        Engine { clock }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    /// The underlying clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Tick `component` for at most `budget` cycles, stopping early if it
+    /// reports idle.
+    pub fn run<C: Component>(&mut self, component: &mut C, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            let now = self.clock.advance();
+            component.tick(now);
+            if !component.busy() {
+                return RunOutcome::Quiesced { at: now };
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+
+    /// Tick unconditionally for exactly `cycles` cycles.
+    pub fn run_for<C: Component>(&mut self, component: &mut C, cycles: u64) {
+        for _ in 0..cycles {
+            let now = self.clock.advance();
+            component.tick(now);
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(Clock::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pulse {
+        remaining: u64,
+        ticks: u64,
+    }
+
+    impl Component for Pulse {
+        fn tick(&mut self, _now: Cycle) {
+            self.ticks += 1;
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn busy(&self) -> bool {
+            self.remaining > 0
+        }
+    }
+
+    #[test]
+    fn run_quiesces_early() {
+        let mut e = Engine::default();
+        let mut p = Pulse {
+            remaining: 5,
+            ticks: 0,
+        };
+        let out = e.run(&mut p, 100);
+        assert_eq!(out, RunOutcome::Quiesced { at: Cycle(5) });
+        assert_eq!(p.ticks, 5);
+    }
+
+    #[test]
+    fn run_exhausts_budget() {
+        let mut e = Engine::default();
+        let mut p = Pulse {
+            remaining: 100,
+            ticks: 0,
+        };
+        let out = e.run(&mut p, 10);
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        assert_eq!(p.ticks, 10);
+        assert_eq!(e.now(), Cycle(10));
+    }
+
+    #[test]
+    fn run_for_ignores_busy() {
+        let mut e = Engine::default();
+        let mut p = Pulse {
+            remaining: 1,
+            ticks: 0,
+        };
+        e.run_for(&mut p, 20);
+        assert_eq!(p.ticks, 20);
+    }
+}

@@ -1,0 +1,568 @@
+//! Statistics: counters, latency histograms, bandwidth probes and
+//! generic time series.
+//!
+//! These are the measurement instruments behind every table and figure in
+//! the reproduction: [`Histogram`] backs the latency tables (paper
+//! Table 5, Figure 11), [`BandwidthProbe`] backs the bandwidth numbers
+//! (Figure 10, Table 7) and the equilibrium time series (Figure 14).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::Counter;
+/// let mut injected = Counter::new("injected");
+/// injected.add(3);
+/// injected.inc();
+/// assert_eq!(injected.get(), 4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Create a named counter starting at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A histogram of `u64` samples with exact mean and approximate
+/// percentiles (power-of-two bucketing plus within-bucket interpolation).
+///
+/// Designed for latency distributions: cheap to record (O(1)), compact,
+/// and accurate enough for percentile reporting.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::Histogram;
+/// let mut h = Histogram::new("noc-latency");
+/// for v in [10, 12, 14, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 100);
+/// assert!((h.mean() - 34.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    // bucket i holds samples in [2^(i-1), 2^i) with bucket 0 = {0}
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+const HIST_BUCKETS: usize = 65;
+
+impl Histogram {
+    /// Create a named, empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Approximate percentile `q` in `[0, 1]` via bucket interpolation.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let frac = (target - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min(), self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Clear all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.2} p50={} p99={} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.max
+        )
+    }
+}
+
+/// A windowed byte-throughput probe.
+///
+/// Record byte movements with [`BandwidthProbe::record`]; every
+/// `window` cycles the accumulated bytes are flushed into a per-window
+/// series. This is exactly the paper's Figure 14 instrument: probes placed
+/// around the NoC whose per-window bandwidth is compared for equilibrium.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::{BandwidthProbe, Cycle};
+/// let mut p = BandwidthProbe::new("probe0", 100);
+/// for c in 0..250 {
+///     p.record(Cycle(c), 64);
+/// }
+/// p.finish(Cycle(250));
+/// assert_eq!(p.windows().len(), 3);
+/// assert_eq!(p.windows()[0].bytes, 6400);
+/// assert_eq!(p.total_bytes(), 250 * 64);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthProbe {
+    name: String,
+    window: u64,
+    current_start: u64,
+    current_bytes: u64,
+    total_bytes: u64,
+    windows: Vec<Window>,
+}
+
+/// One completed measurement window of a [`BandwidthProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// First cycle of the window.
+    pub start: u64,
+    /// Window length in cycles.
+    pub len: u64,
+    /// Bytes observed during the window.
+    pub bytes: u64,
+}
+
+impl Window {
+    /// Bytes per cycle during this window.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.len as f64
+        }
+    }
+}
+
+impl BandwidthProbe {
+    /// Create a probe flushing every `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(name: impl Into<String>, window: u64) -> Self {
+        assert!(window > 0, "probe window must be positive");
+        BandwidthProbe {
+            name: name.into(),
+            window,
+            current_start: 0,
+            current_bytes: 0,
+            total_bytes: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` moving at time `now`. Windows are flushed lazily as
+    /// time crosses window boundaries; `now` must be monotonically
+    /// non-decreasing across calls.
+    pub fn record(&mut self, now: Cycle, bytes: u64) {
+        self.roll_to(now.raw());
+        self.current_bytes += bytes;
+        self.total_bytes += bytes;
+    }
+
+    fn roll_to(&mut self, now: u64) {
+        while now >= self.current_start + self.window {
+            self.windows.push(Window {
+                start: self.current_start,
+                len: self.window,
+                bytes: self.current_bytes,
+            });
+            self.current_start += self.window;
+            self.current_bytes = 0;
+        }
+    }
+
+    /// Flush the partial window at end of simulation (time `end`).
+    pub fn finish(&mut self, end: Cycle) {
+        self.roll_to(end.raw());
+        if end.raw() > self.current_start {
+            self.windows.push(Window {
+                start: self.current_start,
+                len: end.raw() - self.current_start,
+                bytes: self.current_bytes,
+            });
+            self.current_start = end.raw();
+            self.current_bytes = 0;
+        }
+    }
+
+    /// Completed windows so far.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Total bytes recorded over the probe's lifetime.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The probe's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mean bytes/cycle across completed windows (0.0 if none).
+    pub fn mean_bytes_per_cycle(&self) -> f64 {
+        let cycles: u64 = self.windows.iter().map(|w| w.len).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            let bytes: u64 = self.windows.iter().map(|w| w.bytes).sum();
+            bytes as f64 / cycles as f64
+        }
+    }
+}
+
+use crate::clock::Cycle;
+
+/// An append-only `(cycle, value)` series for arbitrary scalar signals.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::{TimeSeries, Cycle};
+/// let mut ts = TimeSeries::new("queue-depth");
+/// ts.push(Cycle(1), 3.0);
+/// ts.push(Cycle(2), 4.0);
+/// assert_eq!(ts.len(), 2);
+/// assert!((ts.mean() - 3.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Create a named, empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, at: Cycle, value: f64) {
+        self.points.push((at.raw(), value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw `(cycle, value)` points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// The series' name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.name(), "x");
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(format!("{c}"), "x=0");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new("h");
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_is_sane() {
+        let h = Histogram::new("h");
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut h = Histogram::new("h");
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn histogram_percentile_within_factor_two() {
+        let mut h = Histogram::new("h");
+        for _ in 0..100 {
+            h.record(40);
+        }
+        let p = h.percentile(0.5);
+        assert!(p >= 32 && p <= 63, "p50 {p}");
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
+        assert!((a.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_reset_clears() {
+        let mut h = Histogram::new("h");
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn bandwidth_probe_windows() {
+        let mut p = BandwidthProbe::new("p", 10);
+        for c in 0..35 {
+            p.record(Cycle(c), 2);
+        }
+        p.finish(Cycle(35));
+        let w = p.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].bytes, 20);
+        assert_eq!(w[3].len, 5);
+        assert_eq!(w[3].bytes, 10);
+        assert_eq!(p.total_bytes(), 70);
+        assert!((p.mean_bytes_per_cycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_probe_sparse_records_fill_empty_windows() {
+        let mut p = BandwidthProbe::new("p", 10);
+        p.record(Cycle(0), 5);
+        p.record(Cycle(25), 5);
+        p.finish(Cycle(30));
+        assert_eq!(p.windows().len(), 3);
+        assert_eq!(p.windows()[1].bytes, 0);
+        assert_eq!(p.windows()[2].bytes, 5);
+    }
+
+    #[test]
+    fn window_bytes_per_cycle() {
+        let w = Window {
+            start: 0,
+            len: 4,
+            bytes: 10,
+        };
+        assert!((w.bytes_per_cycle() - 2.5).abs() < 1e-12);
+        let z = Window {
+            start: 0,
+            len: 0,
+            bytes: 0,
+        };
+        assert_eq!(z.bytes_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn time_series_basics() {
+        let mut ts = TimeSeries::new("t");
+        assert!(ts.is_empty());
+        ts.push(Cycle(0), 1.0);
+        ts.push(Cycle(1), 3.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(ts.points()[1], (1, 3.0));
+    }
+}

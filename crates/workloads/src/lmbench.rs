@@ -1,0 +1,144 @@
+//! LMBench-style bandwidth kernels (paper Figure 10).
+//!
+//! LMBench's `bw_mem` family measures sustained memory bandwidth with
+//! simple kernels. Each kernel is characterised by how many bytes it
+//! reads and writes per "operation" on a 64-byte granule and whether it
+//! streams through the OS read path (extra copies). The NoC harness
+//! replays the resulting line-level access mix.
+
+use serde::{Deserialize, Serialize};
+
+/// One LMBench bandwidth kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LmbenchKernel {
+    /// Kernel mnemonic as the paper's Figure 10 lists them.
+    pub name: &'static str,
+    /// What the kernel does.
+    pub description: &'static str,
+    /// Lines read per operation.
+    pub reads_per_op: u32,
+    /// Lines written per operation.
+    pub writes_per_op: u32,
+    /// Extra copy factor (OS read interface doubles traffic).
+    pub copy_factor: f64,
+}
+
+impl LmbenchKernel {
+    /// Total memory-traffic lines per operation, copies included.
+    pub fn lines_per_op(&self) -> f64 {
+        (self.reads_per_op + self.writes_per_op) as f64 * self.copy_factor
+    }
+
+    /// Fraction of the traffic that is reads.
+    pub fn read_frac(&self) -> f64 {
+        let total = self.reads_per_op + self.writes_per_op;
+        if total == 0 {
+            0.0
+        } else {
+            self.reads_per_op as f64 / total as f64
+        }
+    }
+}
+
+/// The Figure 10 kernel set.
+///
+/// # Example
+///
+/// ```
+/// use noc_workloads::lmbench_kernels;
+/// let ks = lmbench_kernels();
+/// assert!(ks.iter().any(|k| k.name == "rd"));
+/// ```
+pub fn lmbench_kernels() -> Vec<LmbenchKernel> {
+    vec![
+        LmbenchKernel {
+            name: "rd",
+            description: "memory reading and summing",
+            reads_per_op: 1,
+            writes_per_op: 0,
+            copy_factor: 1.0,
+        },
+        LmbenchKernel {
+            name: "frd",
+            description: "file read via OS read interface",
+            reads_per_op: 1,
+            writes_per_op: 0,
+            copy_factor: 2.0,
+        },
+        LmbenchKernel {
+            name: "wr",
+            description: "memory writing",
+            reads_per_op: 0,
+            writes_per_op: 1,
+            copy_factor: 1.0,
+        },
+        LmbenchKernel {
+            name: "fwr",
+            description: "file write via OS write interface",
+            reads_per_op: 0,
+            writes_per_op: 1,
+            copy_factor: 2.0,
+        },
+        LmbenchKernel {
+            name: "cp",
+            description: "memory copy",
+            reads_per_op: 1,
+            writes_per_op: 1,
+            copy_factor: 1.0,
+        },
+        LmbenchKernel {
+            name: "fcp",
+            description: "file copy via OS interfaces",
+            reads_per_op: 1,
+            writes_per_op: 1,
+            copy_factor: 2.0,
+        },
+        LmbenchKernel {
+            name: "bzero",
+            description: "block zeroing",
+            reads_per_op: 0,
+            writes_per_op: 1,
+            copy_factor: 1.0,
+        },
+        LmbenchKernel {
+            name: "bcopy",
+            description: "block copy",
+            reads_per_op: 1,
+            writes_per_op: 1,
+            copy_factor: 1.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_set_matches_paper() {
+        let ks = lmbench_kernels();
+        assert_eq!(ks.len(), 8);
+        for name in ["rd", "frd", "cp", "fcp", "bzero", "bcopy"] {
+            assert!(ks.iter().any(|k| k.name == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn copy_kernels_move_more_lines() {
+        let ks = lmbench_kernels();
+        let rd = ks.iter().find(|k| k.name == "rd").unwrap();
+        let fcp = ks.iter().find(|k| k.name == "fcp").unwrap();
+        assert!(fcp.lines_per_op() > rd.lines_per_op());
+    }
+
+    #[test]
+    fn read_fracs() {
+        let ks = lmbench_kernels();
+        assert_eq!(ks.iter().find(|k| k.name == "rd").unwrap().read_frac(), 1.0);
+        assert_eq!(
+            ks.iter().find(|k| k.name == "bzero").unwrap().read_frac(),
+            0.0
+        );
+        assert_eq!(ks.iter().find(|k| k.name == "cp").unwrap().read_frac(), 0.5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Roofline model (paper Figure 3) and machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A machine roofline: peak compute and peak memory bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use noc_workloads::Machine;
+/// let m = Machine::new("a100-like", 312.0, 2.0);
+/// // Below the ridge point, bandwidth-bound:
+/// assert!(m.attainable_tflops(10.0) < m.peak_tflops);
+/// // Far above it, compute-bound:
+/// assert_eq!(m.attainable_tflops(1000.0), 312.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak FP16 compute in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Sustained memory bandwidth in TB/s.
+    pub mem_bw_tbs: f64,
+}
+
+impl Machine {
+    /// Describe a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either peak is non-positive.
+    pub fn new(name: impl Into<String>, peak_tflops: f64, mem_bw_tbs: f64) -> Self {
+        assert!(peak_tflops > 0.0 && mem_bw_tbs > 0.0);
+        Machine {
+            name: name.into(),
+            peak_tflops,
+            mem_bw_tbs,
+        }
+    }
+
+    /// Arithmetic intensity (FLOP/byte) at which the machine transitions
+    /// from bandwidth-bound to compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_tflops / self.mem_bw_tbs
+    }
+
+    /// Attainable TFLOP/s at arithmetic intensity `ai` (FLOP/byte).
+    pub fn attainable_tflops(&self, ai: f64) -> f64 {
+        (ai * self.mem_bw_tbs).min(self.peak_tflops)
+    }
+
+    /// Time in seconds to execute `gflops` of work moving `gbytes` of
+    /// data (the max of the compute and memory rooflines).
+    pub fn time_s(&self, gflops: f64, gbytes: f64) -> f64 {
+        let compute = gflops / (self.peak_tflops * 1000.0);
+        let memory = gbytes / (self.mem_bw_tbs * 1000.0);
+        compute.max(memory)
+    }
+}
+
+/// An application class plotted on Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPoint {
+    /// Label ("AI training", "web service", …).
+    pub name: String,
+    /// Arithmetic intensity in FLOP/byte.
+    pub arithmetic_intensity: f64,
+}
+
+/// The application classes of Figure 3, ordered by intensity: AI has the
+/// highest arithmetic intensity, general-purpose server workloads the
+/// lowest.
+pub fn figure3_app_points() -> Vec<AppPoint> {
+    let p = |name: &str, ai: f64| AppPoint {
+        name: name.to_string(),
+        arithmetic_intensity: ai,
+    };
+    vec![
+        p("web service", 0.06),
+        p("key-value store", 0.12),
+        p("database/OLTP", 0.25),
+        p("big-data analytics", 0.5),
+        p("HPC stencil", 4.0),
+        p("AI inference (CNN)", 40.0),
+        p("AI training (transformer)", 120.0),
+        p("AI training (CNN)", 180.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point_divides_regimes() {
+        let m = Machine::new("m", 100.0, 2.0);
+        let ridge = m.ridge_point();
+        assert_eq!(ridge, 50.0);
+        assert!(m.attainable_tflops(ridge * 0.5) < m.peak_tflops);
+        assert_eq!(m.attainable_tflops(ridge * 2.0), m.peak_tflops);
+    }
+
+    #[test]
+    fn time_is_max_of_bounds() {
+        let m = Machine::new("m", 1.0, 1.0); // 1 TFLOP/s, 1 TB/s
+        // 1000 GFLOP, 1 GB → compute-bound: 1 s vs 1 ms.
+        assert!((m.time_s(1000.0, 1.0) - 1.0).abs() < 1e-9);
+        // 1 GFLOP, 1000 GB → memory-bound: 1 s.
+        assert!((m.time_s(1.0, 1000.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ai_has_highest_intensity_in_figure3() {
+        let pts = figure3_app_points();
+        let max = pts
+            .iter()
+            .max_by(|a, b| {
+                a.arithmetic_intensity
+                    .partial_cmp(&b.arithmetic_intensity)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert!(max.name.contains("AI"), "paper: AI intensity is highest");
+        let min = pts
+            .iter()
+            .min_by(|a, b| {
+                a.arithmetic_intensity
+                    .partial_cmp(&b.arithmetic_intensity)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert!(min.arithmetic_intensity < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_peaks() {
+        let _ = Machine::new("bad", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! A server-application request model (§3.1.1): client requests over
+//! big data whose popularity follows a Zipfian distribution, with
+//! bursty arrivals and a read-heavy operation mix — the traffic a
+//! key-value store or web tier presents to the memory system.
+
+use crate::zipf::Zipf;
+use noc_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One memory operation implied by serving a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerOp {
+    /// Cache-line address touched.
+    pub line: u64,
+    /// Whether the touch is a write.
+    pub is_write: bool,
+}
+
+/// Parameters of the server application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerAppParams {
+    /// Distinct objects in the store.
+    pub objects: usize,
+    /// Zipf skew of object popularity (≈0.99 for memcached-like).
+    pub skew: f64,
+    /// Cache lines touched per request (object size / line size).
+    pub lines_per_request: u32,
+    /// Fraction of requests that mutate their object.
+    pub write_frac: f64,
+    /// Mean requests per kilocycle per front-end core.
+    pub requests_per_kcycle: f64,
+}
+
+impl Default for ServerAppParams {
+    /// A memcached-flavoured default: 64k objects, skew 0.99, 4-line
+    /// objects, 10% writes.
+    fn default() -> Self {
+        ServerAppParams {
+            objects: 65_536,
+            skew: 0.99,
+            lines_per_request: 4,
+            write_frac: 0.1,
+            requests_per_kcycle: 20.0,
+        }
+    }
+}
+
+/// Generates per-cycle memory operations for one front-end core.
+///
+/// # Example
+///
+/// ```
+/// use noc_workloads::{ServerApp, ServerAppParams};
+/// let mut app = ServerApp::new(ServerAppParams::default(), 7);
+/// let mut ops = 0;
+/// for _ in 0..10_000 {
+///     ops += app.cycle_ops().len();
+/// }
+/// assert!(ops > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerApp {
+    params: ServerAppParams,
+    zipf: Zipf,
+    rng: SimRng,
+    /// Operations queued from the in-flight request.
+    pending: Vec<ServerOp>,
+    /// Cycles until the next request arrives.
+    gap: u64,
+}
+
+impl ServerApp {
+    /// Create a generator with its own seeded RNG.
+    pub fn new(params: ServerAppParams, seed: u64) -> Self {
+        ServerApp {
+            zipf: Zipf::new(params.objects, params.skew),
+            rng: SimRng::seed_from(seed),
+            pending: Vec::new(),
+            gap: 0,
+            params,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> ServerAppParams {
+        self.params
+    }
+
+    fn start_request(&mut self) {
+        let object = self.zipf.sample(&mut self.rng) as u64;
+        let is_write = self.rng.gen_bool(self.params.write_frac);
+        let base = object * u64::from(self.params.lines_per_request);
+        for i in 0..self.params.lines_per_request {
+            self.pending.push(ServerOp {
+                line: base + u64::from(i),
+                is_write,
+            });
+        }
+    }
+
+    /// Advance one cycle and return the operations to issue this cycle
+    /// (at most one — cores serialize their misses at this layer; MLP is
+    /// the memory system's job).
+    pub fn cycle_ops(&mut self) -> Vec<ServerOp> {
+        if self.pending.is_empty() {
+            if self.gap == 0 {
+                let p = self.params.requests_per_kcycle / 1000.0;
+                self.gap = self.rng.gen_gap(p.min(1.0));
+            }
+            self.gap = self.gap.saturating_sub(1);
+            if self.gap == 0 {
+                self.start_request();
+            }
+        }
+        match self.pending.pop() {
+            Some(op) => vec![op],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_rate_roughly_matches() {
+        let params = ServerAppParams {
+            requests_per_kcycle: 50.0,
+            lines_per_request: 2,
+            ..Default::default()
+        };
+        let mut app = ServerApp::new(params, 3);
+        let ops: usize = (0..100_000).map(|_| app.cycle_ops().len()).sum();
+        // 50 req/kcycle × 100 kcycle × 2 lines = ~10_000 ops.
+        assert!((6_000..14_000).contains(&ops), "ops {ops}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut app = ServerApp::new(ServerAppParams::default(), 5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..200_000 {
+            for op in app.cycle_ops() {
+                *counts.entry(op.line / 4).or_insert(0u32) += 1;
+            }
+        }
+        let total: u32 = counts.values().sum();
+        let mut sorted: Vec<u32> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top100: u32 = sorted.iter().take(100).sum();
+        assert!(
+            f64::from(top100) / f64::from(total) > 0.2,
+            "top-100 objects carry {}%, expected Zipfian head",
+            100 * top100 / total
+        );
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let params = ServerAppParams {
+            write_frac: 0.3,
+            ..Default::default()
+        };
+        let mut app = ServerApp::new(params, 9);
+        let mut writes = 0u32;
+        let mut total = 0u32;
+        for _ in 0..200_000 {
+            for op in app.cycle_ops() {
+                total += 1;
+                if op.is_write {
+                    writes += 1;
+                }
+            }
+        }
+        let frac = f64::from(writes) / f64::from(total);
+        assert!((frac - 0.3).abs() < 0.05, "write frac {frac}");
+    }
+
+    #[test]
+    fn requests_touch_consecutive_lines() {
+        let params = ServerAppParams {
+            lines_per_request: 4,
+            requests_per_kcycle: 1000.0,
+            ..Default::default()
+        };
+        let mut app = ServerApp::new(params, 1);
+        // Collect one full request's ops.
+        let mut ops = Vec::new();
+        while ops.len() < 4 {
+            ops.extend(app.cycle_ops());
+        }
+        let base = ops.iter().map(|o| o.line).min().unwrap();
+        let mut lines: Vec<u64> = ops.iter().map(|o| o.line - base).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut app = ServerApp::new(ServerAppParams::default(), seed);
+            (0..50_000)
+                .flat_map(|_| app.cycle_ops())
+                .map(|o| o.line)
+                .sum::<u64>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

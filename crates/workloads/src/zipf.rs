@@ -1,0 +1,112 @@
+//! Zipfian sampling.
+//!
+//! The paper's server-application analysis (§3.1.1) notes that
+//! datacenter data follows a Zipfian distribution; workload generators
+//! use this sampler for skewed address streams.
+
+use noc_sim::SimRng;
+
+/// A Zipf(θ) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// Rank 0 is the most popular item. θ = 0 degenerates to uniform.
+///
+/// # Example
+///
+/// ```
+/// use noc_workloads::Zipf;
+/// use noc_sim::SimRng;
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `theta` (≥ 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero items");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_head_dominates() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::seed_from(7);
+        let n = 100_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // With θ≈1 the top-10 of 1000 items should draw ~30% of samples.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.2, "head fraction {frac}");
+    }
+
+    #[test]
+    fn zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SimRng::seed_from(9);
+        let n = 100_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        let frac = head as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::new(16, 1.2);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

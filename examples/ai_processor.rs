@@ -1,0 +1,52 @@
+//! The paper's AI-Processor scenario: 64 AI cores on vertical rings,
+//! the memory system on horizontal rings, driven at the Table 7
+//! read/write mixes. Prints the achieved NoC bandwidth (paper headline:
+//! 16 TB/s at a balanced mix).
+//!
+//! ```text
+//! cargo run --release --example ai_processor
+//! ```
+
+use noc_ai::{AiConfig, AiEngine, AiProcessor, AiTraffic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AiConfig::default();
+    println!(
+        "building AI processor: {} cores on {} vertical rings, {} L2 slices on {} horizontal rings, {} HBM stacks @ {} GHz",
+        cfg.cores(),
+        cfg.v_rings,
+        cfg.l2s(),
+        cfg.h_rings,
+        cfg.hbm_count,
+        cfg.clock_ghz
+    );
+
+    println!("\nR:W ratio   Total    Read    Write   DMA   (TB/s)");
+    for (read, write) in [(1u32, 1u32), (2, 1), (4, 1), (3, 2), (1, 0), (0, 1)] {
+        let proc = AiProcessor::build(cfg.clone())?;
+        let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(read, write));
+        let report = engine.run(2_000, 8_000);
+        println!(
+            "{read}:{write}        {:>5.1}   {:>5.1}   {:>5.1}  {:>5.1}",
+            report.total_tbs(),
+            report.read_tbs(),
+            report.write_tbs(),
+            report.dma_tbs()
+        );
+    }
+    println!("\npaper Table 7: 1:1 = 16.0 total; 1:0 = 11.2; 0:1 = 10.0");
+
+    // NoC mechanism counters from the balanced run.
+    let proc = AiProcessor::build(cfg)?;
+    let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+    engine.run(2_000, 8_000);
+    let stats = engine.processor().net.stats();
+    println!(
+        "\nmechanisms during 1:1 run: {} bridge crossings, {} deflections, {} I-tags, {} E-tags",
+        stats.bridge_crossings.get(),
+        stats.deflections.get(),
+        stats.itags_placed.get(),
+        stats.etags_placed.get()
+    );
+    Ok(())
+}

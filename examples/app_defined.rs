@@ -1,0 +1,75 @@
+//! "Application defined" in the most literal sense: the SoC is a JSON
+//! document. Parse it, compile it into a cycle-accurate network, print
+//! a Graphviz rendering, and push traffic through it.
+//!
+//! ```text
+//! cargo run --example app_defined
+//! cargo run --example app_defined | grep -A999 digraph > soc.dot && dot -Tsvg soc.dot
+//! ```
+
+use noc_core::render::{summary, to_dot};
+use noc_core::{FlitClass, SocSpec};
+
+const SPEC: &str = r#"{
+  "name": "edge-inference-soc",
+  "chiplets": [
+    { "name": "ai-die", "rings": [
+      { "kind": "Full", "stations": 6,
+        "devices": [
+          { "name": "npu0", "station": 0 },
+          { "name": "npu1", "station": 1 },
+          { "name": "npu2", "station": 2 },
+          { "name": "l2",   "station": 4 } ] } ] },
+    { "name": "cpu-die", "rings": [
+      { "kind": "Full", "stations": 4,
+        "devices": [
+          { "name": "cpu", "station": 0 },
+          { "name": "ddr", "station": 2 } ] } ] },
+    { "name": "io-die", "rings": [
+      { "kind": "Half", "stations": 4,
+        "devices": [
+          { "name": "camera", "station": 0 },
+          { "name": "eth",    "station": 1 } ] } ] }
+  ],
+  "bridges": [
+    { "level": "L2", "latency": 6,
+      "a": { "chiplet": "ai-die",  "ring": 0, "station": 5 },
+      "b": { "chiplet": "cpu-die", "ring": 0, "station": 3 } },
+    { "level": "L2", "latency": 6,
+      "a": { "chiplet": "cpu-die", "ring": 0, "station": 1 },
+      "b": { "chiplet": "io-die",  "ring": 0, "station": 3 } }
+  ]
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SocSpec::from_json(SPEC)?;
+    let (mut net, names) = spec.build()?;
+
+    println!("== {} ==", spec.name);
+    print!("{}", summary(net.topology()));
+    println!("\n-- Graphviz (pipe through `dot -Tsvg`) --\n{}", to_dot(net.topology()));
+
+    // Camera frames flow camera → npu; results npu → cpu; cpu fetches ddr.
+    let mut sent = 0u64;
+    for cycle in 0..5_000u64 {
+        if cycle % 8 == 0 {
+            let npu = ["npu0", "npu1", "npu2"][(cycle as usize / 8) % 3];
+            let _ = net.enqueue(names["camera"], names[npu], FlitClass::Data, 64, sent);
+            let _ = net.enqueue(names[npu], names["l2"], FlitClass::Request, 16, sent);
+            let _ = net.enqueue(names["cpu"], names["ddr"], FlitClass::Request, 16, sent);
+            sent += 1;
+        }
+        net.tick();
+        for (_, &node) in &names {
+            while net.pop_delivered(node).is_some() {}
+        }
+    }
+    let s = net.stats();
+    println!(
+        "-- after 5k cycles: {} delivered, mean latency {:.1}, {} bridge crossings --",
+        s.delivered.get(),
+        s.mean_total_latency(),
+        s.bridge_crossings.get()
+    );
+    Ok(())
+}

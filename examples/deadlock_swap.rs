@@ -1,0 +1,83 @@
+//! Force the paper's Figure 9 cross-ring deadlock and watch the SWAP
+//! mechanism break it: two rings flood each other through one RBRG-L2
+//! with minimal buffering. Without SWAP throughput collapses; with SWAP
+//! the bridge enters deadlock-resolution mode and traffic keeps moving.
+//!
+//! ```text
+//! cargo run --release --example deadlock_swap
+//! ```
+
+use noc_core::{
+    BridgeConfig, FlitClass, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder,
+};
+
+fn build(swap: bool) -> (Network, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let d0 = b.add_chiplet("die0");
+    let d1 = b.add_chiplet("die1");
+    let r0 = b.add_ring(d0, RingKind::Full, 6).expect("ring");
+    let r1 = b.add_ring(d1, RingKind::Full, 6).expect("ring");
+    let a: Vec<NodeId> = (0..4)
+        .map(|i| b.add_node(format!("a{i}"), r0, i as u16).expect("node"))
+        .collect();
+    let z: Vec<NodeId> = (0..4)
+        .map(|i| b.add_node(format!("z{i}"), r1, i as u16).expect("node"))
+        .collect();
+    b.add_bridge(
+        BridgeConfig::l2()
+            .with_latency(2)
+            .with_buffer_cap(2)
+            .with_width(1)
+            .with_swap(swap)
+            .with_deadlock_threshold(48)
+            .with_reserved_cap(2),
+        r0,
+        5,
+        r1,
+        5,
+    )
+    .expect("bridge");
+    let cfg = NetworkConfig {
+        eject_queue_cap: 2,
+        ..NetworkConfig::default()
+    };
+    (Network::new(b.build().expect("valid"), cfg), a, z)
+}
+
+fn main() {
+    for swap in [false, true] {
+        let (mut net, a, z) = build(swap);
+        println!(
+            "\n=== SWAP {} ===",
+            if swap { "ENABLED" } else { "DISABLED" }
+        );
+        let mut last = 0u64;
+        for window in 0..6 {
+            for step in 0..5_000u64 {
+                let rr = (window * 5_000 + step) as usize;
+                for (i, &src) in a.iter().enumerate() {
+                    let _ = net.enqueue(src, z[(i + rr) % 4], FlitClass::Data, 64, 0);
+                }
+                for (i, &src) in z.iter().enumerate() {
+                    let _ = net.enqueue(src, a[(i + rr) % 4], FlitClass::Data, 64, 0);
+                }
+                net.tick();
+                for &n in a.iter().chain(&z) {
+                    while net.pop_delivered(n).is_some() {}
+                }
+            }
+            let now = net.stats().delivered.get();
+            println!(
+                "  after {:>6} cycles: {:>6} delivered ({:>5} this window) | DRM entries {}, swaps {}",
+                (window + 1) * 5_000,
+                now,
+                now - last,
+                net.stats().drm_entries.get(),
+                net.stats().swaps.get()
+            );
+            last = now;
+        }
+    }
+    println!("\nWithout SWAP the per-window delivery rate collapses once the rings wedge;");
+    println!("with SWAP the RBRG-L2 detects the stall, enters DRM, and keeps flits flowing.");
+}

@@ -1,0 +1,124 @@
+//! Cross-crate property tests: coherence + NoC invariants under random
+//! multi-chiplet traffic (DESIGN.md §6, invariants 1, 7, 8).
+
+use noc_chi::{
+    CoherentSystem, LineAddr, LlcParams, MemoryParams, ReadKind, SystemSpec,
+};
+use noc_core::{
+    BridgeConfig, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder,
+};
+use proptest::prelude::*;
+
+/// Two-die coherent system with configurable geometry.
+fn build(ring_stations: u16, rn_per_die: usize) -> (CoherentSystem, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let d0 = b.add_chiplet("d0");
+    let d1 = b.add_chiplet("d1");
+    let r0 = b.add_ring(d0, RingKind::Full, ring_stations).unwrap();
+    let r1 = b.add_ring(d1, RingKind::Full, ring_stations).unwrap();
+    let mut rns = Vec::new();
+    for i in 0..rn_per_die {
+        rns.push(b.add_node(format!("a{i}"), r0, i as u16).unwrap());
+        rns.push(b.add_node(format!("b{i}"), r1, i as u16).unwrap());
+    }
+    let hn0 = b.add_node("hn0", r0, ring_stations - 2).unwrap();
+    let hn1 = b.add_node("hn1", r1, ring_stations - 2).unwrap();
+    let sn0 = b.add_node("sn0", r0, ring_stations - 3).unwrap();
+    let sn1 = b.add_node("sn1", r1, ring_stations - 3).unwrap();
+    b.add_bridge(BridgeConfig::l2(), r0, ring_stations - 1, r1, ring_stations - 1)
+        .unwrap();
+    let net = Network::new(b.build().unwrap(), NetworkConfig::default());
+    let sys = CoherentSystem::new(
+        net,
+        SystemSpec {
+            requesters: rns.clone(),
+            home_nodes: vec![hn0, hn1],
+            memories: vec![sn0, sn1],
+            mem_params: MemoryParams::ddr4(),
+            llc: LlcParams::default(),
+            line_bytes: 64,
+            local_hit_latency: 10,
+            hn_latency: 12,
+            snoop_latency: 6,
+        },
+    );
+    (sys, rns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random cross-die coherent traffic always drains, never loses a
+    /// transaction, and never yields two writable copies of a line.
+    #[test]
+    fn coherent_traffic_conservation_and_swmr(
+        stations in 6u16..12,
+        rn_per_die in 2usize..4,
+        ops in proptest::collection::vec((0u8..4, 0u64..24), 40..150),
+    ) {
+        let (mut sys, rns) = build(stations, rn_per_die);
+        let mut issued = 0u64;
+        for &(op, line) in &ops {
+            let rn = rns[(line as usize * 7 + op as usize) % rns.len()];
+            let addr = LineAddr(line);
+            match op {
+                0 => { sys.write(rn, addr); issued += 1; }
+                1 => {
+                    if sys.write_back(rn, addr).is_some() {
+                        issued += 1;
+                    }
+                }
+                2 => { sys.read(rn, addr, ReadKind::Unique); issued += 1; }
+                _ => { sys.read(rn, addr, ReadKind::Shared); issued += 1; }
+            }
+            for _ in 0..3 {
+                sys.tick();
+            }
+        }
+        let mut budget = 300_000u64;
+        while sys.outstanding() > 0 && budget > 0 {
+            sys.tick();
+            budget -= 1;
+        }
+        prop_assert_eq!(sys.outstanding(), 0, "stuck transactions");
+        prop_assert_eq!(sys.take_completions().len() as u64, issued);
+        for line in 0..24u64 {
+            let writable = rns
+                .iter()
+                .filter(|&&rn| sys.rn_state(rn, LineAddr(line)).writable())
+                .count();
+            prop_assert!(writable <= 1, "line {} has {} writers", line, writable);
+        }
+    }
+
+    /// The full coherent stack is deterministic.
+    #[test]
+    fn coherent_stack_determinism(
+        ops in proptest::collection::vec((0u8..3, 0u64..16), 20..80),
+    ) {
+        let run = || {
+            let (mut sys, rns) = build(8, 3);
+            for &(op, line) in &ops {
+                let rn = rns[(line as usize + op as usize) % rns.len()];
+                match op {
+                    0 => { sys.write(rn, LineAddr(line)); }
+                    _ => { sys.read(rn, LineAddr(line), ReadKind::Shared); }
+                }
+                sys.tick();
+                sys.tick();
+            }
+            for _ in 0..100_000 {
+                if sys.outstanding() == 0 { break; }
+                sys.tick();
+            }
+            let stats = sys.network().stats();
+            (
+                stats.delivered.get(),
+                stats.deflections.get(),
+                stats.bridge_crossings.get(),
+                stats.hops.sum(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

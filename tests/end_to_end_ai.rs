@@ -1,0 +1,118 @@
+//! End-to-end AI-Processor integration: bandwidth, routing invariants
+//! and the Table 7 / Figure 14 shapes at reduced scale.
+
+use noc_ai::{AiConfig, AiEngine, AiProcessor, AiTraffic};
+
+fn reduced() -> AiConfig {
+    AiConfig {
+        v_rings: 4,
+        cores_per_vring: 4,
+        h_rings: 3,
+        l2_per_hring: 4,
+        hbm_count: 3,
+        dma_count: 3,
+        llc_count: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn xy_routing_is_one_ring_change_for_all_core_l2_pairs() {
+    let p = AiProcessor::build(reduced()).expect("builds");
+    let topo = p.net.topology();
+    let route = p.net.route();
+    for &core in &p.map.cores {
+        for &l2 in &p.map.l2s {
+            let cr = topo.nodes()[core.index()].ring;
+            let lr = topo.nodes()[l2.index()].ring;
+            assert_eq!(route.ring_changes(cr, lr), Some(1));
+        }
+    }
+}
+
+#[test]
+fn sustained_run_conserves_transactions() {
+    let proc = AiProcessor::build(reduced()).expect("builds");
+    let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+    let rep = e.run(500, 3_000);
+    assert!(rep.total_tbs() > 0.5);
+    // The network never leaks flits: what was enqueued is delivered or
+    // still resident.
+    let net = &e.processor().net;
+    let s = net.stats();
+    assert!(s.enqueued.get() >= s.delivered.get());
+    assert_eq!(
+        s.enqueued.get() - s.delivered.get(),
+        net.in_flight(),
+        "accounting identity"
+    );
+}
+
+#[test]
+fn dma_stays_on_local_horizontal_rings() {
+    let p = AiProcessor::build(reduced()).expect("builds");
+    let topo = p.net.topology();
+    let route = p.net.route();
+    for (h, &hbm) in p.map.hbms.iter().enumerate() {
+        for l2 in p.map.l2s_on_ring_of_hbm(h) {
+            let a = topo.nodes()[hbm.index()].ring;
+            let b = topo.nodes()[l2.index()].ring;
+            assert_eq!(route.ring_changes(a, b), Some(0), "{hbm}↔{l2}");
+        }
+    }
+}
+
+#[test]
+fn ratio_sweep_shape_holds_at_reduced_scale() {
+    let bw = |r, w| {
+        let proc = AiProcessor::build(reduced()).expect("builds");
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(r, w));
+        e.run(800, 4_000).total_tbs()
+    };
+    let balanced = bw(1, 1);
+    let read_only = bw(1, 0);
+    let write_only = bw(0, 1);
+    assert!(
+        balanced > read_only && balanced > write_only,
+        "Table 7 shape: balanced {balanced:.1} vs 1:0 {read_only:.1} vs 0:1 {write_only:.1}"
+    );
+}
+
+#[test]
+fn deterministic_bandwidth_runs() {
+    let run = || {
+        let proc = AiProcessor::build(reduced()).expect("builds");
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(2, 1));
+        let rep = e.run(300, 2_000);
+        (rep.read_bytes, rep.write_bytes, rep.dma_bytes)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bigger_mesh_more_bandwidth() {
+    let small = {
+        let proc = AiProcessor::build(reduced()).expect("builds");
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+        e.run(800, 4_000).total_tbs()
+    };
+    let large = {
+        let proc = AiProcessor::build(AiConfig {
+            v_rings: 8,
+            cores_per_vring: 4,
+            h_rings: 4,
+            l2_per_hring: 6,
+            hbm_count: 4,
+            dma_count: 4,
+            llc_count: 4,
+            ..Default::default()
+        })
+        .expect("builds");
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+        e.run(800, 4_000).total_tbs()
+    };
+    assert!(
+        large > small,
+        "scaling the mesh must scale bandwidth ({small:.1} → {large:.1})"
+    );
+}

@@ -1,0 +1,187 @@
+//! Transport parity: the CHI protocol must reach the same logical
+//! outcome (final MESI states, completion counts, coherence invariants)
+//! whether it runs over the bufferless multi-ring NoC, the buffered
+//! mesh, or the hub-and-spoke — only timing may differ.
+
+use noc_baseline::{BufferedMesh, HubConfig, HubSpoke, MeshConfig};
+use noc_chi::system::ChiTransport;
+use noc_chi::{
+    CoherentSystem, LineAddr, LlcParams, MemoryParams, MesiState, ReadKind, SystemSpec,
+};
+use noc_core::{Network, NetworkConfig, NodeId, RingKind, TopologyBuilder};
+
+const RNS: usize = 4;
+
+fn spec(rns: Vec<NodeId>, hns: Vec<NodeId>, sns: Vec<NodeId>) -> SystemSpec {
+    SystemSpec {
+        requesters: rns,
+        home_nodes: hns,
+        memories: sns,
+        mem_params: MemoryParams::ddr4(),
+        llc: LlcParams::default(),
+        line_bytes: 64,
+        local_hit_latency: 10,
+        hn_latency: 12,
+        snoop_latency: 6,
+    }
+}
+
+/// A deterministic op script every transport executes.
+fn script() -> Vec<(usize, u64, u8)> {
+    let mut seed = 0xDEAD_BEEFu64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+    (0..120)
+        .map(|_| {
+            (
+                (next() % RNS as u64) as usize,
+                next() % 12,
+                (next() % 3) as u8,
+            )
+        })
+        .collect()
+}
+
+/// Run the script to quiescence; return per-line final states and the
+/// completion count.
+fn run<T: ChiTransport>(
+    mut sys: CoherentSystem<T>,
+    rns: &[NodeId],
+) -> (Vec<Vec<MesiState>>, usize) {
+    for (rn, line, op) in script() {
+        let rn = rns[rn];
+        let addr = LineAddr(line);
+        match op {
+            0 => {
+                sys.write(rn, addr);
+            }
+            _ => {
+                sys.read(rn, addr, ReadKind::Shared);
+            }
+        }
+        for _ in 0..5 {
+            sys.tick();
+        }
+    }
+    for _ in 0..300_000 {
+        if sys.outstanding() == 0 {
+            break;
+        }
+        sys.tick();
+    }
+    assert_eq!(sys.outstanding(), 0, "transport wedged");
+    let states = (0..12u64)
+        .map(|l| rns.iter().map(|&rn| sys.rn_state(rn, LineAddr(l))).collect())
+        .collect();
+    (states, sys.take_completions().len())
+}
+
+fn ring_system() -> (CoherentSystem<Network>, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let die = b.add_chiplet("die");
+    let r = b.add_ring(die, RingKind::Full, 16).unwrap();
+    let rns: Vec<NodeId> = (0..RNS)
+        .map(|i| b.add_node(format!("cpu{i}"), r, (i * 2) as u16).unwrap())
+        .collect();
+    let hns = vec![
+        b.add_node("hn0", r, 9).unwrap(),
+        b.add_node("hn1", r, 11).unwrap(),
+    ];
+    let sns = vec![
+        b.add_node("sn0", r, 13).unwrap(),
+        b.add_node("sn1", r, 15).unwrap(),
+    ];
+    let net = Network::new(b.build().unwrap(), NetworkConfig::default());
+    let sys = CoherentSystem::new(net, spec(rns.clone(), hns, sns));
+    (sys, rns)
+}
+
+fn mesh_system() -> (CoherentSystem<BufferedMesh>, Vec<NodeId>) {
+    let mesh = BufferedMesh::new(MeshConfig {
+        k: 3,
+        ..Default::default()
+    });
+    let rns: Vec<NodeId> = (0..RNS as u32).map(NodeId).collect();
+    let hns = vec![NodeId(4), NodeId(5)];
+    let sns = vec![NodeId(6), NodeId(7)];
+    let sys = CoherentSystem::new(mesh, spec(rns.clone(), hns, sns));
+    (sys, rns)
+}
+
+fn hub_system() -> (CoherentSystem<HubSpoke>, Vec<NodeId>) {
+    let hub = HubSpoke::new(HubConfig {
+        chiplets: 3,
+        per_chiplet: 4,
+        ..Default::default()
+    });
+    let rns: Vec<NodeId> = (0..RNS as u32).map(NodeId).collect();
+    let hns = vec![NodeId(4), NodeId(5)];
+    let sns = vec![NodeId(8), NodeId(9)];
+    let sys = CoherentSystem::new(hub, spec(rns.clone(), hns, sns));
+    (sys, rns)
+}
+
+fn check_invariants(states: &[Vec<MesiState>]) {
+    for (line, holders) in states.iter().enumerate() {
+        let writable = holders.iter().filter(|s| s.writable()).count();
+        let readable = holders.iter().filter(|s| s.readable()).count();
+        assert!(writable <= 1, "line {line}: {writable} writers");
+        if writable == 1 {
+            assert_eq!(readable, 1, "line {line}: M/E must be the sole copy");
+        }
+    }
+}
+
+#[test]
+fn all_transports_complete_the_script() {
+    let (sys, rns) = ring_system();
+    let (ring_states, ring_done) = run(sys, &rns);
+    check_invariants(&ring_states);
+
+    let (sys, rns) = mesh_system();
+    let (mesh_states, mesh_done) = run(sys, &rns);
+    check_invariants(&mesh_states);
+
+    let (sys, rns) = hub_system();
+    let (hub_states, hub_done) = run(sys, &rns);
+    check_invariants(&hub_states);
+
+    // Same script → same number of completions on every transport.
+    assert_eq!(ring_done, mesh_done);
+    assert_eq!(ring_done, hub_done);
+    assert_eq!(ring_done, 120);
+}
+
+#[test]
+fn final_ownership_matches_across_transports_for_serial_script() {
+    // With fully serialized operations (run each to completion before
+    // the next), the final states must be *identical* across
+    // transports — the protocol outcome is timing-independent.
+    fn run_serial<T: ChiTransport>(
+        mut sys: CoherentSystem<T>,
+        rns: &[NodeId],
+    ) -> Vec<Vec<MesiState>> {
+        for (rn, line, op) in script().into_iter().take(60) {
+            let rn = rns[rn];
+            let addr = LineAddr(line);
+            let txn = match op {
+                0 => sys.write(rn, addr),
+                _ => sys.read(rn, addr, ReadKind::Shared),
+            };
+            sys.run_until_complete(txn, 300_000).expect("completes");
+        }
+        (0..12u64)
+            .map(|l| rns.iter().map(|&rn| sys.rn_state(rn, LineAddr(l))).collect())
+            .collect()
+    }
+    let (sys, rns) = ring_system();
+    let ring = run_serial(sys, &rns);
+    let (sys, rns) = mesh_system();
+    let mesh = run_serial(sys, &rns);
+    let (sys, rns) = hub_system();
+    let hub = run_serial(sys, &rns);
+    assert_eq!(ring, mesh, "ring vs mesh final states differ");
+    assert_eq!(ring, hub, "ring vs hub final states differ");
+}
