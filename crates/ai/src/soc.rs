@@ -168,12 +168,11 @@ pub fn build_topology(cfg: &AiConfig) -> Result<(Topology, AiMap), TopologyError
     // on port 0; one bridge endpoint per vertical ring spread on port 1.
     let mut hrings: Vec<RingId> = Vec::new();
     let mut h_bridge_station: Vec<Vec<u16>> = Vec::new();
-    let mem_share = |count: usize, h: usize| -> usize {
-        (0..count).filter(|i| i % cfg.h_rings == h).count()
-    };
+    let mem_share =
+        |count: usize, h: usize| -> usize { (0..count).filter(|i| i % cfg.h_rings == h).count() };
     for h in 0..cfg.h_rings {
-        let shares = mem_share(cfg.hbm_count, h) + mem_share(cfg.dma_count, h)
-            + mem_share(cfg.llc_count, h);
+        let shares =
+            mem_share(cfg.hbm_count, h) + mem_share(cfg.dma_count, h) + mem_share(cfg.llc_count, h);
         let devices = cfg.l2_per_hring + shares;
         let stations = devices.max(cfg.v_rings) as u16;
         let ring = b.add_ring(die, RingKind::Full, stations)?;
@@ -278,9 +277,7 @@ mod tests {
         let mut p = AiProcessor::build(AiConfig::default()).unwrap();
         let core = p.map.cores[0];
         let l2 = p.map.l2s[17];
-        p.net
-            .enqueue(core, l2, FlitClass::Request, 16, 0)
-            .unwrap();
+        p.net.enqueue(core, l2, FlitClass::Request, 16, 0).unwrap();
         for _ in 0..200 {
             p.net.tick();
         }

@@ -377,8 +377,7 @@ impl AiEngine {
             while let Some(f) = self.proc.net.pop_delivered(llc) {
                 match self.tokens[&f.token] {
                     Kind::LlcReq { .. } => {
-                        self.llc_pending[i]
-                            .push_back((now + self.traffic.llc_latency, f.token));
+                        self.llc_pending[i].push_back((now + self.traffic.llc_latency, f.token));
                     }
                     other => unreachable!("LLC received {other:?}"),
                 }
@@ -667,7 +666,10 @@ mod llc_tests {
         };
         let direct = bw(false);
         let routed = bw(true);
-        assert!(routed > 0.5 * direct, "direct {direct:.1} vs via-LLC {routed:.1}");
+        assert!(
+            routed > 0.5 * direct,
+            "direct {direct:.1} vs via-LLC {routed:.1}"
+        );
     }
 
     #[test]

@@ -365,7 +365,11 @@ struct MemHarnessRun {
 impl MemHarnessRun {
     fn new(requesters: &[usize]) -> Self {
         MemHarnessRun {
-            index: requesters.iter().enumerate().map(|(i, &r)| (r, i)).collect(),
+            index: requesters
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, i))
+                .collect(),
             stats: vec![RequesterStats::default(); requesters.len()],
             outstanding: vec![0; requesters.len()],
             read_bytes: 0,

@@ -147,14 +147,7 @@ impl Interconnect for HubSpoke {
         self.cfg.chiplets * self.cfg.per_chiplet
     }
 
-    fn offer(
-        &mut self,
-        src: usize,
-        dst: usize,
-        _class: FlitClass,
-        bytes: u32,
-        token: u64,
-    ) -> bool {
+    fn offer(&mut self, src: usize, dst: usize, _class: FlitClass, bytes: u32, token: u64) -> bool {
         assert!(src < self.endpoints() && dst < self.endpoints());
         assert_ne!(src, dst);
         let sc = self.chiplet_of(src);
@@ -245,7 +238,10 @@ impl Interconnect for HubSpoke {
         self.rr_hub = (self.rr_hub + 1) % c;
         // Hub→chiplet arrivals → local ring → delivery.
         for ch in 0..c {
-            while self.from_hub[ch].front().is_some_and(|&(t, _)| t <= self.now) {
+            while self.from_hub[ch]
+                .front()
+                .is_some_and(|&(t, _)| t <= self.now)
+            {
                 let (_, mut msg) = self.from_hub[ch].pop_front().expect("checked");
                 msg.hops += 1;
                 self.local[ch].push_back((self.now + self.cfg.intra_latency, msg));
@@ -349,7 +345,7 @@ mod tests {
         }
         // 28 messages through a 1-flit/cycle switch: at least 28 cycles
         // of pure serialization beyond the pipeline latency.
-        assert!(t as u64 >= total + 2 * cfg.link_latency);
+        assert!(t >= total + 2 * cfg.link_latency);
     }
 
     #[test]

@@ -161,14 +161,7 @@ impl Interconnect for BufferedMesh {
         self.cfg.k * self.cfg.k
     }
 
-    fn offer(
-        &mut self,
-        src: usize,
-        dst: usize,
-        _class: FlitClass,
-        bytes: u32,
-        token: u64,
-    ) -> bool {
+    fn offer(&mut self, src: usize, dst: usize, _class: FlitClass, bytes: u32, token: u64) -> bool {
         assert!(src < self.endpoints() && dst < self.endpoints());
         assert_ne!(src, dst, "self-send");
         if self.inputs[src][L].len() >= self.cfg.buf_cap {
@@ -217,8 +210,7 @@ impl Interconnect for BufferedMesh {
                     }
                     let nbr = self.neighbor(r, out);
                     let entry = Self::entry_port(out);
-                    if self.inputs[nbr][entry].len() + reserved[nbr][entry] < self.cfg.buf_cap
-                    {
+                    if self.inputs[nbr][entry].len() + reserved[nbr][entry] < self.cfg.buf_cap {
                         reserved[nbr][entry] += 1;
                         moves.push((r, inp, out));
                         self.rr[r][out] = (inp + 1) % PORTS;

@@ -4,9 +4,7 @@
 //! the scalability ablation of §3.4.2).
 
 use crate::traits::{Delivered, Interconnect};
-use noc_core::{
-    FlitClass, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder,
-};
+use noc_core::{FlitClass, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder};
 
 /// Wraps a [`Network`] plus an endpoint-index → [`NodeId`] mapping.
 #[derive(Debug)]
@@ -53,7 +51,10 @@ impl RingAdapter {
             .add_ring(die, RingKind::Full, n as u16)
             .expect("n > 0 stations");
         let endpoints: Vec<NodeId> = (0..n)
-            .map(|i| b.add_node(format!("ep{i}"), r, i as u16).expect("free port"))
+            .map(|i| {
+                b.add_node(format!("ep{i}"), r, i as u16)
+                    .expect("free port")
+            })
             .collect();
         let net = Network::new(b.build().expect("valid"), cfg);
         RingAdapter::new(format!("single-ring-{n}"), net, endpoints)
@@ -84,14 +85,7 @@ impl Interconnect for RingAdapter {
         self.endpoints.len()
     }
 
-    fn offer(
-        &mut self,
-        src: usize,
-        dst: usize,
-        class: FlitClass,
-        bytes: u32,
-        token: u64,
-    ) -> bool {
+    fn offer(&mut self, src: usize, dst: usize, class: FlitClass, bytes: u32, token: u64) -> bool {
         self.net
             .enqueue(
                 self.endpoints[src],

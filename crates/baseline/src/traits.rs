@@ -38,8 +38,7 @@ pub trait Interconnect {
 
     /// Offer a message; returns `false` when backpressured (retry next
     /// cycle).
-    fn offer(&mut self, src: usize, dst: usize, class: FlitClass, bytes: u32, token: u64)
-        -> bool;
+    fn offer(&mut self, src: usize, dst: usize, class: FlitClass, bytes: u32, token: u64) -> bool;
 
     /// Advance one cycle.
     fn tick(&mut self);

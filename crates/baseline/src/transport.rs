@@ -70,8 +70,8 @@ mod tests {
                 llc: LlcParams::default(),
                 line_bytes: 64,
                 local_hit_latency: 10,
-            hn_latency: 12,
-            snoop_latency: 6,
+                hn_latency: 12,
+                snoop_latency: 6,
             },
         );
         let a = LineAddr(0x42);
@@ -101,8 +101,8 @@ mod tests {
                 llc: LlcParams::default(),
                 line_bytes: 64,
                 local_hit_latency: 10,
-            hn_latency: 12,
-            snoop_latency: 6,
+                hn_latency: 12,
+                snoop_latency: 6,
             },
         );
         let a = LineAddr(7);

@@ -8,8 +8,14 @@ fn bench(c: &mut Criterion) {
     let p = LatencyProfile {
         name: "synthetic".into(),
         curve: vec![
-            LatencyPoint { noise_rate: 0.0, probe_latency: 85.0 },
-            LatencyPoint { noise_rate: 0.6, probe_latency: 700.0 },
+            LatencyPoint {
+                noise_rate: 0.0,
+                probe_latency: 85.0,
+            },
+            LatencyPoint {
+                noise_rate: 0.6,
+                probe_latency: 700.0,
+            },
         ],
         cores: 96,
         cores_per_requester: 4,

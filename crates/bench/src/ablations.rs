@@ -42,15 +42,13 @@ fn cross_ring_flood(swap: bool) -> (Network, Vec<NodeId>, Vec<NodeId>) {
 }
 
 fn run_flood(net: &mut Network, a: &[NodeId], z: &[NodeId], cycles: u64) -> u64 {
-    let mut rr = 0usize;
-    for _ in 0..cycles {
+    for rr in 0..cycles as usize {
         for (i, &src) in a.iter().enumerate() {
             let _ = net.enqueue(src, z[(i + rr) % z.len()], FlitClass::Data, 64, 0);
         }
         for (i, &src) in z.iter().enumerate() {
             let _ = net.enqueue(src, a[(i + rr) % a.len()], FlitClass::Data, 64, 0);
         }
-        rr += 1;
         net.tick();
         for &n in a.iter().chain(z) {
             while net.pop_delivered(n).is_some() {}
@@ -79,7 +77,12 @@ pub fn run_swap(scale: Scale) -> ExperimentResult {
         let d = run_flood(&mut net, &a, &z, cycles);
         delivered.push(d);
         r.push_row(vec![
-            if swap { "SWAP enabled" } else { "SWAP disabled" }.to_string(),
+            if swap {
+                "SWAP enabled"
+            } else {
+                "SWAP disabled"
+            }
+            .to_string(),
             d.to_string(),
             fnum(d as f64 / cycles as f64 * 1000.0, 1),
             net.stats().drm_entries.get().to_string(),
@@ -90,7 +93,11 @@ pub fn run_swap(scale: Scale) -> ExperimentResult {
     r.note(format!(
         "SWAP sustains {ratio:.1}x the throughput of the SWAP-less configuration once the \
          cross-ring dependency cycle forms — {}",
-        if ratio > 3.0 { "PASS (deadlock broken)" } else { "FAIL" }
+        if ratio > 3.0 {
+            "PASS (deadlock broken)"
+        } else {
+            "FAIL"
+        }
     ));
     r
 }
@@ -124,13 +131,8 @@ pub fn run_half_vs_full(scale: Scale) -> ExperimentResult {
     let mut stats = Vec::new();
     for kind in [RingKind::Half, RingKind::Full] {
         let mut ic = build(kind);
-        let mut gen = noc_workloads::TrafficGen::new(
-            12,
-            0.25,
-            noc_workloads::Pattern::UniformRandom,
-            0.5,
-            7,
-        );
+        let mut gen =
+            noc_workloads::TrafficGen::new(12, 0.25, noc_workloads::Pattern::UniformRandom, 0.5, 7);
         for _ in 0..cycles {
             for (s, d, class, bytes) in gen.cycle_events() {
                 let _ = ic.offer(s, d, class, bytes, 0);
@@ -140,7 +142,11 @@ pub fn run_half_vs_full(scale: Scale) -> ExperimentResult {
                 while ic.pop_delivered(e).is_some() {}
             }
         }
-        stats.push((ic.delivered_count(), ic.mean_latency(), ic.delivered_bytes()));
+        stats.push((
+            ic.delivered_count(),
+            ic.mean_latency(),
+            ic.delivered_bytes(),
+        ));
         r.push_row(vec![
             format!("{kind:?}"),
             ic.delivered_count().to_string(),
@@ -192,8 +198,14 @@ pub fn run_vs_alternatives(scale: Scale) -> ExperimentResult {
         }
         for w in 0..rings.len() {
             let next = (w + 1) % rings.len();
-            b.add_bridge(BridgeConfig::l1().with_width(2), rings[w], 6, rings[next], 7)
-                .expect("bridge");
+            b.add_bridge(
+                BridgeConfig::l1().with_width(2),
+                rings[w],
+                6,
+                rings[next],
+                7,
+            )
+            .expect("bridge");
         }
         RingAdapter::new(
             "multi-ring",
@@ -356,42 +368,19 @@ pub fn run_ring_scaling(scale: Scale) -> ExperimentResult {
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
         let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
         totals.push(rep.total_tbs());
-        r.push_row(vec![
-            v.to_string(),
-            c.to_string(),
-            fnum(rep.total_tbs(), 1),
-        ]);
+        r.push_row(vec![v.to_string(), c.to_string(), fnum(rep.total_tbs(), 1)]);
     }
     r.note(format!(
         "more, shorter rings raise bandwidth at fixed core count ({:.1} → {:.1} TB/s) — {}",
         totals[0],
         totals[2],
-        if totals[2] > totals[0] { "PASS" } else { "FAIL" }
+        if totals[2] > totals[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn swap_ablation_quick() {
-        let r = run_swap(Scale::Quick);
-        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
-    }
-
-    #[test]
-    fn half_vs_full_quick() {
-        let r = run_half_vs_full(Scale::Quick);
-        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
-    }
-
-    #[test]
-    fn itag_ablation_quick() {
-        let r = run_itag_threshold(Scale::Quick);
-        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
-    }
 }
 
 /// Ablation: the Fig. 8B LLC-directory read path vs direct core→L2
@@ -415,7 +404,12 @@ pub fn run_llc_path(scale: Scale) -> ExperimentResult {
         let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
         totals.push(rep.total_tbs());
         r.push_row(vec![
-            if via_llc { "via LLC (Paths 1→2)" } else { "direct" }.to_string(),
+            if via_llc {
+                "via LLC (Paths 1→2)"
+            } else {
+                "direct"
+            }
+            .to_string(),
             crate::report::fnum(rep.total_tbs(), 1),
             crate::report::fnum(rep.read_tbs(), 1),
         ]);
@@ -426,7 +420,11 @@ pub fn run_llc_path(scale: Scale) -> ExperimentResult {
         (1.0 - totals[1] / totals[0]) * 100.0,
         totals[0],
         totals[1],
-        if totals[1] > 0.5 * totals[0] { "PASS" } else { "FAIL" }
+        if totals[1] > 0.5 * totals[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r
 }
@@ -470,9 +468,8 @@ pub fn run_multi_package(scale: Scale) -> ExperimentResult {
         // paper's setup does: otherwise "same-package" reads may chase a
         // home node behind the SerDes.
         let local_hns: Vec<_> = s.map.home_nodes[..2 * 2].to_vec();
-        let addrs = noc_server_cpu::experiments::lines_homed_at(
-            &s.sys, &local_hns, lines as usize, 0x9000,
-        );
+        let addrs =
+            noc_server_cpu::experiments::lines_homed_at(&s.sys, &local_hns, lines as usize, 0x9000);
         let mut local_sum = 0u64;
         let mut remote_sum = 0u64;
         for &addr in &addrs {
@@ -518,7 +515,11 @@ pub fn run_multi_package(scale: Scale) -> ExperimentResult {
          while cross-package reads pay the PA SerDes (2P {:.0} cyc, 4P {:.0} cyc) — {}",
         cross[0],
         cross[1],
-        if cross.iter().all(|&c| c > 60.0) { "PASS" } else { "FAIL" }
+        if cross.iter().all(|&c| c > 60.0) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r
 }
@@ -626,7 +627,10 @@ pub fn run_agent_scaling(scale: Scale) -> ExperimentResult {
         let mut b = TopologyBuilder::new();
         let die = b.add_chiplet("die");
         let rings: Vec<_> = (0..rings_n)
-            .map(|_| b.add_ring(die, RingKind::Full, per_ring as u16 + 2).expect("ring"))
+            .map(|_| {
+                b.add_ring(die, RingKind::Full, per_ring as u16 + 2)
+                    .expect("ring")
+            })
             .collect();
         let mut eps = Vec::new();
         for (ri, &ring) in rings.iter().enumerate() {
@@ -780,4 +784,27 @@ pub fn run_io_interference(scale: Scale) -> ExperimentResult {
         if worst < 1.5 * quiet { "PASS" } else { "FAIL" }
     ));
     r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_ablation_quick() {
+        let r = run_swap(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn half_vs_full_quick() {
+        let r = run_half_vs_full(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn itag_ablation_quick() {
+        let r = run_itag_threshold(Scale::Quick);
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
+    }
 }

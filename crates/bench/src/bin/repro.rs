@@ -42,11 +42,7 @@ fn main() {
         let elapsed = start.elapsed();
         println!("{result}");
         println!("  ({id} completed in {:.1?}, scale {scale:?})\n", elapsed);
-        failures += result
-            .notes
-            .iter()
-            .filter(|n| n.ends_with("FAIL"))
-            .count();
+        failures += result.notes.iter().filter(|n| n.ends_with("FAIL")).count();
         if let Ok(json) = serde_json::to_string_pretty(&result) {
             let _ = std::fs::write(format!("results/{id}.json"), json);
         }

@@ -65,12 +65,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "fig11",
         "Probe-core DDR latency vs background noise rate (cycles)",
     )
-    .with_header(vec![
-        "mix",
-        "noise rate",
-        "this work",
-        "intel-like",
-    ]);
+    .with_header(vec!["mix", "noise rate", "this work", "intel-like"]);
 
     let mut all_pass = true;
     for &(mix, rf) in &MIXES {
@@ -92,8 +87,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let later = match (tp_ours, tp_intel) {
             (None, Some(_)) => true, // ours never crosses in range
             (Some(a), Some(b)) => a >= b,
-            (None, None) => ours.last().expect("points").probe_latency
-                <= intel.last().expect("points").probe_latency,
+            (None, None) => {
+                ours.last().expect("points").probe_latency
+                    <= intel.last().expect("points").probe_latency
+            }
             (Some(_), None) => false,
         };
         all_pass &= later;

@@ -72,7 +72,13 @@ impl LatencyProfile {
 }
 
 /// Measure a system's latency profile.
-pub fn profile<I, F>(name: &str, factory: F, cores: usize, cpr: usize, scale: Scale) -> LatencyProfile
+pub fn profile<I, F>(
+    name: &str,
+    factory: F,
+    cores: usize,
+    cpr: usize,
+    scale: Scale,
+) -> LatencyProfile
 where
     I: Interconnect,
     F: Fn() -> (MemHarness<I>, usize, Vec<usize>),
@@ -231,10 +237,8 @@ fn build_result(
     ]);
     // Profile order: ours-96, intel-28, amd-64, ours-28, ours-64.
     let scores = suite_scores(suite, profiles);
-    let col =
-        |v: &[(String, Vec<f64>, Vec<f64>)], f: &dyn Fn(&(String, Vec<f64>, Vec<f64>)) -> f64| {
-            v.iter().map(f).collect::<Vec<f64>>()
-        };
+    type Score = (String, Vec<f64>, Vec<f64>);
+    let col = |v: &[Score], f: &dyn Fn(&Score) -> f64| v.iter().map(f).collect::<Vec<f64>>();
     for (name, single, pkg) in &scores {
         r.push_row(vec![
             name.clone(),
@@ -255,11 +259,19 @@ fn build_result(
     let gsa = geomean_ratio(&col(&scores, &|s| s.2[4] / s.2[2]), &ones);
     r.note(format!(
         "geomean single-core: {g1i:.2}x intel-like, {g1a:.2}x amd-like — {}",
-        if g1i > 1.0 && g1a > 1.0 { "PASS" } else { "FAIL" }
+        if g1i > 1.0 && g1a > 1.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r.note(format!(
         "geomean package: {gpi:.2}x intel-like (96c vs 28c), {gpa:.2}x amd-like (96c vs 64c) — {}",
-        if gpi > 1.0 && gpa > 1.0 { "PASS" } else { "FAIL" }
+        if gpi > 1.0 && gpa > 1.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r.note(format!(
         "geomean scaled-to-same-cores: {gsi:.2}x intel-like (32c vs 28c), {gsa:.2}x amd-like (64c vs 64c) — {}",
@@ -307,7 +319,11 @@ pub fn ssj_profile() -> SpecProfile {
 
 /// Expose partitions for reuse (kept for API symmetry).
 pub fn partitions() -> (Partition, Partition, Partition) {
-    (systems::ours(12).1, systems::intel_like().1, systems::amd_like().1)
+    (
+        systems::ours(12).1,
+        systems::intel_like().1,
+        systems::amd_like().1,
+    )
 }
 
 #[cfg(test)]

@@ -32,7 +32,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "fig14",
         "NoC bandwidth equilibrium across AI-core probes (fraction of per-window max)",
     )
-    .with_header(vec!["window", "min/max ratio", "mean/max ratio", "probes ≥80%"]);
+    .with_header(vec![
+        "window",
+        "min/max ratio",
+        "mean/max ratio",
+        "probes ≥80%",
+    ]);
 
     let mut all_ratios: Vec<f64> = Vec::new();
     // Skip the first and last (partial / warmup-tail) windows.
@@ -80,10 +85,6 @@ mod tests {
     fn equilibrium_holds_quick() {
         let r = run(Scale::Quick);
         assert!(!r.rows.is_empty());
-        assert!(
-            r.notes.iter().any(|n| n.contains("PASS")),
-            "{:?}",
-            r.notes
-        );
+        assert!(r.notes.iter().any(|n| n.contains("PASS")), "{:?}", r.notes);
     }
 }

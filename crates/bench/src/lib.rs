@@ -37,8 +37,11 @@ pub mod table09;
 
 pub use report::{ExperimentResult, Scale};
 
+/// An experiment entry: id plus runner function.
+pub type Experiment = (&'static str, fn(Scale) -> ExperimentResult);
+
 /// Every experiment, in paper order: `(id, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> ExperimentResult)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("fig03", fig03::run),
         ("table04", table04::run),

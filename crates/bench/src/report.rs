@@ -130,6 +130,6 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(3.456, 2), "3.46");
     }
 }

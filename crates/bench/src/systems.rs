@@ -70,9 +70,9 @@ pub fn amd_like() -> (HubSpoke, Partition) {
         ..Default::default()
     });
     let part = Partition {
-        requesters: (0..64).collect(),        // chiplets 0..8
-        home_nodes: (64..72).collect(),       // chiplet 8
-        memories: (72..80).collect(),         // chiplet 9
+        requesters: (0..64).collect(),  // chiplets 0..8
+        home_nodes: (64..72).collect(), // chiplet 8
+        memories: (72..80).collect(),   // chiplet 9
         cores_per_requester: 1,
     };
     (hub, part)
@@ -119,7 +119,11 @@ mod tests {
         let (ic, p) = ours(12);
         assert_eq!(p.requesters.len(), 24);
         assert_eq!(p.memories.len(), 8);
-        assert!(p.requesters.iter().chain(&p.memories).all(|&e| e < ic.endpoints()));
+        assert!(p
+            .requesters
+            .iter()
+            .chain(&p.memories)
+            .all(|&e| e < ic.endpoints()));
 
         let (mesh, p) = intel_like();
         assert!(p.memories.iter().all(|&e| e < mesh.endpoints()));

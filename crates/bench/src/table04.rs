@@ -96,7 +96,11 @@ pub fn run(_scale: Scale) -> ExperimentResult {
         "co-design chooser picks '{}' at the 3 GHz design point{} — {}",
         winner.fabric,
         if stable { " (and at 1-4 GHz)" } else { "" },
-        if winner.fabric == "high-speed" { "PASS" } else { "FAIL" }
+        if winner.fabric == "high-speed" {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r
 }

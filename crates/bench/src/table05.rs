@@ -39,7 +39,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let helper = noc_core::NodeId(p.requesters[2] as u32);
         let reader = noc_core::NodeId(p.requesters[14] as u32);
         let addrs: Vec<_> = (0..lines).map(|i| noc_chi::LineAddr(0x100 + i)).collect();
-        intel.push(coherence_ping(&mut sys, owner, helper, reader, state, &addrs));
+        intel.push(coherence_ping(
+            &mut sys, owner, helper, reader, state, &addrs,
+        ));
 
         let (hub, p) = systems::amd_like();
         let mut sys = systems::coherent(hub, &p);

@@ -92,7 +92,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let rpa = op.score() / ap.score();
     r.note(format!(
         "single-core: {r1i:.2}x intel-like (paper 1.08x), {r1a:.2}x amd-like (paper 1.03x) — {}",
-        if r1i > 1.0 && r1a > 1.0 { "PASS" } else { "FAIL" }
+        if r1i > 1.0 && r1a > 1.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     r.note(format!(
         "package (ops/W): {rpi:.2}x intel-like (paper 1.19x), {rpa:.2}x amd-like (paper 1.11x) — {}",

@@ -15,9 +15,13 @@ pub fn run_ratio(read: u32, write: u32, scale: Scale) -> noc_ai::AiBandwidthRepo
 
 /// Reproduce Table 7.
 pub fn run(scale: Scale) -> ExperimentResult {
-    let mut r = ExperimentResult::new("table07", "AI-NoC bandwidth test (TB/s)").with_header(
-        vec!["R-W ratio", "Total", "Read", "Write", "DMA"],
-    );
+    let mut r = ExperimentResult::new("table07", "AI-NoC bandwidth test (TB/s)").with_header(vec![
+        "R-W ratio",
+        "Total",
+        "Read",
+        "Write",
+        "DMA",
+    ]);
     let mut totals = Vec::new();
     for &(read, write) in &RATIOS {
         let rep = run_ratio(read, write, scale);
@@ -43,23 +47,16 @@ pub fn run(scale: Scale) -> ExperimentResult {
     ));
     r.note(format!(
         "typical-ratio check: every row ≥ 9 TB/s (paper: 'more than 10TB/s') — {}",
-        if totals.iter().all(|&t| t >= 9.0) { "PASS" } else { "FAIL" }
+        if totals.iter().all(|&t| t >= 9.0) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
-    r.note("paper row 1:1 = 16.0/7.3/7.1/1.6; 1:0 = 11.2/9.5/0/1.7; 0:1 = 10.0/0/8.4/1.6".to_string());
+    r.note(
+        "paper row 1:1 = 16.0/7.3/7.1/1.6; 1:0 = 11.2/9.5/0/1.7; 0:1 = 10.0/0/8.4/1.6".to_string(),
+    );
     r
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table7_quick_shape() {
-        let r = run(Scale::Quick);
-        assert_eq!(r.rows.len(), 6);
-        let fails = r.notes.iter().filter(|n| n.ends_with("FAIL")).count();
-        assert_eq!(fails, 0, "{:?}", r.notes);
-    }
 }
 
 /// Companion experiment: derive the read/write mixes from the Table 3
@@ -107,4 +104,17 @@ pub fn run_model_driven(scale: Scale) -> ExperimentResult {
         if ok { "PASS" } else { "FAIL" }
     ));
     r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_quick_shape() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.rows.len(), 6);
+        let fails = r.notes.iter().filter(|n| n.ends_with("FAIL")).count();
+        assert_eq!(fails, 0, "{:?}", r.notes);
+    }
 }

@@ -92,16 +92,15 @@ pub fn rows() -> Vec<SurveyRow> {
 
 /// Render Table 9.
 pub fn run(_scale: Scale) -> ExperimentResult {
-    let mut r = ExperimentResult::new("table09", "Commercial processor NoC survey").with_header(
-        vec![
+    let mut r =
+        ExperimentResult::new("table09", "Commercial processor NoC survey").with_header(vec![
             "processor",
             "cores",
             "intra-chiplet NoC",
             "inter-chiplet NoC",
             "buffering",
             "integration",
-        ],
-    );
+        ]);
     for row in rows() {
         r.push_row(vec![
             row.name.to_string(),

@@ -55,10 +55,9 @@ impl MsgOp {
     /// The NoC channel (flit class) this opcode travels on.
     pub fn class(self) -> FlitClass {
         match self {
-            MsgOp::ReadShared
-            | MsgOp::ReadUnique
-            | MsgOp::ReadNoSnp
-            | MsgOp::MemRead => FlitClass::Request,
+            MsgOp::ReadShared | MsgOp::ReadUnique | MsgOp::ReadNoSnp | MsgOp::MemRead => {
+                FlitClass::Request
+            }
             MsgOp::SnpShared | MsgOp::SnpUnique => FlitClass::Snoop,
             MsgOp::Comp | MsgOp::CompAck | MsgOp::MemAck => FlitClass::Response,
             MsgOp::WriteBackFull

@@ -7,7 +7,7 @@
 //! each hit/miss event becomes an independent single-flit transaction.
 
 use crate::cache::{Inserted, SetAssocCache};
-use crate::directory::{Directory, DirState};
+use crate::directory::{DirState, Directory};
 use crate::memory::{MemoryModel, MemoryParams};
 use crate::message::{Message, MsgOp};
 use crate::types::{LineAddr, MesiState, ReadKind, TxnId};
@@ -262,10 +262,7 @@ impl<T: ChiTransport> CoherentSystem<T> {
             .iter()
             .map(|_| MemoryModel::new(spec.mem_params))
             .collect();
-        let outboxes = agents_order
-            .iter()
-            .map(|&n| (n, VecDeque::new()))
-            .collect();
+        let outboxes = agents_order.iter().map(|&n| (n, VecDeque::new())).collect();
         CoherentSystem {
             rn_lines: vec![HashMap::new(); spec.requesters.len()],
             dirs: spec.home_nodes.iter().map(|_| Directory::new()).collect(),
@@ -375,10 +372,7 @@ impl<T: ChiTransport> CoherentSystem<T> {
         };
         let txn = self.alloc_txn();
         let start = self.now();
-        self.rn_txns.insert(
-            txn,
-            RnTxn { addr, kind, start },
-        );
+        self.rn_txns.insert(txn, RnTxn { addr, kind, start });
         // Local hit path.
         let st = self.rn_lines[idx]
             .get(&addr)
@@ -527,10 +521,7 @@ impl<T: ChiTransport> CoherentSystem<T> {
         // Flush outboxes into the NoC.
         for i in 0..self.agents_order.len() {
             let node = self.agents_order[i];
-            loop {
-                let Some(&(dst, msg)) = self.outboxes[&node].front() else {
-                    break;
-                };
+            while let Some(&(dst, msg)) = self.outboxes[&node].front() {
                 let token = self.next_msg;
                 if self.net.offer(
                     node,
@@ -687,10 +678,7 @@ impl<T: ChiTransport> CoherentSystem<T> {
         match msg.op {
             MsgOp::ReadShared | MsgOp::ReadUnique => {
                 if self.busy_set.contains(&(idx, msg.addr)) {
-                    self.busy
-                        .entry((idx, msg.addr))
-                        .or_default()
-                        .push_back(msg);
+                    self.busy.entry((idx, msg.addr)).or_default().push_back(msg);
                 } else {
                     self.start_hn_txn(hn, idx, msg);
                 }
@@ -833,8 +821,7 @@ impl<T: ChiTransport> CoherentSystem<T> {
                 t.grant = MesiState::Exclusive;
             }
             (MsgOp::ReadUnique, DirState::Shared(sharers)) => {
-                let targets: Vec<NodeId> =
-                    sharers.iter().copied().filter(|&s| s != req).collect();
+                let targets: Vec<NodeId> = sharers.iter().copied().filter(|&s| s != req).collect();
                 for s in &targets {
                     let snp = Message {
                         txn: msg.txn,

@@ -1,9 +1,7 @@
 //! LLC capacity-pressure tests: dirty evictions, write-back storms and
 //! directory behaviour under a working set larger than the LLC.
 
-use noc_chi::{
-    CoherentSystem, LineAddr, LlcParams, MemoryParams, MesiState, ReadKind, SystemSpec,
-};
+use noc_chi::{CoherentSystem, LineAddr, LlcParams, MemoryParams, MesiState, ReadKind, SystemSpec};
 use noc_core::{Network, NetworkConfig, NodeId, RingKind, TopologyBuilder};
 
 /// A system whose LLC slice holds only 32 lines, so modest working sets

@@ -114,9 +114,7 @@ fn dirty_line_is_snooped_from_owner() {
     assert_eq!(sys.rn_state(rns[1], a), MesiState::Shared);
     assert!(c.latency() > 0);
     // The snoop path generated Snoop-class flits.
-    assert!(
-        sys.network().stats().total_latency[noc_core::FlitClass::Snoop.index()].count() > 0
-    );
+    assert!(sys.network().stats().total_latency[noc_core::FlitClass::Snoop.index()].count() > 0);
 }
 
 #[test]
@@ -216,10 +214,7 @@ fn interleaved_random_traffic_drains_and_stays_coherent() {
                     .iter()
                     .filter(|&&rn| sys.rn_state(rn, LineAddr(line)).readable())
                     .count();
-                assert!(
-                    writable <= 1,
-                    "line {line}: {writable} writable holders"
-                );
+                assert!(writable <= 1, "line {line}: {writable} writable holders");
                 if writable == 1 {
                     assert_eq!(
                         readable, 1,

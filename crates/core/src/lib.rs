@@ -43,12 +43,14 @@
 //! # Ok::<(), noc_core::TopologyError>(())
 //! ```
 
+pub mod bits;
 pub mod config;
 pub mod error;
 pub mod flit;
 pub mod ids;
 pub mod network;
 pub mod queue;
+pub mod reference;
 pub mod render;
 pub mod ring;
 pub mod route;
@@ -56,12 +58,13 @@ pub mod spec;
 pub mod stats;
 pub mod topology;
 
+pub use bits::BitRing;
 pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
 pub use error::{EnqueueError, TopologyError};
 pub use flit::{Flit, FlitClass};
 pub use ids::{BridgeId, ChipletId, Direction, NodeId, Port, RingId, RingKind};
-pub use network::Network;
-pub use spec::{SocSpec, SpecError};
+pub use network::{Network, TickMode};
 pub use route::RouteTable;
-pub use stats::NetStats;
+pub use spec::{SocSpec, SpecError};
+pub use stats::{NetStats, TickProfile};
 pub use topology::{NodeKind, Topology, TopologyBuilder};

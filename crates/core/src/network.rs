@@ -1,6 +1,22 @@
 //! The network engine: cross-station arbitration, I-tag/E-tag
 //! starvation and livelock protection, ring bridges and SWAP deadlock
 //! resolution — the complete §4 of the paper, cycle by cycle.
+//!
+//! # Occupancy-indexed tick
+//!
+//! A cross station is a strict no-op for a lane pass unless at least
+//! one of three things is true: the slot at the station carries a flit,
+//! the slot carries an I-tag, or a node interface at the station has a
+//! non-empty inject queue. The engine maintains one bitset per
+//! condition ([`crate::bits::BitRing`]: flit and I-tag bits per lane,
+//! pending-injector bits per ring) and the default
+//! [`TickMode::Fast`] sweep visits only stations whose merged
+//! activity word is non-zero. When a lane is at least half active the
+//! index would visit most stations anyway, so the pass falls back to a
+//! straight sweep (cheaper per station). The original full sweep is
+//! preserved verbatim as [`TickMode::Reference`] (see
+//! [`crate::reference`]) and serves as the golden model for the
+//! differential tests in `tests/tick_equivalence.rs`.
 
 use crate::config::{BridgeLevel, NetworkConfig};
 use crate::error::EnqueueError;
@@ -9,15 +25,38 @@ use crate::ids::{BridgeId, NodeId, RingId};
 use crate::queue::Fifo;
 use crate::ring::Ring;
 use crate::route::{ring_travel, RouteTable};
-use crate::stats::NetStats;
+use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Component, Cycle};
 use std::collections::VecDeque;
 
+/// Which sweep implementation [`Network::tick`] uses.
+///
+/// Both modes simulate the exact same network, cycle for cycle — the
+/// differential test suite holds them to identical delivery streams and
+/// [`NetStats::fingerprint`]s. They differ only in how stations are
+/// enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickMode {
+    /// Occupancy-indexed sweep: visit only stations with a flit, an
+    /// I-tag, or a pending injector; fall back to a full sweep on
+    /// saturated lanes.
+    #[default]
+    Fast,
+    /// The original exhaustive station walk, kept as the golden model.
+    Reference,
+}
+
+/// Fast-path lanes fall back to a full sweep when
+/// `active * SATURATION_DENOM >= stations * SATURATION_NUM` — i.e. at
+/// ≥ 50% activity, where per-station bit extraction stops paying off.
+const SATURATION_NUM: usize = 1;
+const SATURATION_DENOM: usize = 2;
+
 /// Per-node runtime state: the two queues of a node interface plus tag
 /// bookkeeping.
 #[derive(Debug, Clone)]
-struct NodeState {
+pub(crate) struct NodeState {
     ring: RingId,
     station: u16,
     kind: NodeKind,
@@ -92,22 +131,36 @@ pub struct Network {
     cfg: NetworkConfig,
     topo: Topology,
     route: RouteTable,
-    rings: Vec<Ring>,
-    nodes: Vec<NodeState>,
+    pub(crate) rings: Vec<Ring>,
+    pub(crate) nodes: Vec<NodeState>,
     bridges: Vec<BridgeState>,
     /// Round-robin pointer per (ring, station, lane).
     rr: Vec<Vec<[u8; 2]>>,
     /// Node ids attached per (ring, station): up to two ports.
     ports: Vec<Vec<[Option<NodeId>; 2]>>,
+    /// Nodes with a non-empty inject queue per (ring, station): 0–2.
+    inject_count: Vec<Vec<u8>>,
+    /// Station bit set iff `inject_count > 0`, one bitset per ring.
+    inject_bits: Vec<crate::bits::BitRing>,
+    mode: TickMode,
     now: Cycle,
     next_flit_id: u64,
     stats: NetStats,
+    profile: TickProfile,
     probes: Vec<Option<BandwidthProbe>>,
 }
 
 impl Network {
-    /// Instantiate the runtime network for a validated topology.
+    /// Instantiate the runtime network for a validated topology, using
+    /// the default occupancy-indexed tick ([`TickMode::Fast`]).
     pub fn new(topo: Topology, cfg: NetworkConfig) -> Self {
+        Self::with_mode(topo, cfg, TickMode::Fast)
+    }
+
+    /// Instantiate with an explicit [`TickMode`]. `Reference` runs the
+    /// golden-model exhaustive sweep — useful for differential testing
+    /// and as a fallback while debugging the engine itself.
+    pub fn with_mode(topo: Topology, cfg: NetworkConfig, mode: TickMode) -> Self {
         let route = RouteTable::build(&topo);
         let rings: Vec<Ring> = topo
             .rings()
@@ -154,6 +207,16 @@ impl Network {
             .iter()
             .map(|r| vec![[0u8; 2]; r.stations as usize])
             .collect();
+        let inject_count = topo
+            .rings()
+            .iter()
+            .map(|r| vec![0u8; r.stations as usize])
+            .collect();
+        let inject_bits = topo
+            .rings()
+            .iter()
+            .map(|r| crate::bits::BitRing::new(r.stations as usize))
+            .collect();
         let probes = if cfg.probe_window > 0 {
             topo.nodes()
                 .iter()
@@ -174,9 +237,13 @@ impl Network {
             bridges,
             rr,
             ports,
+            inject_count,
+            inject_bits,
+            mode,
             now: Cycle::ZERO,
             next_flit_id: 0,
             stats: NetStats::new(),
+            profile: TickProfile::default(),
             probes,
         }
     }
@@ -196,9 +263,20 @@ impl Network {
         &self.cfg
     }
 
+    /// Which sweep implementation `tick` uses.
+    pub fn mode(&self) -> TickMode {
+        self.mode
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Engine instrumentation: how much station-visiting work the tick
+    /// loop has done (independent of what the network simulated).
+    pub fn tick_profile(&self) -> &TickProfile {
+        &self.profile
     }
 
     /// Route table (exit stations, ring-change distances).
@@ -255,6 +333,9 @@ impl Network {
             Ok(()) => {
                 self.next_flit_id += 1;
                 self.stats.enqueued.inc();
+                if self.nodes[src.index()].inject.len() == 1 {
+                    self.inject_became_nonempty(src.index());
+                }
                 Ok(id)
             }
             Err(_) => Err(EnqueueError::InjectQueueFull { node: src }),
@@ -270,9 +351,7 @@ impl Network {
 
     /// Number of delivered flits waiting at device `node`.
     pub fn delivered_len(&self, node: NodeId) -> usize {
-        self.nodes
-            .get(node.index())
-            .map_or(0, |n| n.eject.len())
+        self.nodes.get(node.index()).map_or(0, |n| n.eject.len())
     }
 
     /// Occupied inject-queue depth at `node`.
@@ -293,7 +372,9 @@ impl Network {
 
     /// Outstanding E-tag reservations at `node` (diagnostics).
     pub fn etag_backlog(&self, node: NodeId) -> usize {
-        self.nodes.get(node.index()).map_or(0, |n| n.etag_list.len())
+        self.nodes
+            .get(node.index())
+            .map_or(0, |n| n.etag_list.len())
     }
 
     /// Flits currently riding ring `ring`.
@@ -351,22 +432,49 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // Occupancy-index maintenance
+    // ------------------------------------------------------------------
+
+    /// Record that node `ni`'s inject queue went from empty to
+    /// non-empty. Must be called at every such transition.
+    #[inline]
+    fn inject_became_nonempty(&mut self, ni: usize) {
+        let ri = self.nodes[ni].ring.index();
+        let s = self.nodes[ni].station as usize;
+        let c = &mut self.inject_count[ri][s];
+        *c += 1;
+        if *c == 1 {
+            self.inject_bits[ri].set(s);
+        }
+    }
+
+    /// Record that node `ni`'s inject queue went from non-empty to
+    /// empty. Must be called at every such transition.
+    #[inline]
+    fn inject_became_empty(&mut self, ni: usize) {
+        let ri = self.nodes[ni].ring.index();
+        let s = self.nodes[ni].station as usize;
+        let c = &mut self.inject_count[ri][s];
+        debug_assert!(*c > 0, "inject count underflow at ring {ri} station {s}");
+        *c -= 1;
+        if *c == 0 {
+            self.inject_bits[ri].clear(s);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Simulation step
     // ------------------------------------------------------------------
 
     /// Advance the network by one clock cycle.
     pub fn tick(&mut self) {
         self.now += 1;
+        self.profile.ticks += 1;
         self.bridge_deliver();
         self.local_deliveries();
-        for ri in 0..self.rings.len() {
-            let lanes = self.rings[ri].lanes.len();
-            let stations = self.rings[ri].stations;
-            for li in 0..lanes {
-                for s in 0..stations {
-                    self.process_station(ri, li, s);
-                }
-            }
+        match self.mode {
+            TickMode::Fast => self.sweep_active(),
+            TickMode::Reference => crate::reference::sweep(self),
         }
         for ring in &mut self.rings {
             for lane in &mut ring.lanes {
@@ -375,6 +483,54 @@ impl Network {
         }
         self.bridge_intake();
         self.drm_update();
+    }
+
+    /// Occupancy-indexed station walk: per lane, merge the flit, I-tag
+    /// and pending-injector bitsets word by word and visit only set
+    /// bits, in ascending station order — the same order as the
+    /// reference sweep. Correctness rests on `process_station(s)` only
+    /// mutating state attached to station `s` (its slot, its ports'
+    /// queues, its bridge side), so skipping provably-idle stations and
+    /// snapshotting each 64-station word before visiting it cannot
+    /// change the outcome.
+    fn sweep_active(&mut self) {
+        for ri in 0..self.rings.len() {
+            let stations = self.rings[ri].stations as usize;
+            let nlanes = self.rings[ri].lanes.len();
+            let nwords = self.inject_bits[ri].words().len();
+            for li in 0..nlanes {
+                self.profile.lane_passes += 1;
+                self.profile.stations_total += stations as u64;
+                let mut active = 0usize;
+                for wi in 0..nwords {
+                    let lane = &self.rings[ri].lanes[li];
+                    let w = lane.flit_bits().words()[wi]
+                        | lane.itag_bits().words()[wi]
+                        | self.inject_bits[ri].words()[wi];
+                    active += w.count_ones() as usize;
+                }
+                if active * SATURATION_DENOM >= stations * SATURATION_NUM {
+                    self.profile.full_lane_sweeps += 1;
+                    self.profile.stations_visited += stations as u64;
+                    for s in 0..stations as u16 {
+                        self.process_station(ri, li, s);
+                    }
+                    continue;
+                }
+                for wi in 0..nwords {
+                    let lane = &self.rings[ri].lanes[li];
+                    let mut w = lane.flit_bits().words()[wi]
+                        | lane.itag_bits().words()[wi]
+                        | self.inject_bits[ri].words()[wi];
+                    while w != 0 {
+                        let s = wi * 64 + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        self.profile.stations_visited += 1;
+                        self.process_station(ri, li, s as u16);
+                    }
+                }
+            }
+        }
     }
 
     /// Move matured bridge-pipeline flits into destination endpoint
@@ -401,8 +557,10 @@ impl Network {
                     self.nodes[dst.index()]
                         .inject
                         .push(flit)
-                        .ok()
                         .expect("checked not full");
+                    if self.nodes[dst.index()].inject.len() == 1 {
+                        self.inject_became_nonempty(dst.index());
+                    }
                     self.stats.bridge_crossings.inc();
                 }
             }
@@ -411,37 +569,66 @@ impl Network {
 
     /// Deliver head flits whose exit station equals their source node's
     /// own station without touching the ring (zero-hop path).
+    ///
+    /// Interactions are confined to one station (a node's zero-hop
+    /// target always sits at its own station), so the fast path can
+    /// enumerate candidate stations from the pending-injector bits in
+    /// any order; [`crate::reference::local_sweep`] walks all nodes.
     fn local_deliveries(&mut self) {
-        for i in 0..self.nodes.len() {
-            let (ring, station) = (self.nodes[i].ring, self.nodes[i].station);
-            let Some(head) = self.nodes[i].inject.peek() else {
-                continue;
-            };
-            let hop = match self.route.exit(ring, head.dst) {
-                Some(h) => h,
-                None => continue,
-            };
-            if hop.station != station || hop.target.index() == i {
-                continue;
-            }
-            let t = hop.target.index();
-            // Normal-flit eject rule: leave reserved buffers alone.
-            let free = self.nodes[t].eject.free();
-            let reserved = self.nodes[t].etag_list.len();
-            if free > reserved {
-                let mut flit = self.nodes[i].inject.pop().expect("peeked");
-                flit.injected_at = Some(self.now);
-                self.stats.injected.inc();
-                self.finish_arrival(t, flit);
-                self.nodes[i].starve = 0;
+        match self.mode {
+            TickMode::Reference => crate::reference::local_sweep(self),
+            TickMode::Fast => {
+                for ri in 0..self.rings.len() {
+                    for wi in 0..self.inject_bits[ri].words().len() {
+                        let mut w = self.inject_bits[ri].words()[wi];
+                        while w != 0 {
+                            let s = wi * 64 + w.trailing_zeros() as usize;
+                            w &= w - 1;
+                            for port in 0..2 {
+                                if let Some(node) = self.ports[ri][s][port] {
+                                    self.try_local_delivery(node.index());
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
 
-    fn process_station(&mut self, ri: usize, li: usize, s: u16) {
+    /// Attempt the zero-hop local delivery for node `i`'s head flit.
+    pub(crate) fn try_local_delivery(&mut self, i: usize) {
+        let (ring, station) = (self.nodes[i].ring, self.nodes[i].station);
+        let Some(head) = self.nodes[i].inject.peek() else {
+            return;
+        };
+        let hop = match self.route.exit(ring, head.dst) {
+            Some(h) => h,
+            None => return,
+        };
+        if hop.station != station || hop.target.index() == i {
+            return;
+        }
+        let t = hop.target.index();
+        // Normal-flit eject rule: leave reserved buffers alone.
+        let free = self.nodes[t].eject.free();
+        let reserved = self.nodes[t].etag_list.len();
+        if free > reserved {
+            let mut flit = self.nodes[i].inject.pop().expect("peeked");
+            if self.nodes[i].inject.is_empty() {
+                self.inject_became_empty(i);
+            }
+            flit.injected_at = Some(self.now);
+            self.stats.injected.inc();
+            self.finish_arrival(t, flit);
+            self.nodes[i].starve = 0;
+        }
+    }
+
+    pub(crate) fn process_station(&mut self, ri: usize, li: usize, s: u16) {
         let ring_id = RingId(ri as u16);
         // ---- arrival / ejection ----
-        if let Some(flit) = self.rings[ri].lanes[li].slot_at_mut(s).flit.take() {
+        if let Some(flit) = self.rings[ri].lanes[li].take_flit(s) {
             let hop = self
                 .route
                 .exit(ring_id, flit.dst)
@@ -449,14 +636,14 @@ impl Network {
             if hop.station == s {
                 self.arrive(ri, li, s, hop.target, flit);
             } else {
-                self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+                self.rings[ri].lanes[li].put_flit(s, flit);
             }
         }
         // ---- injection ----
         let mut injected_port: Option<u8> = None;
-        let slot_free = self.rings[ri].lanes[li].slot_at(s).flit.is_none();
+        let slot_free = self.rings[ri].lanes[li].flit_at(s).is_none();
         if slot_free {
-            let itag = self.rings[ri].lanes[li].slot_at(s).itag;
+            let itag = self.rings[ri].lanes[li].itag_at(s);
             if let Some(owner) = itag {
                 let o = owner.index();
                 if self.nodes[o].ring == ring_id && self.nodes[o].station == s {
@@ -467,14 +654,13 @@ impl Network {
                                 .iter()
                                 .position(|&p| p == Some(owner))
                                 .map(|p| p as u8);
-                            let slot = self.rings[ri].lanes[li].slot_at_mut(s);
-                            slot.itag = None;
+                            self.rings[ri].lanes[li].take_itag(s);
                             self.nodes[o].itag_pending = false;
                         }
                         Some(_) | None => {
                             // Stale tag: head now prefers the other lane
                             // or queue drained. Release the slot.
-                            self.rings[ri].lanes[li].slot_at_mut(s).itag = None;
+                            self.rings[ri].lanes[li].take_itag(s);
                             self.nodes[o].itag_pending = false;
                         }
                     }
@@ -514,9 +700,9 @@ impl Network {
             self.nodes[ni].starve += 1;
             if self.nodes[ni].starve >= self.cfg.itag_threshold
                 && !self.nodes[ni].itag_pending
-                && self.rings[ri].lanes[li].slot_at(s).itag.is_none()
+                && self.rings[ri].lanes[li].itag_at(s).is_none()
             {
-                self.rings[ri].lanes[li].slot_at_mut(s).itag = Some(node);
+                self.rings[ri].lanes[li].set_itag(s, node);
                 self.nodes[ni].itag_pending = true;
                 self.stats.itags_placed.inc();
             }
@@ -540,11 +726,14 @@ impl Network {
     /// Move node `ni`'s head flit into the (empty) slot at its station.
     fn inject_head(&mut self, ni: usize, ri: usize, li: usize, s: u16) {
         let mut flit = self.nodes[ni].inject.pop().expect("head checked");
+        if self.nodes[ni].inject.is_empty() {
+            self.inject_became_empty(ni);
+        }
         if flit.injected_at.is_none() {
             flit.injected_at = Some(self.now);
             self.stats.injected.inc();
         }
-        self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+        self.rings[ri].lanes[li].put_flit(s, flit);
         self.nodes[ni].starve = 0;
     }
 
@@ -593,11 +782,7 @@ impl Network {
                     self.consume_etag(t, flit.id);
                     flit.etag = false;
                 }
-                self.nodes[t]
-                    .eject
-                    .push(flit)
-                    .ok()
-                    .expect("space just vacated");
+                self.nodes[t].eject.push(flit).expect("space just vacated");
                 // …and, in SWAP mode, swap the Inject Queue head onto
                 // the ring slot in the same cycle. The escape-buffer
                 // alternative lacks this simultaneous injection — that
@@ -619,7 +804,7 @@ impl Network {
         flit.deflections += 1;
         self.stats.deflections.inc();
         self.nodes[t].deflected_here += 1;
-        self.rings[ri].lanes[li].slot_at_mut(s).flit = Some(flit);
+        self.rings[ri].lanes[li].put_flit(s, flit);
     }
 
     fn consume_etag(&mut self, t: usize, flit_id: u64) {
@@ -641,7 +826,6 @@ impl Network {
         self.nodes[t]
             .eject
             .push(flit)
-            .ok()
             .expect("caller checked eject space");
     }
 
@@ -691,9 +875,7 @@ impl Network {
     /// Enter/exit deadlock resolution mode per L2 bridge side.
     fn drm_update(&mut self) {
         for bi in 0..self.bridges.len() {
-            if self.bridges[bi].cfg.level != BridgeLevel::L2
-                || !self.bridges[bi].cfg.swap_enabled
-            {
+            if self.bridges[bi].cfg.level != BridgeLevel::L2 || !self.bridges[bi].cfg.swap_enabled {
                 continue;
             }
             for side in 0..2 {

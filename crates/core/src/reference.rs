@@ -1,0 +1,41 @@
+//! The golden-model tick: exhaustive station sweeps.
+//!
+//! This module preserves the original `Network::tick` inner loops
+//! exactly as first written: every cycle, walk every station of every
+//! lane of every ring (and every node for zero-hop local deliveries),
+//! whether or not anything can happen there. It is deliberately boring
+//! — the point is that its correctness is easy to see, so it can anchor
+//! the differential tests that hold the occupancy-indexed fast path
+//! ([`crate::network::TickMode::Fast`]) to cycle-exact equivalence.
+//!
+//! Both sweeps call the same `process_station` / `try_local_delivery`
+//! station logic; only the enumeration differs. The fast path skips a
+//! station exactly when its slot carries no flit, no I-tag, and no port
+//! node has a queued flit — conditions under which `process_station` is
+//! a provable no-op (it cannot arrive, inject, advance a round-robin
+//! pointer, or change a starve counter). Any divergence between the two
+//! modes is therefore a bug in the occupancy index, never in this
+//! module.
+
+use crate::network::Network;
+
+/// Exhaustive station walk: every ring, every lane, every station, in
+/// ascending order.
+pub(crate) fn sweep(net: &mut Network) {
+    for ri in 0..net.rings.len() {
+        let lanes = net.rings[ri].lanes.len();
+        let stations = net.rings[ri].stations;
+        for li in 0..lanes {
+            for s in 0..stations {
+                net.process_station(ri, li, s);
+            }
+        }
+    }
+}
+
+/// Exhaustive zero-hop local-delivery pass: every node in id order.
+pub(crate) fn local_sweep(net: &mut Network) {
+    for i in 0..net.nodes.len() {
+        net.try_local_delivery(i);
+    }
+}

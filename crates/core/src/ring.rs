@@ -5,27 +5,31 @@
 //! may carry a flit and/or an **I-tag** reservation riding on the slot
 //! itself (paper §4.1.2): a tagged slot may only be used by the starving
 //! node interface that placed the tag.
+//!
+//! Slot contents are only reachable through the mutators below, which
+//! keep two station-space [`BitRing`]s (flits, I-tags) in sync with the
+//! slot arrays. The occupancy-indexed tick reads those bitsets to visit
+//! only stations where something can happen.
 
+use crate::bits::BitRing;
 use crate::flit::Flit;
 use crate::ids::{ChipletId, Direction, NodeId, RingId, RingKind};
-
-/// One circulating ring slot.
-#[derive(Debug, Clone, Default)]
-pub struct Slot {
-    /// The flit occupying the slot, if any.
-    pub flit: Option<Flit>,
-    /// I-tag: the node interface this slot is reserved for.
-    pub itag: Option<NodeId>,
-}
 
 /// One unidirectional lane of a ring.
 #[derive(Debug, Clone)]
 pub struct Lane {
     dir: Direction,
-    slots: Vec<Slot>,
+    /// Flit per slot, indexed by slot position (not station).
+    flits: Vec<Option<Flit>>,
+    /// I-tag per slot: the node interface the slot is reserved for.
+    itags: Vec<Option<NodeId>>,
     /// Rotation offset: slot `i` currently sits at station
     /// `(i + offset) mod n` (Cw) or `(i - offset) mod n` (Ccw).
     offset: usize,
+    /// Station-space occupancy bits, rotated alongside `offset`.
+    flit_bits: BitRing,
+    /// Station-space I-tag bits, rotated alongside `offset`.
+    itag_bits: BitRing,
 }
 
 impl Lane {
@@ -33,8 +37,11 @@ impl Lane {
     pub fn new(dir: Direction, stations: u16) -> Self {
         Lane {
             dir,
-            slots: vec![Slot::default(); stations as usize],
+            flits: vec![None; stations as usize],
+            itags: vec![None; stations as usize],
             offset: 0,
+            flit_bits: BitRing::new(stations as usize),
+            itag_bits: BitRing::new(stations as usize),
         }
     }
 
@@ -45,17 +52,17 @@ impl Lane {
 
     /// Number of slots (= stations).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.flits.len()
     }
 
     /// Whether the lane has zero slots (never true for built networks).
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.flits.is_empty()
     }
 
     #[inline]
     fn index_of_station(&self, station: u16) -> usize {
-        let n = self.slots.len();
+        let n = self.flits.len();
         let s = station as usize;
         match self.dir {
             Direction::Cw => (s + n - self.offset % n) % n,
@@ -63,43 +70,130 @@ impl Lane {
         }
     }
 
-    /// The slot currently positioned at `station`.
+    /// The flit in the slot currently at `station`, if any.
     #[inline]
-    pub fn slot_at(&self, station: u16) -> &Slot {
-        &self.slots[self.index_of_station(station)]
+    pub fn flit_at(&self, station: u16) -> Option<&Flit> {
+        self.flits[self.index_of_station(station)].as_ref()
     }
 
-    /// Mutable access to the slot currently at `station`.
+    /// Remove and return the flit in the slot currently at `station`.
     #[inline]
-    pub fn slot_at_mut(&mut self, station: u16) -> &mut Slot {
+    pub fn take_flit(&mut self, station: u16) -> Option<Flit> {
         let i = self.index_of_station(station);
-        &mut self.slots[i]
+        let f = self.flits[i].take();
+        if f.is_some() {
+            self.flit_bits.clear(station as usize);
+        }
+        f
+    }
+
+    /// Place `flit` into the slot currently at `station`.
+    ///
+    /// Panics if the slot is occupied — callers must check `flit_at`
+    /// (or have just `take_flit`-ed) first.
+    #[inline]
+    pub fn put_flit(&mut self, station: u16, flit: Flit) {
+        let i = self.index_of_station(station);
+        assert!(
+            self.flits[i].is_none(),
+            "slot at station {station} occupied"
+        );
+        self.flits[i] = Some(flit);
+        self.flit_bits.set(station as usize);
+    }
+
+    /// The I-tag on the slot currently at `station`, if any.
+    #[inline]
+    pub fn itag_at(&self, station: u16) -> Option<NodeId> {
+        self.itags[self.index_of_station(station)]
+    }
+
+    /// Reserve the slot currently at `station` for `owner`.
+    ///
+    /// Panics if the slot already carries an I-tag.
+    #[inline]
+    pub fn set_itag(&mut self, station: u16, owner: NodeId) {
+        let i = self.index_of_station(station);
+        assert!(
+            self.itags[i].is_none(),
+            "slot at station {station} already tagged"
+        );
+        self.itags[i] = Some(owner);
+        self.itag_bits.set(station as usize);
+    }
+
+    /// Remove and return the I-tag on the slot currently at `station`.
+    #[inline]
+    pub fn take_itag(&mut self, station: u16) -> Option<NodeId> {
+        let i = self.index_of_station(station);
+        let t = self.itags[i].take();
+        if t.is_some() {
+            self.itag_bits.clear(station as usize);
+        }
+        t
     }
 
     /// Shift every slot one station in the lane's direction and charge
-    /// one hop to each in-flight flit.
+    /// one hop to each in-flight flit. Costs O(words + occupancy), not
+    /// O(stations): the bitsets rotate with the slots and hop-charging
+    /// touches only occupied slots.
     pub fn advance(&mut self) {
-        self.offset = (self.offset + 1) % self.slots.len().max(1);
-        for slot in &mut self.slots {
-            if let Some(f) = &mut slot.flit {
-                f.hops += 1;
+        let n = self.flits.len();
+        if n == 0 {
+            return;
+        }
+        self.offset = (self.offset + 1) % n;
+        match self.dir {
+            Direction::Cw => {
+                self.flit_bits.rotate_up();
+                self.itag_bits.rotate_up();
+            }
+            Direction::Ccw => {
+                self.flit_bits.rotate_down();
+                self.itag_bits.rotate_down();
+            }
+        }
+        for wi in 0..self.flit_bits.words().len() {
+            let mut w = self.flit_bits.words()[wi];
+            while w != 0 {
+                let s = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let i = self.index_of_station(s as u16);
+                self.flits[i]
+                    .as_mut()
+                    .expect("occupancy bit set for empty slot")
+                    .hops += 1;
             }
         }
     }
 
     /// Number of occupied slots.
+    #[inline]
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.flit.is_some()).count()
-    }
-
-    /// Iterate over all slots (arbitrary positional order).
-    pub fn slots(&self) -> impl Iterator<Item = &Slot> {
-        self.slots.iter()
+        self.flit_bits.count_ones()
     }
 
     /// Number of I-tag-reserved slots currently circulating.
+    #[inline]
     pub fn itag_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.itag.is_some()).count()
+        self.itag_bits.count_ones()
+    }
+
+    /// Station-space occupancy bitset.
+    #[inline]
+    pub fn flit_bits(&self) -> &BitRing {
+        &self.flit_bits
+    }
+
+    /// Station-space I-tag bitset.
+    #[inline]
+    pub fn itag_bits(&self) -> &BitRing {
+        &self.itag_bits
+    }
+
+    /// Iterate over all in-flight flits (arbitrary positional order).
+    pub fn flits(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter().filter_map(|f| f.as_ref())
     }
 }
 
@@ -174,55 +268,76 @@ mod tests {
     #[test]
     fn cw_lane_moves_flit_forward() {
         let mut lane = Lane::new(Direction::Cw, 4);
-        lane.slot_at_mut(0).flit = Some(test_flit(1));
+        lane.put_flit(0, test_flit(1));
         lane.advance();
-        assert!(lane.slot_at(0).flit.is_none());
-        assert!(lane.slot_at(1).flit.is_some());
+        assert!(lane.flit_at(0).is_none());
+        assert!(lane.flit_at(1).is_some());
+        assert!(lane.flit_bits().test(1));
+        assert!(!lane.flit_bits().test(0));
         lane.advance();
-        assert!(lane.slot_at(2).flit.is_some());
+        assert!(lane.flit_at(2).is_some());
         // Wrap-around.
         lane.advance();
         lane.advance();
-        assert!(lane.slot_at(0).flit.is_some());
+        assert!(lane.flit_at(0).is_some());
+        assert!(lane.flit_bits().test(0));
     }
 
     #[test]
     fn ccw_lane_moves_flit_backward() {
         let mut lane = Lane::new(Direction::Ccw, 4);
-        lane.slot_at_mut(2).flit = Some(test_flit(1));
+        lane.put_flit(2, test_flit(1));
         lane.advance();
-        assert!(lane.slot_at(1).flit.is_some());
+        assert!(lane.flit_at(1).is_some());
+        assert!(lane.flit_bits().test(1));
         lane.advance();
-        assert!(lane.slot_at(0).flit.is_some());
+        assert!(lane.flit_at(0).is_some());
         lane.advance();
-        assert!(lane.slot_at(3).flit.is_some());
+        assert!(lane.flit_at(3).is_some());
+        assert!(lane.flit_bits().test(3));
     }
 
     #[test]
     fn advance_charges_hops() {
         let mut lane = Lane::new(Direction::Cw, 4);
-        lane.slot_at_mut(0).flit = Some(test_flit(1));
+        lane.put_flit(0, test_flit(1));
         lane.advance();
         lane.advance();
-        assert_eq!(lane.slot_at(2).flit.as_ref().unwrap().hops, 2);
+        assert_eq!(lane.flit_at(2).unwrap().hops, 2);
     }
 
     #[test]
     fn itag_rides_the_slot() {
         let mut lane = Lane::new(Direction::Cw, 4);
-        lane.slot_at_mut(0).itag = Some(NodeId(9));
+        lane.set_itag(0, NodeId(9));
         lane.advance();
-        assert_eq!(lane.slot_at(1).itag, Some(NodeId(9)));
-        assert!(lane.slot_at(0).itag.is_none());
+        assert_eq!(lane.itag_at(1), Some(NodeId(9)));
+        assert!(lane.itag_at(0).is_none());
+        assert!(lane.itag_bits().test(1));
+        assert_eq!(lane.take_itag(1), Some(NodeId(9)));
+        assert_eq!(lane.itag_count(), 0);
+        assert!(!lane.itag_bits().test(1));
+    }
+
+    #[test]
+    fn take_put_maintains_bits() {
+        let mut lane = Lane::new(Direction::Cw, 4);
+        lane.put_flit(3, test_flit(7));
+        let f = lane.take_flit(3).unwrap();
+        assert_eq!(f.id, 7);
+        assert_eq!(lane.occupancy(), 0);
+        assert!(!lane.flit_bits().test(3));
+        assert!(lane.take_flit(3).is_none());
     }
 
     #[test]
     fn occupancy_counts() {
         let mut lane = Lane::new(Direction::Cw, 4);
         assert_eq!(lane.occupancy(), 0);
-        lane.slot_at_mut(0).flit = Some(test_flit(1));
-        lane.slot_at_mut(2).flit = Some(test_flit(2));
+        lane.put_flit(0, test_flit(1));
+        lane.put_flit(2, test_flit(2));
         assert_eq!(lane.occupancy(), 2);
+        assert_eq!(lane.flits().count(), 2);
     }
 
     #[test]

@@ -23,10 +23,16 @@ pub struct Hop {
 
 /// Precomputed next-hop table: for every (ring, destination node) pair,
 /// the station and agent to eject into on that ring.
+///
+/// Stored as one dense ring-major array (`ring * stride + node`) so the
+/// per-arrival `exit` lookup in the tick hot path is a single indexed
+/// load with no nested-`Vec` pointer chase.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    /// `next[ring][node]` — exit hop on `ring` toward `node`.
-    next: Vec<Vec<Option<Hop>>>,
+    /// Exit hop at `ring.index() * stride + node.index()`.
+    next: Vec<Option<Hop>>,
+    /// Row stride of `next` (= node count at build time).
+    stride: usize,
     /// Bridge-count distance between rings (`u32::MAX` = unreachable).
     ring_dist: Vec<Vec<u32>>,
 }
@@ -51,13 +57,13 @@ impl RouteTable {
 
         // BFS from every ring for bridge-count distances.
         let mut ring_dist = vec![vec![u32::MAX; nrings]; nrings];
-        for start in 0..nrings {
-            ring_dist[start][start] = 0;
+        for (start, dist) in ring_dist.iter_mut().enumerate() {
+            dist[start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(r) = queue.pop_front() {
                 for &(nbr, _) in &adj[r] {
-                    if ring_dist[start][nbr] == u32::MAX {
-                        ring_dist[start][nbr] = ring_dist[start][r] + 1;
+                    if dist[nbr] == u32::MAX {
+                        dist[nbr] = dist[r] + 1;
                         queue.push_back(nbr);
                     }
                 }
@@ -80,8 +86,9 @@ impl RouteTable {
                 .collect()
         };
 
-        // Exit hop per (ring, destination node).
-        let mut next = vec![vec![None; nodes.len()]; nrings];
+        // Exit hop per (ring, destination node), ring-major.
+        let stride = nodes.len();
+        let mut next = vec![None; nrings * stride];
         for dst in nodes {
             for ring in 0..nrings {
                 let hop = if dst.ring.index() == ring {
@@ -102,18 +109,22 @@ impl RouteTable {
                         })
                     }
                 };
-                next[ring][dst.id.index()] = hop;
+                next[ring * stride + dst.id.index()] = hop;
             }
         }
 
-        RouteTable { next, ring_dist }
+        RouteTable {
+            next,
+            stride,
+            ring_dist,
+        }
     }
 
     /// Exit hop on `ring` for a flit destined to `dst`, or `None` when
     /// unreachable.
     #[inline]
     pub fn exit(&self, ring: RingId, dst: NodeId) -> Option<Hop> {
-        self.next[ring.index()][dst.index()]
+        self.next[ring.index() * self.stride + dst.index()]
     }
 
     /// Number of ring changes (bridge traversals) between two rings.

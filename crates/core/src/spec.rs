@@ -334,10 +334,7 @@ mod tests {
     fn rejects_unknown_chiplet_reference() {
         let mut spec = two_die_spec();
         spec.bridges[0].a.chiplet = "nope".into();
-        assert!(matches!(
-            spec.build(),
-            Err(SpecError::UnknownChiplet(_))
-        ));
+        assert!(matches!(spec.build(), Err(SpecError::UnknownChiplet(_))));
     }
 
     #[test]
@@ -354,10 +351,7 @@ mod tests {
             name: "cpu".into(),
             station: 2,
         });
-        assert!(matches!(
-            spec.build(),
-            Err(SpecError::DuplicateDevice(_))
-        ));
+        assert!(matches!(spec.build(), Err(SpecError::DuplicateDevice(_))));
     }
 
     #[test]

@@ -115,6 +115,72 @@ impl NetStats {
     pub fn outstanding(&self) -> u64 {
         self.enqueued.get() - self.delivered.get()
     }
+
+    /// A semantic digest of the run: every counter plus a
+    /// (count, sum, max) triple per histogram.
+    ///
+    /// Two networks that simulated the same traffic identically produce
+    /// equal fingerprints. Engine instrumentation (station visit counts,
+    /// sweep fallbacks) deliberately lives in
+    /// [`TickProfile`], not here, so the occupancy-indexed
+    /// and reference tick paths can be compared with `fingerprint()`
+    /// while legitimately differing in how much work they did.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.enqueued.get(),
+            self.injected.get(),
+            self.delivered.get(),
+            self.delivered_bytes.get(),
+            self.deflections.get(),
+            self.itags_placed.get(),
+            self.etags_placed.get(),
+            self.drm_entries.get(),
+            self.swaps.get(),
+            self.bridge_crossings.get(),
+        ];
+        let hists = self
+            .total_latency
+            .iter()
+            .chain(self.network_latency.iter())
+            .chain([&self.hops, &self.deflections_per_flit]);
+        for h in hists {
+            fp.extend([h.count(), h.sum(), h.max()]);
+        }
+        fp
+    }
+}
+
+/// Engine-level instrumentation of the tick loop itself.
+///
+/// These counters describe how much work the sweep did — not what the
+/// simulated network did — so they are kept out of [`NetStats`] and its
+/// [`NetStats::fingerprint`]: the occupancy-indexed fast path and the
+/// reference full sweep produce identical `NetStats` but very different
+/// profiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickProfile {
+    /// Cycles simulated.
+    pub ticks: u64,
+    /// Lane passes performed (rings × lanes × ticks).
+    pub lane_passes: u64,
+    /// Stations a full sweep would have visited.
+    pub stations_total: u64,
+    /// Stations actually visited.
+    pub stations_visited: u64,
+    /// Lane passes that fell back to a full sweep (saturated lane).
+    pub full_lane_sweeps: u64,
+}
+
+impl TickProfile {
+    /// Fraction of station visits skipped relative to a full sweep
+    /// (0.0 for the reference mode or a fully saturated network).
+    pub fn skip_fraction(&self) -> f64 {
+        if self.stations_total == 0 {
+            0.0
+        } else {
+            1.0 - self.stations_visited as f64 / self.stations_total as f64
+        }
+    }
 }
 
 impl Default for NetStats {
@@ -131,15 +197,7 @@ mod tests {
     #[test]
     fn delivery_updates_everything() {
         let mut s = NetStats::new();
-        let mut f = Flit::new(
-            1,
-            NodeId(0),
-            NodeId(1),
-            FlitClass::Data,
-            64,
-            0,
-            Cycle(10),
-        );
+        let mut f = Flit::new(1, NodeId(0), NodeId(1), FlitClass::Data, 64, 0, Cycle(10));
         f.injected_at = Some(Cycle(12));
         f.hops = 5;
         f.deflections = 1;

@@ -267,13 +267,19 @@ impl TopologyBuilder {
             format!("{id}.a"),
             ring_a,
             station_a,
-            NodeKind::BridgeEndpoint { bridge: id, side: 0 },
+            NodeKind::BridgeEndpoint {
+                bridge: id,
+                side: 0,
+            },
         )?;
         let b = match self.attach(
             format!("{id}.b"),
             ring_b,
             station_b,
-            NodeKind::BridgeEndpoint { bridge: id, side: 1 },
+            NodeKind::BridgeEndpoint {
+                bridge: id,
+                side: 1,
+            },
         ) {
             Ok(b) => b,
             Err(e) => {
@@ -452,10 +458,7 @@ mod tests {
         let r1 = b.add_ring(d, RingKind::Full, 4).unwrap();
         b.add_node("a", r0, 0).unwrap();
         b.add_node("b", r1, 0).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(TopologyError::Unreachable { .. })
-        ));
+        assert!(matches!(b.build(), Err(TopologyError::Unreachable { .. })));
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn single_full_ring(stations: u16, devices: &[u16]) -> (Network, Vec<NodeId>) {
         .iter()
         .map(|&s| b.add_node(format!("dev{s}"), r, s).unwrap())
         .collect();
-    (Network::new(b.build().unwrap(), NetworkConfig::default()), ids)
+    (
+        Network::new(b.build().unwrap(), NetworkConfig::default()),
+        ids,
+    )
 }
 
 fn drain(net: &mut Network, node: NodeId) -> Vec<noc_core::Flit> {
@@ -162,13 +165,12 @@ fn starved_injector_gets_itag_and_progresses() {
         // Aggressors keep their inject queues full.
         let _ = net.enqueue(ids[0], sink, FlitClass::Data, 64, 0);
         let _ = net.enqueue(ids[1], sink, FlitClass::Data, 64, 0);
-        if victim_sent < 20 {
-            if net
+        if victim_sent < 20
+            && net
                 .enqueue(ids[2], sink, FlitClass::Request, 64, 99)
                 .is_ok()
-            {
-                victim_sent += 1;
-            }
+        {
+            victim_sent += 1;
         }
         net.tick();
         drain(&mut net, sink);
@@ -234,7 +236,11 @@ fn l2_bridge_adds_phy_latency() {
         let z = b.add_node("z", r1, 4).unwrap();
         b.add_bridge(BridgeConfig::l2().with_latency(latency), r0, 2, r1, 6)
             .unwrap();
-        (Network::new(b.build().unwrap(), NetworkConfig::default()), a, z)
+        (
+            Network::new(b.build().unwrap(), NetworkConfig::default()),
+            a,
+            z,
+        )
     };
     let latency_of = |lat: u32| {
         let (mut net, a, z) = build(lat);
@@ -287,8 +293,7 @@ fn cross_ring_flood(swap: bool) -> (Network, Vec<NodeId>, Vec<NodeId>) {
 }
 
 fn run_flood(net: &mut Network, a: &[NodeId], z: &[NodeId], cycles: u64) -> u64 {
-    let mut rr = 0usize;
-    for _ in 0..cycles {
+    for rr in 0..cycles as usize {
         for (i, &src) in a.iter().enumerate() {
             let dst = z[(i + rr) % z.len()];
             let _ = net.enqueue(src, dst, FlitClass::Data, 64, 0);
@@ -297,7 +302,6 @@ fn run_flood(net: &mut Network, a: &[NodeId], z: &[NodeId], cycles: u64) -> u64 
             let dst = a[(i + rr) % a.len()];
             let _ = net.enqueue(src, dst, FlitClass::Data, 64, 0);
         }
-        rr += 1;
         net.tick();
         for &n in a.iter().chain(z) {
             while net.pop_delivered(n).is_some() {}

@@ -32,10 +32,7 @@ fn consumer_stall_and_recovery() {
     let mut sent_by = 0u64;
     let mut got_by = 0u64;
     for cycle in 0..6_000u64 {
-        if net
-            .enqueue(ids[0], sink, FlitClass::Data, 64, 0)
-            .is_ok()
-        {
+        if net.enqueue(ids[0], sink, FlitClass::Data, 64, 0).is_ok() {
             sent_sink += 1;
         }
         if net
@@ -99,7 +96,11 @@ fn all_consumers_stall_then_resume() {
         }
     }
     assert_eq!(net.in_flight(), 0);
-    assert_eq!(net.stats().delivered.get(), sent, "nothing lost during the freeze");
+    assert_eq!(
+        net.stats().delivered.get(),
+        sent,
+        "nothing lost during the freeze"
+    );
 }
 
 #[test]

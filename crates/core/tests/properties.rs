@@ -21,15 +21,28 @@ fn build_net(
     let r1 = b.add_ring(d1, RingKind::Full, stations_b).unwrap();
     let mut ids = Vec::new();
     for i in 0..na {
-        ids.push(b.add_node(format!("a{i}"), r0, i % (stations_a - 1)).unwrap());
+        ids.push(
+            b.add_node(format!("a{i}"), r0, i % (stations_a - 1))
+                .unwrap(),
+        );
     }
     for i in 0..nb {
-        ids.push(b.add_node(format!("b{i}"), r1, i % (stations_b - 1)).unwrap());
+        ids.push(
+            b.add_node(format!("b{i}"), r1, i % (stations_b - 1))
+                .unwrap(),
+        );
     }
-    let cfg = if l2 { BridgeConfig::l2() } else { BridgeConfig::l1() };
+    let cfg = if l2 {
+        BridgeConfig::l2()
+    } else {
+        BridgeConfig::l1()
+    };
     b.add_bridge(cfg, r0, stations_a - 1, r1, stations_b - 1)
         .unwrap();
-    (Network::new(b.build().unwrap(), NetworkConfig::default()), ids)
+    (
+        Network::new(b.build().unwrap(), NetworkConfig::default()),
+        ids,
+    )
 }
 
 proptest! {
@@ -214,7 +227,183 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1, per-tick form: after *every* cycle, the flits
+    /// physically resident in the network (queues, slots, bridge pipes,
+    /// escape buffers) equal the in-flight count plus undrained device
+    /// deliveries — nothing is ever dropped or duplicated mid-flight.
+    #[test]
+    fn per_tick_flit_conservation(
+        stations_a in 4u16..12,
+        stations_b in 4u16..12,
+        na in 2u16..6,
+        nb in 2u16..6,
+        l2 in any::<bool>(),
+        drain_period in 1u64..5,
+        pattern in proptest::collection::vec((0u16..12, 0u16..12), 40..160),
+    ) {
+        let (mut net, ids) = build_net(stations_a, stations_b, na, nb, l2);
+        let n = ids.len() as u16;
+        for (i, &(s, d)) in pattern.iter().enumerate() {
+            let src = ids[(s % n) as usize];
+            let dst = ids[(d % n) as usize];
+            if src != dst {
+                let _ = net.enqueue(src, dst, FlitClass::Data, 64, i as u64);
+            }
+            net.tick();
+            if (i as u64).is_multiple_of(drain_period) {
+                for &node in &ids {
+                    while net.pop_delivered(node).is_some() {}
+                }
+            }
+            let undrained: u64 = ids.iter().map(|&x| net.delivered_len(x) as u64).sum();
+            prop_assert_eq!(
+                net.count_resident_flits(),
+                net.in_flight() + undrained,
+                "cycle {}: resident flits diverged from outstanding + undrained",
+                i
+            );
+            prop_assert_eq!(
+                net.stats().enqueued.get(),
+                net.stats().delivered.get() + net.in_flight(),
+                "cycle {}: enqueued != delivered + in_flight",
+                i
+            );
+        }
+        // Drain phase: invariant must keep holding to the end.
+        for _ in 0..20_000 {
+            if net.in_flight() == 0 { break; }
+            net.tick();
+            for &node in &ids {
+                while net.pop_delivered(node).is_some() {}
+            }
+            prop_assert_eq!(net.count_resident_flits(), net.in_flight());
+        }
+        prop_assert_eq!(net.in_flight(), 0, "network failed to drain");
+    }
+
+    /// Invariant 2, exact form (§3.4.3): a single deflected flit whose
+    /// destination resumes draining takes exactly one extra lap — its
+    /// E-tag reservation wins the first freed buffer, so it ejects on
+    /// its next pass.
+    #[test]
+    fn etag_single_deflection_costs_one_lap(
+        stations in 8u16..24,
+        eject_cap in 1usize..4,
+    ) {
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let r = b.add_ring(die, RingKind::Full, stations).unwrap();
+        let sink = b.add_node("sink", r, 0).unwrap();
+        let blocker_src = b.add_node("blk", r, 1).unwrap();
+        let probe_station = stations / 2;
+        let probe_src = b.add_node("probe", r, probe_station).unwrap();
+        let mut net = Network::new(
+            b.build().unwrap(),
+            NetworkConfig { eject_queue_cap: eject_cap, ..NetworkConfig::default() },
+        );
+        // Fill the sink's eject queue and leave it undrained.
+        let mut sent = 0usize;
+        for _ in 0..200 {
+            if sent < eject_cap
+                && net.enqueue(blocker_src, sink, FlitClass::Data, 64, 0).is_ok()
+            {
+                sent += 1;
+            }
+            net.tick();
+            if net.delivered_len(sink) == eject_cap && net.in_flight() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(net.delivered_len(sink), eject_cap);
+        // Send the probe into the full sink: it must deflect once and
+        // place an E-tag.
+        net.enqueue(probe_src, sink, FlitClass::Data, 64, 42).unwrap();
+        for _ in 0..(4 * stations as u64) {
+            net.tick();
+            if net.stats().etags_placed.get() > 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(net.stats().etags_placed.get(), 1, "probe never deflected");
+        // Resume draining: the probe must arrive within one further lap.
+        let mut probe = None;
+        for _ in 0..(4 * stations as u64) {
+            net.tick();
+            while let Some(f) = net.pop_delivered(sink) {
+                if f.token == 42 {
+                    probe = Some(f);
+                }
+            }
+            if probe.is_some() {
+                break;
+            }
+        }
+        let probe = probe.expect("probe never delivered");
+        prop_assert_eq!(probe.deflections, 1, "more than one extra lap");
+        // Direct distance plus exactly one circumference (±1 cycle of
+        // injection skew).
+        let direct = (stations - probe_station) as u32; // shorter-arc Cw/Ccw symmetric
+        prop_assert!(
+            probe.hops <= direct.min(probe_station as u32) + stations as u32 + 1,
+            "hops {} exceed one-extra-lap bound (stations {}, direct {})",
+            probe.hops, stations, direct
+        );
+    }
+
+    /// Invariant 3 (§4.1.2): with deflection-free traffic, a starving
+    /// injector waits at most `itag_threshold` cycles before tagging a
+    /// slot plus one circumference for the tag to come back — the
+    /// starve counter never exceeds threshold + stations.
+    #[test]
+    fn itag_starvation_bound(
+        threshold in 4u32..14,
+        extra_load in 0u16..2,
+    ) {
+        let stations = 16u16;
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let r = b.add_ring(die, RingKind::Full, stations).unwrap();
+        // Upstream sources flood the Cw lane through the victim's
+        // station; every flow's shorter arc is clockwise.
+        let nsrc = 3 + extra_load;
+        let srcs: Vec<NodeId> = (0..nsrc)
+            .map(|i| b.add_node(format!("s{i}"), r, 1 + i).unwrap())
+            .collect();
+        let victim = b.add_node("victim", r, 1 + nsrc).unwrap();
+        let dsts: Vec<NodeId> = (0..nsrc)
+            .map(|i| b.add_node(format!("d{i}"), r, 9 + i).unwrap())
+            .collect();
+        let victim_dst = b.add_node("vd", r, (9 + nsrc) % stations).unwrap();
+        let mut net = Network::new(
+            b.build().unwrap(),
+            NetworkConfig { itag_threshold: threshold, ..NetworkConfig::default() },
+        );
+        let mut max_starve = 0u32;
+        for cycle in 0..2_000u64 {
+            for (i, &s) in srcs.iter().enumerate() {
+                let _ = net.enqueue(s, dsts[i], FlitClass::Data, 64, cycle);
+            }
+            if net.inject_len(victim) == 0 {
+                let _ = net.enqueue(victim, victim_dst, FlitClass::Data, 64, cycle);
+            }
+            net.tick();
+            max_starve = max_starve.max(net.starve_of(victim));
+            for &d in dsts.iter().chain([&victim_dst]) {
+                while net.pop_delivered(d).is_some() {}
+            }
+        }
+        // Precondition: the bound below assumes tagged slots return
+        // empty, which holds only without deflections.
+        prop_assert_eq!(net.stats().deflections.get(), 0, "scenario not deflection-free");
+        prop_assert!(net.stats().itags_placed.get() > 0, "victim never starved to threshold");
+        prop_assert!(
+            max_starve <= threshold + stations as u32,
+            "starve counter reached {} > threshold {} + circumference {}",
+            max_starve, threshold, stations
+        );
+    }
 
     /// Parallel equal-cost bridges between two rings all carry traffic:
     /// the route table hashes destinations across them (DESIGN.md §5).

@@ -58,8 +58,7 @@ pub fn rank_fabrics(
     weights: ChoiceWeights,
 ) -> Vec<ScoredFabric> {
     assert!(!candidates.is_empty(), "need at least one candidate");
-    let estimates: Vec<FloorplanEstimate> =
-        candidates.iter().map(|f| spec.estimate(f)).collect();
+    let estimates: Vec<FloorplanEstimate> = candidates.iter().map(|f| spec.estimate(f)).collect();
     let max_lat = estimates
         .iter()
         .map(|e| e.lap_latency_cycles as f64)
@@ -122,10 +121,7 @@ pub fn best_fabric(spec: &FloorplanSpec) -> ScoredFabric {
 
 /// Sweep target frequencies and report the winning fabric at each — the
 /// frequency axis of the co-design space.
-pub fn frequency_sweep(
-    base: &FloorplanSpec,
-    freqs_ghz: &[f64],
-) -> Vec<(f64, ScoredFabric)> {
+pub fn frequency_sweep(base: &FloorplanSpec, freqs_ghz: &[f64]) -> Vec<(f64, ScoredFabric)> {
     freqs_ghz
         .iter()
         .map(|&f| {

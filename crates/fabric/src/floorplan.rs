@@ -76,8 +76,7 @@ impl FloorplanSpec {
         let station_mm2 = stations as f64 * self.station_area_mm2 * self.ring_lanes as f64;
 
         let die_mm2 = self.width_mm * self.height_mm;
-        let bandwidth_bytes_per_cycle =
-            (self.bus_bits as f64 / 8.0) * self.ring_lanes as f64;
+        let bandwidth_bytes_per_cycle = (self.bus_bits as f64 / 8.0) * self.ring_lanes as f64;
         let bandwidth_gbs = bandwidth_bytes_per_cycle * self.freq_ghz;
 
         FloorplanEstimate {

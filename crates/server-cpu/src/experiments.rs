@@ -146,8 +146,7 @@ where
         .iter()
         .map(|&rate| {
             let (mut h, probe, noise) = factory();
-            let report =
-                h.run_probe_with_noise(probe, &noise, rate, read_frac, warmup, measure);
+            let report = h.run_probe_with_noise(probe, &noise, rate, read_frac, warmup, measure);
             LatencyPoint {
                 noise_rate: rate,
                 probe_latency: report.per_requester[0].mean_latency(),
@@ -219,13 +218,25 @@ mod tests {
         let helper = s.map.clusters_of_ccd(0)[2];
         let intra_reader = s.map.clusters_of_ccd(0)[1];
         let inter_reader = s.map.clusters_of_ccd(1)[0];
-        let intra =
-            coherence_ping(&mut s.sys, owner, helper, intra_reader, PreparedState::M, &addrs);
+        let intra = coherence_ping(
+            &mut s.sys,
+            owner,
+            helper,
+            intra_reader,
+            PreparedState::M,
+            &addrs,
+        );
         let mut s2 = ServerCpu::build(cfg).unwrap();
         let owner2 = s2.map.clusters_of_ccd(0)[0];
         let helper2 = s2.map.clusters_of_ccd(0)[2];
-        let inter =
-            coherence_ping(&mut s2.sys, owner2, helper2, inter_reader, PreparedState::M, &addrs);
+        let inter = coherence_ping(
+            &mut s2.sys,
+            owner2,
+            helper2,
+            inter_reader,
+            PreparedState::M,
+            &addrs,
+        );
         assert!(
             inter > intra,
             "cross-die coherence ({inter}) must cost more than intra ({intra})"

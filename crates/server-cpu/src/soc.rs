@@ -106,9 +106,7 @@ impl ServerCpuMap {
 ///
 /// Propagates [`TopologyError`] if the configuration is degenerate
 /// (zero rings, etc.).
-pub fn build_topology(
-    cfg: &ServerCpuConfig,
-) -> Result<(Topology, ServerCpuMap), TopologyError> {
+pub fn build_topology(cfg: &ServerCpuConfig) -> Result<(Topology, ServerCpuMap), TopologyError> {
     let mut b = TopologyBuilder::new();
     let mut map = ServerCpuMap {
         clusters: Vec::new(),
@@ -129,8 +127,7 @@ pub fn build_topology(
             // DDR share port 1 of the body; the last three stations are
             // reserved for bridge endpoints (dual CCD↔CCD bridges plus
             // links to both I/O dies).
-            let stations = (cfg.clusters_per_ccd.max(cfg.hn_per_ccd + cfg.ddr_per_ccd) + 3)
-                as u16;
+            let stations = (cfg.clusters_per_ccd.max(cfg.hn_per_ccd + cfg.ddr_per_ccd) + 3) as u16;
             let body = stations - 3;
             let ring = b.add_ring(die, RingKind::Full, stations)?;
             ccd_rings.push(ring);
@@ -163,7 +160,9 @@ pub fn build_topology(
                 .push(b.add_node(format!("p{pkg}.iod{i}.pa"), ring, 4)?);
         }
         // In-package bridges (RBRG-L2 over the parallel die-to-die PHY).
-        let d2d = BridgeConfig::l2().with_latency(cfg.d2d_latency).with_width(2);
+        let d2d = BridgeConfig::l2()
+            .with_latency(cfg.d2d_latency)
+            .with_width(2);
         let pkg_ccds = &ccd_rings[pkg * cfg.ccd_count..(pkg + 1) * cfg.ccd_count];
         let pkg_iods = &iod_rings[pkg * cfg.iod_count..(pkg + 1) * cfg.iod_count];
         // CCD chain (CCD0↔CCD1↔…): two parallel bridges per pair at the
@@ -236,8 +235,8 @@ impl ServerCpu {
                 llc: cfg.llc,
                 line_bytes: 64,
                 local_hit_latency: 10,
-            hn_latency: 12,
-            snoop_latency: 6,
+                hn_latency: 12,
+                snoop_latency: 6,
             },
         );
         Ok(ServerCpu { sys, map, cfg })

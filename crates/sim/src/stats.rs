@@ -487,7 +487,7 @@ mod tests {
             h.record(40);
         }
         let p = h.percentile(0.5);
-        assert!(p >= 32 && p <= 63, "p50 {p}");
+        assert!((32..=63).contains(&p), "p50 {p}");
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn resnet50(batch: u32) -> NnModel {
 pub fn bert_large(batch: u32, seq: u32) -> NnModel {
     let tokens = (batch * seq) as f64;
     let fwd = 0.68 * tokens; // GFLOP
-    // Activations ≈ hidden(1024) × layers(24) × ~10 tensors × 2B/token.
+                             // Activations ≈ hidden(1024) × layers(24) × ~10 tensors × 2B/token.
     let act_gb_per_token = 0.5e-3;
     // Attention scores: heads(16) × seq × 2B per token, touched ~4×.
     let score_gb_per_token = 16.0 * seq as f64 * 2.0 * 4.0 / 1e9;
@@ -148,7 +148,12 @@ pub fn bert_large(batch: u32, seq: u32) -> NnModel {
                 0.45 * act_gb_per_token * tokens,
                 0.45 * act_gb_per_token * tokens,
             ),
-            layer("mlm head", 0.02 * fwd * 3.0, 0.02 * act_gb_per_token * tokens, 0.01 * act_gb_per_token * tokens),
+            layer(
+                "mlm head",
+                0.02 * fwd * 3.0,
+                0.02 * act_gb_per_token * tokens,
+                0.01 * act_gb_per_token * tokens,
+            ),
             layer("optimizer", 0.7, 2.7, 1.4), // 340M params fp16 + states
         ],
     }
@@ -178,7 +183,12 @@ pub fn gpt(params_b: f64, batch_tokens: u32) -> NnModel {
         name: format!("GPT ({params_b}B params)"),
         domain: "NLP",
         layers: vec![
-            layer("attention blocks", gflops * 0.35, 0.002 * tokens, 0.002 * tokens),
+            layer(
+                "attention blocks",
+                gflops * 0.35,
+                0.002 * tokens,
+                0.002 * tokens,
+            ),
             layer("mlp blocks", gflops * 0.6, 0.0015 * tokens, 0.0015 * tokens),
             layer("optimizer", params_b, params_b * 8.0, params_b * 4.0),
         ],
@@ -259,7 +269,10 @@ mod tests {
     #[test]
     fn gpt_is_compute_heavy() {
         let g = gpt(175.0, 2048);
-        assert!(g.total_gflops() > 1e6, "175B @ 2048 tokens is petaFLOP-scale");
+        assert!(
+            g.total_gflops() > 1e6,
+            "175B @ 2048 tokens is petaFLOP-scale"
+        );
         assert!(g.arithmetic_intensity() > 50.0);
     }
 

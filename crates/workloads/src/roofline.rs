@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn time_is_max_of_bounds() {
         let m = Machine::new("m", 1.0, 1.0); // 1 TFLOP/s, 1 TB/s
-        // 1000 GFLOP, 1 GB → compute-bound: 1 s vs 1 ms.
+                                             // 1000 GFLOP, 1 GB → compute-bound: 1 s vs 1 ms.
         assert!((m.time_s(1000.0, 1.0) - 1.0).abs() < 1e-9);
         // 1 GFLOP, 1000 GB → memory-bound: 1 s.
         assert!((m.time_s(1.0, 1000.0) - 1.0).abs() < 1e-9);

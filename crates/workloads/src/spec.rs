@@ -120,11 +120,7 @@ pub fn specint2006() -> Vec<SpecProfile> {
 pub fn geomean_ratio(ours: &[f64], baseline: &[f64]) -> f64 {
     assert_eq!(ours.len(), baseline.len());
     assert!(!ours.is_empty());
-    let log_sum: f64 = ours
-        .iter()
-        .zip(baseline)
-        .map(|(a, b)| (a / b).ln())
-        .sum();
+    let log_sum: f64 = ours.iter().zip(baseline).map(|(a, b)| (a / b).ln()).sum();
     (log_sum / ours.len() as f64).exp()
 }
 

@@ -198,7 +198,9 @@ mod tests {
 
     #[test]
     fn record_and_query() {
-        let t: Trace = [ev(1, 0, 1), ev(4, 1, 2), ev(4, 2, 0)].into_iter().collect();
+        let t: Trace = [ev(1, 0, 1), ev(4, 1, 2), ev(4, 2, 0)]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 3);
         assert_eq!(t.duration(), 4);
         assert_eq!(t.total_bytes(), 192);
@@ -222,7 +224,9 @@ mod tests {
 
     #[test]
     fn replay_respects_time_and_backpressure() {
-        let t: Trace = [ev(0, 0, 1), ev(0, 1, 2), ev(5, 2, 0)].into_iter().collect();
+        let t: Trace = [ev(0, 0, 1), ev(0, 1, 2), ev(5, 2, 0)]
+            .into_iter()
+            .collect();
         let mut r = t.replay();
         // First cycle: accept only the first event, push back the second.
         let mut calls = 0;

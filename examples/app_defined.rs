@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== {} ==", spec.name);
     print!("{}", summary(net.topology()));
-    println!("\n-- Graphviz (pipe through `dot -Tsvg`) --\n{}", to_dot(net.topology()));
+    println!(
+        "\n-- Graphviz (pipe through `dot -Tsvg`) --\n{}",
+        to_dot(net.topology())
+    );
 
     // Camera frames flow camera → npu; results npu → cpu; cpu fetches ddr.
     let mut sent = 0u64;
@@ -60,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sent += 1;
         }
         net.tick();
-        for (_, &node) in &names {
+        for &node in names.values() {
             while net.pop_delivered(node).is_some() {}
         }
     }

@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use noc_core::{
-    BridgeConfig, FlitClass, Network, NetworkConfig, RingKind, TopologyBuilder,
-};
+use noc_core::{BridgeConfig, FlitClass, Network, NetworkConfig, RingKind, TopologyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the topology: a compute die with a full (bidirectional)

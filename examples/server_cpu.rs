@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inter_reader = server2.map.clusters_of_ccd(1)[0];
     let addrs2 = lines_homed_at(
         &server2.sys,
-        &server2.map.home_nodes[..server2.cfg.hn_per_ccd].to_vec(),
+        &server2.map.home_nodes[..server2.cfg.hn_per_ccd],
         32,
         0x1_0000,
     );

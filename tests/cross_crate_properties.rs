@@ -1,12 +1,8 @@
 //! Cross-crate property tests: coherence + NoC invariants under random
 //! multi-chiplet traffic (DESIGN.md §6, invariants 1, 7, 8).
 
-use noc_chi::{
-    CoherentSystem, LineAddr, LlcParams, MemoryParams, ReadKind, SystemSpec,
-};
-use noc_core::{
-    BridgeConfig, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder,
-};
+use noc_chi::{CoherentSystem, LineAddr, LlcParams, MemoryParams, ReadKind, SystemSpec};
+use noc_core::{BridgeConfig, Network, NetworkConfig, NodeId, RingKind, TopologyBuilder};
 use proptest::prelude::*;
 
 /// Two-die coherent system with configurable geometry.
@@ -25,8 +21,14 @@ fn build(ring_stations: u16, rn_per_die: usize) -> (CoherentSystem, Vec<NodeId>)
     let hn1 = b.add_node("hn1", r1, ring_stations - 2).unwrap();
     let sn0 = b.add_node("sn0", r0, ring_stations - 3).unwrap();
     let sn1 = b.add_node("sn1", r1, ring_stations - 3).unwrap();
-    b.add_bridge(BridgeConfig::l2(), r0, ring_stations - 1, r1, ring_stations - 1)
-        .unwrap();
+    b.add_bridge(
+        BridgeConfig::l2(),
+        r0,
+        ring_stations - 1,
+        r1,
+        ring_stations - 1,
+    )
+    .unwrap();
     let net = Network::new(b.build().unwrap(), NetworkConfig::default());
     let sys = CoherentSystem::new(
         net,

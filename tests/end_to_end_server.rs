@@ -117,7 +117,8 @@ fn network_statistics_are_consistent_after_run() {
     let mut s = ServerCpu::build(small()).expect("builds");
     let clusters = s.map.clusters.clone();
     for (i, &rn) in clusters.iter().enumerate() {
-        s.sys.read(rn, LineAddr(0x4000 + i as u64), ReadKind::Shared);
+        s.sys
+            .read(rn, LineAddr(0x4000 + i as u64), ReadKind::Shared);
     }
     for _ in 0..100_000 {
         if s.sys.outstanding() == 0 {
@@ -140,7 +141,10 @@ fn network_statistics_are_consistent_after_run() {
         stats.delivered.get(),
         "all protocol flits must be delivered"
     );
-    assert!(stats.bridge_crossings.get() > 0, "cross-die traffic happened");
+    assert!(
+        stats.bridge_crossings.get() > 0,
+        "cross-die traffic happened"
+    );
 }
 
 #[test]

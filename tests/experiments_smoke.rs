@@ -36,7 +36,9 @@ fn table08_passes() {
 #[test]
 fn swap_and_itag_ablations_pass() {
     assert_no_fail(&noc_experiments::ablations::run_swap(Scale::Quick));
-    assert_no_fail(&noc_experiments::ablations::run_itag_threshold(Scale::Quick));
+    assert_no_fail(&noc_experiments::ablations::run_itag_threshold(
+        Scale::Quick,
+    ));
 }
 
 #[test]

@@ -12,7 +12,10 @@ fn build(n: u16) -> (Network, Vec<NodeId>) {
     let eps = (0..n)
         .map(|i| b.add_node(format!("n{i}"), r, i).unwrap())
         .collect();
-    (Network::new(b.build().unwrap(), NetworkConfig::default()), eps)
+    (
+        Network::new(b.build().unwrap(), NetworkConfig::default()),
+        eps,
+    )
 }
 
 /// Record a synthetic run into a trace.

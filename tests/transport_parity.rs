@@ -5,9 +5,7 @@
 
 use noc_baseline::{BufferedMesh, HubConfig, HubSpoke, MeshConfig};
 use noc_chi::system::ChiTransport;
-use noc_chi::{
-    CoherentSystem, LineAddr, LlcParams, MemoryParams, MesiState, ReadKind, SystemSpec,
-};
+use noc_chi::{CoherentSystem, LineAddr, LlcParams, MemoryParams, MesiState, ReadKind, SystemSpec};
 use noc_core::{Network, NetworkConfig, NodeId, RingKind, TopologyBuilder};
 
 const RNS: usize = 4;
@@ -30,7 +28,9 @@ fn spec(rns: Vec<NodeId>, hns: Vec<NodeId>, sns: Vec<NodeId>) -> SystemSpec {
 fn script() -> Vec<(usize, u64, u8)> {
     let mut seed = 0xDEAD_BEEFu64;
     let mut next = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         seed >> 33
     };
     (0..120)
@@ -73,7 +73,11 @@ fn run<T: ChiTransport>(
     }
     assert_eq!(sys.outstanding(), 0, "transport wedged");
     let states = (0..12u64)
-        .map(|l| rns.iter().map(|&rn| sys.rn_state(rn, LineAddr(l))).collect())
+        .map(|l| {
+            rns.iter()
+                .map(|&rn| sys.rn_state(rn, LineAddr(l)))
+                .collect()
+        })
         .collect();
     (states, sys.take_completions().len())
 }
@@ -173,7 +177,11 @@ fn final_ownership_matches_across_transports_for_serial_script() {
             sys.run_until_complete(txn, 300_000).expect("completes");
         }
         (0..12u64)
-            .map(|l| rns.iter().map(|&rn| sys.rn_state(rn, LineAddr(l))).collect())
+            .map(|l| {
+                rns.iter()
+                    .map(|&rn| sys.rn_state(rn, LineAddr(l)))
+                    .collect()
+            })
             .collect()
     }
     let (sys, rns) = ring_system();

@@ -1,0 +1,162 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `sample_size`, `throughput`, `bench_function`, `iter` /
+//! `iter_with_setup`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple wall-clock loop that prints mean
+//! time/iteration (and derived element throughput) per benchmark.
+
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+            done: 0,
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if b.done == 0 {
+            println!("bench {label}: no iterations");
+            return self;
+        }
+        let per_iter = b.elapsed_ns as f64 / b.done as f64;
+        let mut line = format!("bench {label}: {:.0} ns/iter ({} iters)", per_iter, b.done);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter / 1e9);
+                line.push_str(&format!(", {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter / 1e9) / 1e9;
+                line.push_str(&format!(", {rate:.3} GB/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    done: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.done += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.done += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

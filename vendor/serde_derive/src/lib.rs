@@ -1,0 +1,405 @@
+#![allow(clippy::all)]
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build has no network access). Supports the item shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtypes serialize transparently),
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like stock serde).
+//!
+//! Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape).
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Does an attribute group `#[serde(...)]` contain the `default` flag?
+fn serde_attr_has_default(tokens: &[TokenTree]) -> bool {
+    // tokens are the contents of the `[...]` group: `serde ( ... )`.
+    let mut it = tokens.iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g))) if i.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Split a brace/paren group's tokens on top-level commas. Commas inside
+/// generic angle brackets (`HashMap<String, u32>`) are not split points,
+/// so `<`/`>` depth is tracked (token streams keep them as plain puncts).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+        if angle == 0 && matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse the fields of a named-field body: `#[attr] vis name: Type, ...`.
+fn parse_named_fields(body: Vec<TokenTree>) -> Vec<Field> {
+    split_commas(body)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut has_default = false;
+            let mut name = None;
+            let mut it = chunk.into_iter().peekable();
+            while let Some(t) = it.next() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        if let Some(TokenTree::Group(g)) = it.next() {
+                            let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+                            if serde_attr_has_default(&attr) {
+                                has_default = true;
+                            }
+                        }
+                    }
+                    TokenTree::Ident(i) if i.to_string() == "pub" => {
+                        // Skip optional `pub(...)` restriction.
+                        if matches!(it.peek(), Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            it.next();
+                        }
+                    }
+                    TokenTree::Ident(i) => {
+                        name = Some(i.to_string());
+                        break; // rest is `: Type`, irrelevant
+                    }
+                    _ => {}
+                }
+            }
+            Field {
+                name: name.expect("field name"),
+                has_default,
+            }
+        })
+        .collect()
+}
+
+/// Count the fields of a tuple body (top-level comma chunks).
+fn count_tuple_fields(body: Vec<TokenTree>) -> usize {
+    split_commas(body)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_enum_variants(body: Vec<TokenTree>) -> Vec<(String, Shape)> {
+    split_commas(body)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut name = None;
+            let mut shape = Shape::Unit;
+            let mut it = chunk.into_iter();
+            while let Some(t) = it.next() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        it.next(); // attribute body
+                    }
+                    TokenTree::Ident(i) if name.is_none() => {
+                        name = Some(i.to_string());
+                    }
+                    TokenTree::Group(g) if name.is_some() => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        shape = match g.delimiter() {
+                            Delimiter::Brace => Shape::Struct(parse_named_fields(inner)),
+                            Delimiter::Parenthesis => Shape::Tuple(count_tuple_fields(inner)),
+                            _ => Shape::Unit,
+                        };
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            (name.expect("variant name"), shape)
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip leading attributes and visibility; find `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: expected struct or enum"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored stub");
+    }
+    // The body is the next group (brace = named/enum, paren = tuple);
+    // a bare `;` is a unit struct.
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Shape::Enum(parse_enum_variants(body))
+            } else {
+                Shape::Struct(parse_named_fields(body))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream().into_iter().collect()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive: unsupported item body {other:?}"),
+    };
+    Item { name, shape }
+}
+
+fn ser_fields_object(fields: &[Field], access: &str) -> String {
+    let mut s = String::from(
+        "let mut __m: Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n})));\n",
+            n = f.name,
+        ));
+    }
+    s.push_str("::serde::Value::Object(__m)");
+    s
+}
+
+fn de_field(f: &Field, obj: &str, ty_name: &str) -> String {
+    let fallback = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "match ::serde::Deserialize::absent() {{ Some(d) => d, None => return Err(\
+             ::serde::DeError::msg(concat!(\"missing field `{n}` in {t}\"))) }}",
+            n = f.name,
+            t = ty_name,
+        )
+    };
+    format!(
+        "{n}: match {obj}.iter().find(|e| e.0 == \"{n}\") {{ \
+         Some(e) => ::serde::Deserialize::from_value(&e.1)?, None => {fallback} }},\n",
+        n = f.name,
+    )
+}
+
+fn derive_serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => ser_fields_object(fields, "&self."),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => format!("::serde::Value::Str(\"{name}\".to_string())"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\
+                         \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", "),
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_fields_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ let __inner = {{ {body} }}; \
+                             ::serde::Value::Object(vec![(\"{vname}\".to_string(), __inner)]) }},\n",
+                            binds.join(", "),
+                        ));
+                    }
+                    Shape::Enum(_) => unreachable!(),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn derive_deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = match __v {{ ::serde::Value::Object(m) => m, _ => return Err(\
+                 ::serde::DeError::msg(\"expected object for {name}\")) }};\nOk({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&de_field(f, "__obj", name));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::msg(\
+                 \"expected array for {name}\"))?;\nif __a.len() != {n} {{ return Err(\
+                 ::serde::DeError::msg(\"wrong tuple arity for {name}\")); }}\nOk({name}({}))",
+                gets.join(", "),
+            )
+        }
+        Shape::Unit => format!(
+            "match __v.as_str() {{ Some(\"{name}\") => Ok({name}), _ => Err(\
+             ::serde::DeError::msg(\"expected \\\"{name}\\\"\")) }}"
+        ),
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    Shape::Unit => {
+                        str_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"))
+                    }
+                    Shape::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{vname}\" => return Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected array\"))?; if __a.len() != {n} \
+                             {{ return Err(::serde::DeError::msg(\"wrong arity\")); }} \
+                             return Ok({name}::{vname}({})); }},\n",
+                            gets.join(", "),
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut body = format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected object\"))?;\n\
+                             return Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            body.push_str(&de_field(f, "__obj", name));
+                        }
+                        body.push_str("});");
+                        obj_arms.push_str(&format!("\"{vname}\" => {{ {body} }},\n"));
+                    }
+                    Shape::Enum(_) => unreachable!(),
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{ match __s {{\n{str_arms}_ => {{}} }} }}\n\
+                 if let Some(__m) = __v.as_object() {{ if __m.len() == 1 {{\n\
+                 let (__tag, __inner) = (&__m[0].0, &__m[0].1);\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n{obj_arms}_ => {{}} }} }} }}\n\
+                 Err(::serde::DeError::msg(\"unrecognised {name} value\"))"
+            )
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = derive_serialize_body(&item);
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{}\n}}\n}}\n",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = derive_deserialize_body(&item);
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{\n{}\n}}\n}}\n",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
