@@ -255,6 +255,24 @@ impl AiProcessor {
         let net = Network::new(topo, cfg.net.clone());
         Ok(AiProcessor { net, map, cfg })
     }
+
+    /// ASCII heatmap of where deflections cluster across the ring mesh,
+    /// from the engine's built-in per-station diagnostics (available
+    /// with any sink, the default `NullSink` included). Hot cells point
+    /// at oversubscribed L2/HBM eject ports.
+    pub fn deflection_heatmap(&self) -> String {
+        noc_core::render::ascii_heatmap(
+            self.net.topology(),
+            "deflections",
+            &self.net.deflection_cells(),
+        )
+    }
+
+    /// ASCII heatmap of I-tag placements — which stations starved long
+    /// enough to reserve injection slots.
+    pub fn itag_heatmap(&self) -> String {
+        noc_core::render::ascii_heatmap(self.net.topology(), "i-tags", &self.net.itag_cells())
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +288,17 @@ mod tests {
         assert_eq!(p.map.hbms.len(), 6);
         assert_eq!(p.map.dmas.len(), 6);
         assert_eq!(p.map.llcs.len(), 6);
+    }
+
+    #[test]
+    fn heatmaps_render_one_row_per_ring() {
+        let p = AiProcessor::build(AiConfig::default()).expect("builds");
+        let rings = p.net.topology().rings().len();
+        for art in [p.deflection_heatmap(), p.itag_heatmap()] {
+            // title + station header + one row per ring
+            assert_eq!(art.lines().count(), 2 + rings, "{art}");
+        }
+        assert!(p.deflection_heatmap().starts_with("deflections (max 0)"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::traits::Interconnect;
 use noc_chi::{MemoryModel, MemoryParams};
 use noc_core::FlitClass;
-use noc_sim::SimRng;
+use noc_sim::{Histogram, SimRng};
 use std::collections::HashMap;
 
 /// Harness parameters.
@@ -53,12 +53,25 @@ struct Req {
 }
 
 /// Per-requester result.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 pub struct RequesterStats {
     /// Completed round-trips.
     pub completed: u64,
     /// Sum of round-trip latencies.
     pub latency_sum: u64,
+    /// Log2-bucketed round-trip latency distribution — tail percentiles
+    /// (`latency.percentile(0.99)`) where the mean hides congestion.
+    pub latency: Histogram,
+}
+
+impl Default for RequesterStats {
+    fn default() -> Self {
+        RequesterStats {
+            completed: 0,
+            latency_sum: 0,
+            latency: Histogram::new("round_trip"),
+        }
+    }
 }
 
 impl RequesterStats {
@@ -249,6 +262,7 @@ impl<I: Interconnect> MemHarness<I> {
                 let lat = now - req.issued_at;
                 run.stats[run.index[&r]].completed += 1;
                 run.stats[run.index[&r]].latency_sum += lat;
+                run.stats[run.index[&r]].latency.record(lat);
                 if req.is_read {
                     run.read_bytes += u64::from(self.cfg.line_bytes);
                 } else {

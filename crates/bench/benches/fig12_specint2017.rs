@@ -5,23 +5,21 @@ use noc_experiments::fig12_13::LatencyProfile;
 use noc_server_cpu::experiments::LatencyPoint;
 use noc_workloads::specint2017;
 
+fn pt(noise_rate: f64, probe_latency: f64) -> LatencyPoint {
+    LatencyPoint {
+        noise_rate,
+        probe_latency,
+        p50: probe_latency as u64,
+        p95: probe_latency as u64,
+        p99: probe_latency as u64,
+        max: probe_latency as u64,
+    }
+}
+
 fn profile() -> LatencyProfile {
     LatencyProfile {
         name: "synthetic".into(),
-        curve: vec![
-            LatencyPoint {
-                noise_rate: 0.0,
-                probe_latency: 85.0,
-            },
-            LatencyPoint {
-                noise_rate: 0.2,
-                probe_latency: 140.0,
-            },
-            LatencyPoint {
-                noise_rate: 0.6,
-                probe_latency: 700.0,
-            },
-        ],
+        curve: vec![pt(0.0, 85.0), pt(0.2, 140.0), pt(0.6, 700.0)],
         cores: 96,
         cores_per_requester: 4,
     }

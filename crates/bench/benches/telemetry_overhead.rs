@@ -1,0 +1,45 @@
+//! Telemetry overhead guard: the zero-cost claim, measured.
+//!
+//! `nullsink/*` runs the 64-station microbench workloads on the default
+//! `Network<NullSink>` — every emission site compiled away — and must
+//! stay within noise of the pre-telemetry `tick64/*` numbers recorded
+//! in EXPERIMENTS.md (±2% acceptance, min-of-N against run-to-run
+//! noise). `ringbuffer/*` runs the same workloads with a live
+//! `RingBufferSink`, pricing what recording actually costs; it is
+//! informational, not a gate.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_core::telemetry::{NullSink, RingBufferSink};
+use noc_core::TickMode;
+use noc_experiments::engine::{
+    run_low_occupancy_with_sink, run_saturated_with_sink, LOW_OCCUPANCY_INFLIGHT,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1_000));
+    g.sample_size(20);
+    g.bench_function("nullsink/low_occupancy_fast", |b| {
+        b.iter(|| {
+            run_low_occupancy_with_sink(TickMode::Fast, 1_000, LOW_OCCUPANCY_INFLIGHT, NullSink)
+        })
+    });
+    g.bench_function("nullsink/saturated_fast", |b| {
+        b.iter(|| run_saturated_with_sink(TickMode::Fast, 1_000, NullSink))
+    });
+    g.bench_function("ringbuffer/low_occupancy_fast", |b| {
+        b.iter(|| {
+            run_low_occupancy_with_sink(
+                TickMode::Fast,
+                1_000,
+                LOW_OCCUPANCY_INFLIGHT,
+                RingBufferSink::new(4096),
+            )
+        })
+    });
+    g.bench_function("ringbuffer/saturated_fast", |b| {
+        b.iter(|| run_saturated_with_sink(TickMode::Fast, 1_000, RingBufferSink::new(4096)))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

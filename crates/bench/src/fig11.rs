@@ -65,7 +65,16 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "fig11",
         "Probe-core DDR latency vs background noise rate (cycles)",
     )
-    .with_header(vec!["mix", "noise rate", "this work", "intel-like"]);
+    .with_header(vec![
+        "mix",
+        "noise rate",
+        "this work",
+        "p50",
+        "p95",
+        "p99",
+        "intel-like",
+        "i p99",
+    ]);
 
     let mut all_pass = true;
     for &(mix, rf) in &MIXES {
@@ -76,7 +85,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 mix.to_string(),
                 fnum(o.noise_rate, 3),
                 fnum(o.probe_latency, 0),
+                o.p50.to_string(),
+                o.p95.to_string(),
+                o.p99.to_string(),
                 fnum(i.probe_latency, 0),
+                i.p99.to_string(),
             ]);
         }
         // Common absolute threshold: the figure's y-axis is absolute

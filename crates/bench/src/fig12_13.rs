@@ -281,6 +281,16 @@ fn build_result(
             "FAIL"
         }
     ));
+    // Tail latencies behind the scores: the mean the model consumes
+    // hides congestion the percentiles expose.
+    for m in profiles {
+        let p = m.curve.first().expect("non-empty curve");
+        let q = m.curve.last().expect("non-empty curve");
+        r.note(format!(
+            "{}: unloaded mean {:.0} (p50 {} / p99 {}), max-rate mean {:.0} (p50 {} / p99 {})",
+            m.name, p.probe_latency, p.p50, p.p99, q.probe_latency, q.p50, q.p99
+        ));
+    }
     r
 }
 
@@ -330,20 +340,22 @@ pub fn partitions() -> (Partition, Partition, Partition) {
 mod tests {
     use super::*;
 
+    fn pt(noise_rate: f64, probe_latency: f64) -> LatencyPoint {
+        LatencyPoint {
+            noise_rate,
+            probe_latency,
+            p50: probe_latency as u64,
+            p95: probe_latency as u64,
+            p99: probe_latency as u64,
+            max: probe_latency as u64,
+        }
+    }
+
     #[test]
     fn latency_profile_interpolates() {
         let lp = LatencyProfile {
             name: "x".into(),
-            curve: vec![
-                LatencyPoint {
-                    noise_rate: 0.0,
-                    probe_latency: 100.0,
-                },
-                LatencyPoint {
-                    noise_rate: 0.5,
-                    probe_latency: 200.0,
-                },
-            ],
+            curve: vec![pt(0.0, 100.0), pt(0.5, 200.0)],
             cores: 4,
             cores_per_requester: 1,
         };
@@ -356,16 +368,7 @@ mod tests {
     fn package_fixed_point_converges() {
         let lp = LatencyProfile {
             name: "x".into(),
-            curve: vec![
-                LatencyPoint {
-                    noise_rate: 0.0,
-                    probe_latency: 100.0,
-                },
-                LatencyPoint {
-                    noise_rate: 1.0,
-                    probe_latency: 400.0,
-                },
-            ],
+            curve: vec![pt(0.0, 100.0), pt(1.0, 400.0)],
             cores: 64,
             cores_per_requester: 1,
         };

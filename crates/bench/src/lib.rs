@@ -19,8 +19,10 @@
 //! | [`table08`] | Table 8 — MLPerf training vs A100-class |
 //! | [`table09`] | Table 9 — commercial NoC survey |
 //! | [`ablations`] | Figure 9 SWAP + §3.4 design-choice ablations |
+//! | [`engine`] | engine tick profile (fast-path skip fractions) |
 
 pub mod ablations;
+pub mod engine;
 pub mod fig03;
 pub mod fig10;
 pub mod fig11;
@@ -66,5 +68,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ablation_llc", ablations::run_llc_path),
         ("ablation_4p", ablations::run_multi_package),
         ("ablation_io", ablations::run_io_interference),
+        ("engine_profile", engine::run),
     ]
 }

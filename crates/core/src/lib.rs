@@ -58,6 +58,11 @@ pub mod spec;
 pub mod stats;
 pub mod topology;
 
+/// Flit-lifecycle tracing (re-exported [`noc_telemetry`]): sinks for
+/// [`Network::with_sink`](network::Network::with_sink), latency /
+/// heatmap / utilization views, and the Chrome trace exporter.
+pub use noc_telemetry as telemetry;
+
 pub use bits::BitRing;
 pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
 pub use error::{EnqueueError, TopologyError};

@@ -28,6 +28,7 @@ use crate::route::{ring_travel, RouteTable};
 use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Component, Cycle};
+use noc_telemetry::{FlitEvent, NullSink, TraceRecord, TraceSink, NO_FLIT, NO_LANE};
 use std::collections::VecDeque;
 
 /// Which sweep implementation [`Network::tick`] uses.
@@ -53,6 +54,12 @@ pub enum TickMode {
 const SATURATION_NUM: usize = 1;
 const SATURATION_DENOM: usize = 2;
 
+/// When a tracing sink is attached, every ring's occupancy is sampled
+/// into the sink ([`FlitEvent::RingUtil`]) once per this many cycles.
+/// Irrelevant for [`NullSink`] networks: the sampling loop is compiled
+/// away entirely.
+const UTIL_SAMPLE_PERIOD: u64 = 8;
+
 /// Per-node runtime state: the two queues of a node interface plus tag
 /// bookkeeping.
 #[derive(Debug, Clone)]
@@ -71,6 +78,8 @@ pub(crate) struct NodeState {
     etag_list: VecDeque<u64>,
     /// Deflections of flits that targeted this node (diagnostics).
     deflected_here: u64,
+    /// I-tags this node has placed on passing slots (diagnostics).
+    itags_here: u64,
 }
 
 /// Per-bridge runtime state.
@@ -126,8 +135,44 @@ impl BridgeState {
 /// assert_eq!(flit.src, src);
 /// # Ok::<(), noc_core::TopologyError>(())
 /// ```
+///
+/// # Telemetry
+///
+/// The network is generic over a [`TraceSink`] that receives a
+/// [`FlitEvent`] for every lifecycle step (enqueue, arbitration loss,
+/// I-tag placement/claim, injection, deflection, E-tag reservation,
+/// bridge entry/stall, SWAP, ejection, delivery) plus periodic ring
+/// occupancy samples. The default sink is [`NullSink`], whose
+/// `ENABLED = false` constant deletes every emission site at
+/// monomorphization — a `Network<NullSink>` ticks exactly as fast as a
+/// network compiled without telemetry. Attach a real sink with
+/// [`Network::with_sink`]:
+///
+/// ```
+/// use noc_core::{FlitClass, Network, NetworkConfig, RingKind, TickMode,
+///                TopologyBuilder};
+/// use noc_telemetry::RingBufferSink;
+///
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die0");
+/// let ring = b.add_ring(die, RingKind::Full, 8)?;
+/// let src = b.add_node("src", ring, 0)?;
+/// let dst = b.add_node("dst", ring, 4)?;
+/// let mut net = Network::with_sink(
+///     b.build()?,
+///     NetworkConfig::default(),
+///     TickMode::Fast,
+///     RingBufferSink::new(4096),
+/// );
+/// net.enqueue(src, dst, FlitClass::Request, 64, 0).unwrap();
+/// for _ in 0..20 {
+///     net.tick();
+/// }
+/// assert_eq!(net.sink().counts().delivered, 1);
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
 #[derive(Debug, Clone)]
-pub struct Network {
+pub struct Network<S: TraceSink = NullSink> {
     cfg: NetworkConfig,
     topo: Topology,
     route: RouteTable,
@@ -148,19 +193,30 @@ pub struct Network {
     stats: NetStats,
     profile: TickProfile,
     probes: Vec<Option<BandwidthProbe>>,
+    sink: S,
 }
 
 impl Network {
     /// Instantiate the runtime network for a validated topology, using
-    /// the default occupancy-indexed tick ([`TickMode::Fast`]).
+    /// the default occupancy-indexed tick ([`TickMode::Fast`]) and no
+    /// telemetry ([`NullSink`]).
     pub fn new(topo: Topology, cfg: NetworkConfig) -> Self {
         Self::with_mode(topo, cfg, TickMode::Fast)
     }
 
-    /// Instantiate with an explicit [`TickMode`]. `Reference` runs the
-    /// golden-model exhaustive sweep — useful for differential testing
-    /// and as a fallback while debugging the engine itself.
+    /// Instantiate with an explicit [`TickMode`] and no telemetry.
+    /// `Reference` runs the golden-model exhaustive sweep — useful for
+    /// differential testing and as a fallback while debugging the
+    /// engine itself.
     pub fn with_mode(topo: Topology, cfg: NetworkConfig, mode: TickMode) -> Self {
+        Self::with_sink(topo, cfg, mode, NullSink)
+    }
+}
+
+impl<S: TraceSink> Network<S> {
+    /// Instantiate with an explicit [`TraceSink`] receiving the full
+    /// flit-lifecycle event stream (see the type-level docs).
+    pub fn with_sink(topo: Topology, cfg: NetworkConfig, mode: TickMode, sink: S) -> Self {
         let route = RouteTable::build(&topo);
         let rings: Vec<Ring> = topo
             .rings()
@@ -180,6 +236,7 @@ impl Network {
                 itag_pending: false,
                 etag_list: VecDeque::new(),
                 deflected_here: 0,
+                itags_here: 0,
             })
             .collect();
         let bridges: Vec<BridgeState> = topo
@@ -245,7 +302,24 @@ impl Network {
             stats: NetStats::new(),
             profile: TickProfile::default(),
             probes,
+            sink,
         }
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the network, returning the sink (flushed).
+    pub fn into_sink(mut self) -> S {
+        self.sink.flush();
+        self.sink
     }
 
     /// Current simulation time.
@@ -333,6 +407,21 @@ impl Network {
             Ok(()) => {
                 self.next_flit_id += 1;
                 self.stats.enqueued.inc();
+                if S::ENABLED {
+                    let n = &self.nodes[src.index()];
+                    let (ring, station) = (n.ring.0, n.station);
+                    self.sink.emit(TraceRecord {
+                        cycle: self.now.raw(),
+                        flit: id,
+                        ring,
+                        station,
+                        lane: NO_LANE,
+                        event: FlitEvent::Enqueued {
+                            node: src.0,
+                            class: class.index() as u8,
+                        },
+                    });
+                }
                 if self.nodes[src.index()].inject.len() == 1 {
                     self.inject_became_nonempty(src.index());
                 }
@@ -362,6 +451,36 @@ impl Network {
     /// Deflections charged to flits targeting `node` (diagnostics).
     pub fn deflections_at(&self, node: NodeId) -> u64 {
         self.nodes.get(node.index()).map_or(0, |n| n.deflected_here)
+    }
+
+    /// I-tags node `node` has placed on passing slots (diagnostics).
+    pub fn itags_placed_by(&self, node: NodeId) -> u64 {
+        self.nodes.get(node.index()).map_or(0, |n| n.itags_here)
+    }
+
+    /// Per-(ring, station) deflection counts from the engine's built-in
+    /// diagnostics — available on any network, [`NullSink`] included —
+    /// shaped for [`crate::render::ascii_heatmap`].
+    pub fn deflection_cells(&self) -> Vec<Vec<u64>> {
+        self.station_cells(|n| n.deflected_here)
+    }
+
+    /// Per-(ring, station) I-tag placement counts, shaped for
+    /// [`crate::render::ascii_heatmap`].
+    pub fn itag_cells(&self) -> Vec<Vec<u64>> {
+        self.station_cells(|n| n.itags_here)
+    }
+
+    fn station_cells(&self, value: impl Fn(&NodeState) -> u64) -> Vec<Vec<u64>> {
+        let mut cells: Vec<Vec<u64>> = self
+            .rings
+            .iter()
+            .map(|r| vec![0u64; r.stations as usize])
+            .collect();
+        for n in &self.nodes {
+            cells[n.ring.index()][n.station as usize] += value(n);
+        }
+        cells
     }
 
     /// Current consecutive-injection-failure count at `node`
@@ -483,6 +602,22 @@ impl Network {
         }
         self.bridge_intake();
         self.drm_update();
+        if S::ENABLED && self.now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {
+            for ri in 0..self.rings.len() {
+                let (occupied, capacity) = {
+                    let r = &self.rings[ri];
+                    (r.occupancy() as u16, r.capacity() as u16)
+                };
+                self.sink.emit(TraceRecord {
+                    cycle: self.now.raw(),
+                    flit: NO_FLIT,
+                    ring: ri as u16,
+                    station: 0,
+                    lane: NO_LANE,
+                    event: FlitEvent::RingUtil { occupied, capacity },
+                });
+            }
+        }
     }
 
     /// Occupancy-indexed station walk: per lane, merge the flit, I-tag
@@ -548,6 +683,21 @@ impl Network {
                     };
                     let ready = pipe.front().is_some_and(|&(r, _)| r <= now);
                     if !ready || self.nodes[dst.index()].inject.is_full() {
+                        if S::ENABLED && ready {
+                            // Matured flit held in the pipeline by a full
+                            // endpoint Inject Queue: backpressure.
+                            let fid = pipe.front().map_or(NO_FLIT, |(_, f)| f.id);
+                            let n = &self.nodes[dst.index()];
+                            let (ring, station) = (n.ring.0, n.station);
+                            self.sink.emit(TraceRecord {
+                                cycle: now,
+                                flit: fid,
+                                ring,
+                                station,
+                                lane: NO_LANE,
+                                event: FlitEvent::BridgeStalled { bridge: bi as u16 },
+                            });
+                        }
                         break;
                     }
                     let (_, flit) = self.bridges[bi]
@@ -620,7 +770,17 @@ impl Network {
             }
             flit.injected_at = Some(self.now);
             self.stats.injected.inc();
-            self.finish_arrival(t, flit);
+            if S::ENABLED {
+                self.sink.emit(TraceRecord {
+                    cycle: self.now.raw(),
+                    flit: flit.id,
+                    ring: ring.0,
+                    station,
+                    lane: NO_LANE,
+                    event: FlitEvent::Injected { node: i as u32 },
+                });
+            }
+            self.finish_arrival(t, flit, NO_LANE);
             self.nodes[i].starve = 0;
         }
     }
@@ -649,6 +809,17 @@ impl Network {
                 if self.nodes[o].ring == ring_id && self.nodes[o].station == s {
                     match self.head_lane(o) {
                         Some(lane) if lane == li => {
+                            if S::ENABLED {
+                                let fid = self.nodes[o].inject.peek().expect("head checked").id;
+                                self.sink.emit(TraceRecord {
+                                    cycle: self.now.raw(),
+                                    flit: fid,
+                                    ring: ri as u16,
+                                    station: s,
+                                    lane: li as u8,
+                                    event: FlitEvent::ITagClaimed { node: o as u32 },
+                                });
+                            }
                             self.inject_head(o, ri, li, s);
                             injected_port = self.ports[ri][s as usize]
                                 .iter()
@@ -698,13 +869,36 @@ impl Network {
                 continue;
             }
             self.nodes[ni].starve += 1;
+            if S::ENABLED {
+                let fid = self.nodes[ni].inject.peek().expect("head checked").id;
+                self.sink.emit(TraceRecord {
+                    cycle: self.now.raw(),
+                    flit: fid,
+                    ring: ri as u16,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::InjectLost { node: ni as u32 },
+                });
+            }
             if self.nodes[ni].starve >= self.cfg.itag_threshold
                 && !self.nodes[ni].itag_pending
                 && self.rings[ri].lanes[li].itag_at(s).is_none()
             {
                 self.rings[ri].lanes[li].set_itag(s, node);
                 self.nodes[ni].itag_pending = true;
+                self.nodes[ni].itags_here += 1;
                 self.stats.itags_placed.inc();
+                if S::ENABLED {
+                    let fid = self.nodes[ni].inject.peek().expect("head checked").id;
+                    self.sink.emit(TraceRecord {
+                        cycle: self.now.raw(),
+                        flit: fid,
+                        ring: ri as u16,
+                        station: s,
+                        lane: li as u8,
+                        event: FlitEvent::ITagSet { node: ni as u32 },
+                    });
+                }
             }
         }
     }
@@ -732,6 +926,16 @@ impl Network {
         if flit.injected_at.is_none() {
             flit.injected_at = Some(self.now);
             self.stats.injected.inc();
+            if S::ENABLED {
+                self.sink.emit(TraceRecord {
+                    cycle: self.now.raw(),
+                    flit: flit.id,
+                    ring: ri as u16,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::Injected { node: ni as u32 },
+                });
+            }
         }
         self.rings[ri].lanes[li].put_flit(s, flit);
         self.nodes[ni].starve = 0;
@@ -760,7 +964,7 @@ impl Network {
                 self.consume_etag(t, flit.id);
                 flit.etag = false;
             }
-            self.finish_arrival(t, flit);
+            self.finish_arrival(t, flit, li as u8);
             return;
         }
 
@@ -782,7 +986,18 @@ impl Network {
                     self.consume_etag(t, flit.id);
                     flit.etag = false;
                 }
+                let fid = flit.id;
                 self.nodes[t].eject.push(flit).expect("space just vacated");
+                if S::ENABLED {
+                    self.sink.emit(TraceRecord {
+                        cycle: self.now.raw(),
+                        flit: fid,
+                        ring: ri as u16,
+                        station: s,
+                        lane: li as u8,
+                        event: FlitEvent::Ejected { node: t as u32 },
+                    });
+                }
                 // …and, in SWAP mode, swap the Inject Queue head onto
                 // the ring slot in the same cycle. The escape-buffer
                 // alternative lacks this simultaneous injection — that
@@ -790,6 +1005,16 @@ impl Network {
                 if self.bridges[bi].drm[side] && self.nodes[t].inject.peek().is_some() {
                     self.inject_head(t, ri, li, s);
                     self.stats.swaps.inc();
+                    if S::ENABLED {
+                        self.sink.emit(TraceRecord {
+                            cycle: self.now.raw(),
+                            flit: fid,
+                            ring: ri as u16,
+                            station: s,
+                            lane: li as u8,
+                            event: FlitEvent::SwapTriggered { node: t as u32 },
+                        });
+                    }
                 }
                 return;
             }
@@ -800,10 +1025,30 @@ impl Network {
             flit.etag = true;
             self.nodes[t].etag_list.push_back(flit.id);
             self.stats.etags_placed.inc();
+            if S::ENABLED {
+                self.sink.emit(TraceRecord {
+                    cycle: self.now.raw(),
+                    flit: flit.id,
+                    ring: ri as u16,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::ETagReserved { target: t as u32 },
+                });
+            }
         }
         flit.deflections += 1;
         self.stats.deflections.inc();
         self.nodes[t].deflected_here += 1;
+        if S::ENABLED {
+            self.sink.emit(TraceRecord {
+                cycle: self.now.raw(),
+                flit: flit.id,
+                ring: ri as u16,
+                station: s,
+                lane: li as u8,
+                event: FlitEvent::Deflected { target: t as u32 },
+            });
+        }
         self.rings[ri].lanes[li].put_flit(s, flit);
     }
 
@@ -814,8 +1059,9 @@ impl Network {
     }
 
     /// Complete an arrival into node `t`'s eject queue, recording
-    /// delivery stats for devices.
-    fn finish_arrival(&mut self, t: usize, flit: Flit) {
+    /// delivery stats for devices. `lane` is the ring lane the flit
+    /// left (or [`NO_LANE`] for the zero-hop local path).
+    fn finish_arrival(&mut self, t: usize, flit: Flit, lane: u8) {
         let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
         if is_device {
             self.stats.record_delivery(&flit, self.now);
@@ -823,10 +1069,52 @@ impl Network {
                 p.record(self.now, flit.payload_bytes as u64);
             }
         }
+        if S::ENABLED {
+            let (ring, station) = (self.nodes[t].ring.0, self.nodes[t].station);
+            let cycle = self.now.raw();
+            self.sink.emit(TraceRecord {
+                cycle,
+                flit: flit.id,
+                ring,
+                station,
+                lane,
+                event: FlitEvent::Ejected { node: t as u32 },
+            });
+            if is_device {
+                self.sink.emit(TraceRecord {
+                    cycle,
+                    flit: flit.id,
+                    ring,
+                    station,
+                    lane,
+                    event: FlitEvent::Delivered {
+                        node: t as u32,
+                        class: flit.class.index() as u8,
+                    },
+                });
+            }
+        }
         self.nodes[t]
             .eject
             .push(flit)
             .expect("caller checked eject space");
+    }
+
+    /// Record a flit entering bridge `bi`'s pipeline at endpoint `ep`.
+    #[inline]
+    fn emit_bridge_enqueued(&mut self, bi: usize, ep: NodeId, flit: u64) {
+        if S::ENABLED {
+            let n = &self.nodes[ep.index()];
+            let (ring, station) = (n.ring.0, n.station);
+            self.sink.emit(TraceRecord {
+                cycle: self.now.raw(),
+                flit,
+                ring,
+                station,
+                lane: NO_LANE,
+                event: FlitEvent::BridgeEnqueued { bridge: bi as u16 },
+            });
+        }
     }
 
     /// Pull flits from bridge endpoint eject queues into the pipelines,
@@ -852,6 +1140,7 @@ impl Network {
                 {
                     let mut flit = self.bridges[bi].reserved[side].remove(0);
                     flit.ring_changes += 1;
+                    self.emit_bridge_enqueued(bi, ep, flit.id);
                     self.bridges[bi]
                         .pipe_for_side(side)
                         .push_back((now + latency, flit));
@@ -863,6 +1152,7 @@ impl Network {
                 {
                     let mut flit = self.nodes[ep.index()].eject.pop().expect("non-empty");
                     flit.ring_changes += 1;
+                    self.emit_bridge_enqueued(bi, ep, flit.id);
                     self.bridges[bi]
                         .pipe_for_side(side)
                         .push_back((now + latency, flit));
@@ -930,7 +1220,7 @@ impl BridgeState {
     }
 }
 
-impl Component for Network {
+impl<S: TraceSink> Component for Network<S> {
     fn tick(&mut self, _now: Cycle) {
         Network::tick(self);
     }

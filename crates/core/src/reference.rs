@@ -18,10 +18,11 @@
 //! module.
 
 use crate::network::Network;
+use noc_telemetry::TraceSink;
 
 /// Exhaustive station walk: every ring, every lane, every station, in
 /// ascending order.
-pub(crate) fn sweep(net: &mut Network) {
+pub(crate) fn sweep<S: TraceSink>(net: &mut Network<S>) {
     for ri in 0..net.rings.len() {
         let lanes = net.rings[ri].lanes.len();
         let stations = net.rings[ri].stations;
@@ -34,7 +35,7 @@ pub(crate) fn sweep(net: &mut Network) {
 }
 
 /// Exhaustive zero-hop local-delivery pass: every node in id order.
-pub(crate) fn local_sweep(net: &mut Network) {
+pub(crate) fn local_sweep<S: TraceSink>(net: &mut Network<S>) {
     for i in 0..net.nodes.len() {
         net.try_local_delivery(i);
     }

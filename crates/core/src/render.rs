@@ -1,7 +1,106 @@
-//! Topology rendering: Graphviz DOT export and a terminal summary.
+//! Topology rendering: Graphviz DOT export, a terminal summary, and
+//! ASCII heatmap / ring-utilization views for telemetry data.
 
 use crate::topology::{NodeKind, Topology};
 use std::fmt::Write as _;
+
+/// Intensity ramp for [`ascii_heatmap`] cells, blank to densest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render per-station counts as one ASCII heatmap row per ring.
+///
+/// `cells[ring][station]` holds the count (rows may be shorter than the
+/// ring — missing cells read as zero, so the output of
+/// `Network::deflection_cells` / `itag_cells` or a telemetry
+/// `Heatmap::cells()` both fit). Cells are scaled against the global
+/// maximum on a ten-step ramp where any non-zero count is visible.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{render::ascii_heatmap, RingKind, TopologyBuilder};
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die");
+/// let r = b.add_ring(die, RingKind::Full, 4)?;
+/// b.add_node("cpu", r, 0)?;
+/// let art = ascii_heatmap(&b.build()?, "deflections", &[vec![0, 2, 8, 0]]);
+/// assert!(art.contains("deflections (max 8)"));
+/// assert!(art.contains("|"));
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+pub fn ascii_heatmap(topo: &Topology, title: &str, cells: &[Vec<u64>]) -> String {
+    let max = cells.iter().flatten().copied().max().unwrap_or(0);
+    let widest = topo.rings().iter().map(|r| r.stations).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (max {max})");
+    let header: String = (0..widest)
+        .map(|s| (b'0' + (s % 10) as u8) as char)
+        .collect();
+    let _ = writeln!(out, "{:>8} {}", "station", header);
+    for ring in topo.rings() {
+        let ri = ring.id.index();
+        let row: &[u64] = cells.get(ri).map(Vec::as_slice).unwrap_or(&[]);
+        let mut art = String::new();
+        for s in 0..ring.stations as usize {
+            let v = row.get(s).copied().unwrap_or(0);
+            // Ceil scaling: zero stays blank, any non-zero gets >= '.'.
+            let idx = if max == 0 {
+                0
+            } else {
+                ((v * (RAMP.len() as u64 - 1)).div_ceil(max)) as usize
+            };
+            art.push(RAMP[idx] as char);
+        }
+        let total: u64 = row.iter().sum();
+        let _ = writeln!(out, "r{ri} {:>4?} |{art}| total {total}", ring.kind);
+    }
+    out
+}
+
+/// Render per-ring occupancy as ASCII utilization bars.
+///
+/// `occupancy[ring]` is `(occupied, capacity)` — e.g. from
+/// `Ring::occupancy()` / `Ring::capacity()` live, or a telemetry
+/// `UtilizationTimeline` peak. Rings beyond `occupancy` are skipped.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{render::ascii_rings, RingKind, TopologyBuilder};
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die");
+/// let r = b.add_ring(die, RingKind::Full, 4)?;
+/// b.add_node("cpu", r, 0)?;
+/// let art = ascii_rings(&b.build()?, &[(2, 8)]);
+/// assert!(art.contains("2/8"));
+/// assert!(art.contains("25%"));
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+pub fn ascii_rings(topo: &Topology, occupancy: &[(u64, u64)]) -> String {
+    const WIDTH: u64 = 20;
+    let mut out = String::from("ring utilization\n");
+    for ring in topo.rings() {
+        let Some(&(occ, cap)) = occupancy.get(ring.id.index()) else {
+            continue;
+        };
+        let filled = if cap == 0 {
+            0
+        } else {
+            (occ * WIDTH).div_ceil(cap).min(WIDTH)
+        };
+        let pct = (occ * 100).checked_div(cap).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "r{} {:>4?} x{:<2} [{}{}] {occ}/{cap} {pct}%",
+            ring.id.index(),
+            ring.kind,
+            ring.stations,
+            "#".repeat(filled as usize),
+            ".".repeat((WIDTH - filled) as usize),
+        );
+    }
+    out
+}
 
 /// Render a topology as a Graphviz DOT graph: chiplets as clusters,
 /// rings as labelled cycles of stations, devices as boxes, bridges as
@@ -169,5 +268,55 @@ mod tests {
         assert!(s.contains("chiplet compute:"));
         assert!(s.contains("cpu"));
         assert!(s.contains("bridges: 1"));
+    }
+
+    #[test]
+    fn heatmap_golden() {
+        let cells = vec![vec![0, 3, 12, 0], vec![1, 0, 6]];
+        let art = ascii_heatmap(&topo(), "deflections", &cells);
+        let expected = "\
+deflections (max 12)
+ station 0123
+r0 Full | -@ | total 15
+r1 Half |. +| total 7
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn heatmap_all_zero_is_blank() {
+        let art = ascii_heatmap(&topo(), "itags", &[vec![0; 4], vec![0; 3]]);
+        let expected = "\
+itags (max 0)
+ station 0123
+r0 Full |    | total 0
+r1 Half |   | total 0
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn heatmap_tolerates_short_and_missing_rows() {
+        // Row 0 shorter than the ring, row 1 absent entirely.
+        let art = ascii_heatmap(&topo(), "x", &[vec![5]]);
+        assert!(art.contains("r0 Full |@   | total 5"), "{art}");
+        assert!(art.contains("r1 Half |   | total 0"), "{art}");
+    }
+
+    #[test]
+    fn rings_golden() {
+        let art = ascii_rings(&topo(), &[(2, 8), (6, 6)]);
+        let expected = "\
+ring utilization
+r0 Full x4  [#####...............] 2/8 25%
+r1 Half x3  [####################] 6/6 100%
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn rings_empty_capacity_renders_zero() {
+        let art = ascii_rings(&topo(), &[(0, 0)]);
+        assert!(art.contains("[....................] 0/0 0%"), "{art}");
     }
 }

@@ -245,6 +245,18 @@ impl Ring {
     pub fn itag_count(&self) -> usize {
         self.lanes.iter().map(Lane::itag_count).sum()
     }
+
+    /// Occupied fraction of the ring's slots, `0.0..=1.0` (zero for a
+    /// ring with no capacity). Telemetry's per-ring utilization
+    /// timeline reports the same ratio from sampled trace records.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.occupancy() as f64 / cap as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -349,5 +361,14 @@ mod tests {
         assert_eq!(half.capacity(), 6);
         assert_eq!(full.capacity(), 12);
         assert_eq!(full.lanes[1].direction(), Direction::Ccw);
+    }
+
+    #[test]
+    fn utilization_is_occupied_fraction() {
+        let mut ring = Ring::new(RingId(0), ChipletId(0), RingKind::Full, 4);
+        assert_eq!(ring.utilization(), 0.0);
+        ring.lanes[0].put_flit(0, test_flit(1));
+        ring.lanes[1].put_flit(2, test_flit(2));
+        assert_eq!(ring.utilization(), 2.0 / 8.0);
     }
 }

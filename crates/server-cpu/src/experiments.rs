@@ -126,6 +126,14 @@ pub struct LatencyPoint {
     pub noise_rate: f64,
     /// Probe core's mean DDR round-trip latency (cycles).
     pub probe_latency: f64,
+    /// Median round-trip latency (cycles).
+    pub p50: u64,
+    /// 95th-percentile round-trip latency (cycles).
+    pub p95: u64,
+    /// 99th-percentile round-trip latency (cycles).
+    pub p99: u64,
+    /// Worst observed round-trip latency (cycles).
+    pub max: u64,
 }
 
 /// Sweep background-noise rates and record the probe core's DDR
@@ -147,9 +155,14 @@ where
         .map(|&rate| {
             let (mut h, probe, noise) = factory();
             let report = h.run_probe_with_noise(probe, &noise, rate, read_frac, warmup, measure);
+            let p = &report.per_requester[0];
             LatencyPoint {
                 noise_rate: rate,
-                probe_latency: report.per_requester[0].mean_latency(),
+                probe_latency: p.mean_latency(),
+                p50: p.latency.percentile(0.50),
+                p95: p.latency.percentile(0.95),
+                p99: p.latency.percentile(0.99),
+                max: p.latency.max(),
             }
         })
         .collect()
@@ -275,24 +288,24 @@ mod tests {
             points[2].probe_latency > points[0].probe_latency,
             "heavy noise must raise latency: {points:?}"
         );
+        let p = &points[2];
+        assert!(
+            p.p50 > 0 && p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max,
+            "percentiles must be populated and ordered: {p:?}"
+        );
     }
 
     #[test]
     fn turning_point_detection() {
-        let pts = vec![
-            LatencyPoint {
-                noise_rate: 0.0,
-                probe_latency: 100.0,
-            },
-            LatencyPoint {
-                noise_rate: 0.5,
-                probe_latency: 110.0,
-            },
-            LatencyPoint {
-                noise_rate: 0.8,
-                probe_latency: 260.0,
-            },
-        ];
+        let pt = |noise_rate, probe_latency| LatencyPoint {
+            noise_rate,
+            probe_latency,
+            p50: probe_latency as u64,
+            p95: probe_latency as u64,
+            p99: probe_latency as u64,
+            max: probe_latency as u64,
+        };
+        let pts = vec![pt(0.0, 100.0), pt(0.5, 110.0), pt(0.8, 260.0)];
         assert_eq!(turning_point(&pts, 2.0), Some(0.8));
         assert_eq!(turning_point(&pts, 5.0), None);
     }

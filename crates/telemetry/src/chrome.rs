@@ -1,0 +1,185 @@
+//! Chrome `trace_event` export: visual flit timelines.
+//!
+//! [`chrome_trace`] converts a recorded trace into the JSON Object
+//! Format of the Trace Event specification — load the output in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Each flit gets a
+//! complete (`"ph":"X"`) span from enqueue to delivery on its own
+//! track, lifecycle incidents (deflections, tag placements, SWAPs,
+//! bridge stalls) appear as instant events on the flit's track, and
+//! ring occupancy samples become counter (`"ph":"C"`) tracks.
+//!
+//! Cycle numbers are written directly as microsecond timestamps: the
+//! viewer's "us" axis reads as cycles.
+
+use crate::event::{FlitEvent, TraceRecord};
+use crate::views::CLASS_NAMES;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Process ids used to group tracks in the viewer.
+const PID_FLITS: u32 = 1;
+const PID_RINGS: u32 = 2;
+
+fn class_name(class: u8) -> &'static str {
+    CLASS_NAMES.get(class as usize).copied().unwrap_or("?")
+}
+
+fn instant_name(event: &FlitEvent) -> Option<String> {
+    match event {
+        FlitEvent::InjectLost { .. } => Some("inject-lost".into()),
+        FlitEvent::ITagSet { .. } => Some("itag-set".into()),
+        FlitEvent::ITagClaimed { .. } => Some("itag-claimed".into()),
+        FlitEvent::Deflected { .. } => Some("deflected".into()),
+        FlitEvent::ETagReserved { .. } => Some("etag-reserved".into()),
+        FlitEvent::BridgeEnqueued { bridge } => Some(format!("bridge{bridge}-enq")),
+        FlitEvent::BridgeStalled { bridge } => Some(format!("bridge{bridge}-stall")),
+        FlitEvent::SwapTriggered { .. } => Some("swap".into()),
+        _ => None,
+    }
+}
+
+/// Render `records` as a Chrome `trace_event` JSON object.
+///
+/// # Example
+///
+/// ```
+/// use noc_telemetry::{chrome_trace, FlitEvent, TraceRecord, NO_LANE};
+/// let stamp = |cycle, event| TraceRecord {
+///     cycle, flit: 1, ring: 0, station: 0, lane: NO_LANE, event,
+/// };
+/// let json = chrome_trace(&[
+///     stamp(0, FlitEvent::Enqueued { node: 0, class: 3 }),
+///     stamp(9, FlitEvent::Delivered { node: 2, class: 3 }),
+/// ]);
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(ev);
+    };
+
+    // (enqueue cycle, src node) per in-flight flit.
+    let mut open: HashMap<u64, (u64, u32)> = HashMap::new();
+    let mut ev = String::new();
+    for r in records {
+        ev.clear();
+        match r.event {
+            FlitEvent::Enqueued { node, .. } => {
+                open.insert(r.flit, (r.cycle, node));
+            }
+            FlitEvent::Delivered { node, class } => {
+                if let Some((start, src)) = open.remove(&r.flit) {
+                    let dur = (r.cycle - start).max(1);
+                    let _ = write!(
+                        ev,
+                        "{{\"name\":\"flit {} {} n{}->n{}\",\"cat\":\"flit\",\
+                         \"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                        r.flit,
+                        class_name(class),
+                        src,
+                        node,
+                        start,
+                        dur,
+                        PID_FLITS,
+                        r.flit
+                    );
+                    push(&mut out, &ev);
+                }
+            }
+            FlitEvent::RingUtil { occupied, .. } => {
+                let _ = write!(
+                    ev,
+                    "{{\"name\":\"ring{} occupancy\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":{},\"tid\":0,\"args\":{{\"occupied\":{}}}}}",
+                    r.ring, r.cycle, PID_RINGS, occupied
+                );
+                push(&mut out, &ev);
+            }
+            _ => {
+                if let Some(name) = instant_name(&r.event) {
+                    let _ = write!(
+                        ev,
+                        "{{\"name\":\"{} r{}s{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\"}}",
+                        name, r.ring, r.station, r.cycle, PID_FLITS, r.flit
+                    );
+                    push(&mut out, &ev);
+                }
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NO_FLIT, NO_LANE};
+    use serde::Value;
+
+    fn stamp(cycle: u64, flit: u64, event: FlitEvent) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            flit,
+            ring: 0,
+            station: 2,
+            lane: NO_LANE,
+            event,
+        }
+    }
+
+    #[test]
+    fn export_is_loadable_json_with_spans_and_counters() {
+        let records = vec![
+            stamp(0, 1, FlitEvent::Enqueued { node: 0, class: 1 }),
+            stamp(3, 1, FlitEvent::Deflected { target: 4 }),
+            stamp(
+                8,
+                NO_FLIT,
+                FlitEvent::RingUtil {
+                    occupied: 1,
+                    capacity: 16,
+                },
+            ),
+            stamp(10, 1, FlitEvent::Delivered { node: 4, class: 1 }),
+        ];
+        let json = chrome_trace(&records);
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3, "span + instant + counter: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("RSP"), "class name in span name: {json}");
+    }
+
+    #[test]
+    fn undelivered_flits_produce_no_span() {
+        let records = vec![stamp(0, 1, FlitEvent::Enqueued { node: 0, class: 0 })];
+        let json = chrome_trace(&records);
+        assert!(!json.contains("\"ph\":\"X\""));
+        let _: Value = serde_json::from_str(&json).expect("still valid JSON");
+    }
+
+    #[test]
+    fn zero_length_span_gets_unit_duration() {
+        let records = vec![
+            stamp(5, 2, FlitEvent::Enqueued { node: 0, class: 0 }),
+            stamp(5, 2, FlitEvent::Delivered { node: 1, class: 0 }),
+        ];
+        let json = chrome_trace(&records);
+        assert!(json.contains("\"dur\":1"), "{json}");
+    }
+}

@@ -1,0 +1,66 @@
+//! # noc-telemetry — flit-lifecycle tracing with a zero-cost off switch
+//!
+//! The network engine in `noc-core` answers *what* happened through its
+//! aggregate [`NetStats`](../noc_core/stats/struct.NetStats.html)
+//! counters; this crate answers *why*. Every mechanism of the paper's
+//! §4 — injection arbitration losses, I-tag reservations and claims,
+//! E-tag deflections, bridge backpressure, SWAP firings — emits a
+//! [`FlitEvent`] stamped with its cycle, ring/station/lane coordinates
+//! and flit id ([`TraceRecord`]), into whatever [`TraceSink`] the
+//! network was built with.
+//!
+//! The disabled path costs nothing: [`NullSink`] sets
+//! [`TraceSink::ENABLED`] to `false`, and every emission site in the
+//! engine is guarded by that associated constant, so monomorphization
+//! deletes the event construction *and* the branch. A
+//! `Network<NullSink>` (the default) compiles to the same tick loop as
+//! a network with no telemetry at all.
+//!
+//! # Sinks
+//!
+//! * [`NullSink`] — the off switch; all emission compiled away.
+//! * [`RingBufferSink`] — bounded in-memory buffer (oldest records
+//!   dropped) plus never-dropping [`EventCounts`]; the workhorse for
+//!   tests and short diagnostics runs.
+//! * [`JsonlSink`] — streams one JSON object per record to any
+//!   `io::Write`, for offline analysis of unbounded runs.
+//!
+//! # Derived views
+//!
+//! * [`LatencyView`] — log2-bucketed end-to-end and in-network latency
+//!   histograms per flit class, reported as p50/p95/p99/max.
+//! * [`Heatmap`] — per-(ring, station) event intensity (deflections,
+//!   I-tags, …), ready for `noc_core::render::ascii_heatmap`.
+//! * [`UtilizationTimeline`] — per-ring occupancy over time from the
+//!   engine's periodic `RingUtil` samples.
+//! * [`chrome_trace`] — a Chrome `trace_event` JSON export: one lane
+//!   per flit, spans from enqueue to delivery, instants for
+//!   deflections/tags/SWAPs, counter tracks for ring occupancy. Load
+//!   it in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_telemetry::{FlitEvent, RingBufferSink, TraceRecord, TraceSink, NO_LANE};
+//!
+//! let mut sink = RingBufferSink::new(1024);
+//! sink.emit(TraceRecord {
+//!     cycle: 3,
+//!     flit: 0,
+//!     ring: 0,
+//!     station: 2,
+//!     lane: NO_LANE,
+//!     event: FlitEvent::Enqueued { node: 7, class: 0 },
+//! });
+//! assert_eq!(sink.counts().enqueued, 1);
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod sink;
+pub mod views;
+
+pub use chrome::chrome_trace;
+pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use views::{Heatmap, LatencyView, UtilizationTimeline};

@@ -1,0 +1,380 @@
+//! Derived views over recorded traces: latency distributions,
+//! per-station heatmaps and per-ring utilization timelines.
+
+use crate::event::{FlitEvent, TraceRecord};
+use noc_sim::Histogram;
+use std::collections::HashMap;
+
+/// Human name of a flit-class index (mirrors
+/// `noc_core::FlitClass::index()`).
+pub const CLASS_NAMES: [&str; 4] = ["REQ", "RSP", "SNP", "DAT"];
+
+/// Per-class latency distributions reconstructed from a trace:
+/// end-to-end (enqueue → delivery) and in-network (injection →
+/// delivery), reported as p50/p95/p99/max rather than a bare mean.
+///
+/// # Example
+///
+/// ```
+/// use noc_telemetry::{FlitEvent, LatencyView, TraceRecord, NO_LANE};
+/// let stamp = |cycle, flit, event| TraceRecord {
+///     cycle, flit, ring: 0, station: 0, lane: NO_LANE, event,
+/// };
+/// let records = vec![
+///     stamp(0, 7, FlitEvent::Enqueued { node: 0, class: 3 }),
+///     stamp(2, 7, FlitEvent::Injected { node: 0 }),
+///     stamp(12, 7, FlitEvent::Delivered { node: 1, class: 3 }),
+/// ];
+/// let view = LatencyView::from_records(records.iter());
+/// assert_eq!(view.total[3].count(), 1);
+/// assert_eq!(view.total[3].max(), 12);
+/// assert_eq!(view.network[3].max(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyView {
+    /// End-to-end latency per class (log2-bucketed).
+    pub total: [Histogram; 4],
+    /// In-network latency per class (log2-bucketed).
+    pub network: [Histogram; 4],
+}
+
+impl LatencyView {
+    /// Empty view.
+    pub fn new() -> Self {
+        let h = |n: &str| Histogram::new(n);
+        LatencyView {
+            total: [
+                h("telemetry.total.req"),
+                h("telemetry.total.rsp"),
+                h("telemetry.total.snp"),
+                h("telemetry.total.dat"),
+            ],
+            network: [
+                h("telemetry.network.req"),
+                h("telemetry.network.rsp"),
+                h("telemetry.network.snp"),
+                h("telemetry.network.dat"),
+            ],
+        }
+    }
+
+    /// Reconstruct latencies by pairing each flit's `Enqueued` /
+    /// `Injected` stamps with its `Delivered` stamp. Flits whose
+    /// enqueue record was evicted from a bounded buffer are skipped
+    /// (their lifetime cannot be reconstructed).
+    pub fn from_records<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Self {
+        let mut view = Self::new();
+        let mut enqueued: HashMap<u64, u64> = HashMap::new();
+        let mut injected: HashMap<u64, u64> = HashMap::new();
+        for r in records {
+            match r.event {
+                FlitEvent::Enqueued { .. } => {
+                    enqueued.insert(r.flit, r.cycle);
+                }
+                FlitEvent::Injected { .. } => {
+                    injected.entry(r.flit).or_insert(r.cycle);
+                }
+                FlitEvent::Delivered { class, .. } => {
+                    let i = (class as usize).min(3);
+                    if let Some(&e) = enqueued.get(&r.flit) {
+                        view.total[i].record(r.cycle - e);
+                    }
+                    if let Some(&j) = injected.get(&r.flit) {
+                        view.network[i].record(r.cycle - j);
+                    }
+                    enqueued.remove(&r.flit);
+                    injected.remove(&r.flit);
+                }
+                _ => {}
+            }
+        }
+        view
+    }
+
+    /// Render an aligned percentile table over the non-empty classes.
+    pub fn summary_table(&self, title: &str) -> String {
+        let mut out = format!("{title}\n  class   n      p50    p95    p99    max\n");
+        for (i, name) in CLASS_NAMES.iter().enumerate() {
+            let h = &self.total[i];
+            if h.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<5} {:>5} {:>6} {:>6} {:>6} {:>6}\n",
+                name,
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+impl Default for LatencyView {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-(ring, station) event intensity, e.g. where deflections or
+/// I-tag placements cluster. The cell grid feeds
+/// `noc_core::render::ascii_heatmap`.
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    cells: Vec<Vec<u64>>,
+}
+
+impl Heatmap {
+    /// Empty heatmap with no preallocated shape (grows on record).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Preallocate one row per ring with the given station counts, so
+    /// rings that never saw an event still render at full width.
+    pub fn with_shape(stations_per_ring: &[u16]) -> Self {
+        Heatmap {
+            cells: stations_per_ring
+                .iter()
+                .map(|&n| vec![0u64; n as usize])
+                .collect(),
+        }
+    }
+
+    /// Count one event at (`ring`, `station`), growing the grid as
+    /// needed.
+    pub fn record(&mut self, ring: u16, station: u16) {
+        let r = ring as usize;
+        if self.cells.len() <= r {
+            self.cells.resize(r + 1, Vec::new());
+        }
+        let s = station as usize;
+        if self.cells[r].len() <= s {
+            self.cells[r].resize(s + 1, 0);
+        }
+        self.cells[r][s] += 1;
+    }
+
+    /// Heatmap of deflections per station.
+    pub fn deflections<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Self {
+        Self::filtered(records, |e| matches!(e, FlitEvent::Deflected { .. }))
+    }
+
+    /// Heatmap of I-tag placements per station.
+    pub fn itags<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Self {
+        Self::filtered(records, |e| matches!(e, FlitEvent::ITagSet { .. }))
+    }
+
+    /// Heatmap of the records matching `pred`.
+    pub fn filtered<'a, I, F>(records: I, pred: F) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+        F: Fn(&FlitEvent) -> bool,
+    {
+        let mut h = Self::new();
+        for r in records {
+            if pred(&r.event) {
+                h.record(r.ring, r.station);
+            }
+        }
+        h
+    }
+
+    /// The cell grid, `cells()[ring][station]`.
+    pub fn cells(&self) -> &[Vec<u64>] {
+        &self.cells
+    }
+
+    /// Largest cell value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().flat_map(|row| row.iter()).sum()
+    }
+}
+
+/// Per-ring occupancy over time, from the engine's periodic
+/// `RingUtil` samples.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationTimeline {
+    /// `rings[r]` = (cycle, occupied) samples, in emission order.
+    rings: Vec<Vec<(u64, u16)>>,
+    /// Slot capacity per ring (0 until first sample).
+    capacity: Vec<u16>,
+}
+
+impl UtilizationTimeline {
+    /// Collect every `RingUtil` sample in `records`.
+    pub fn from_records<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Self {
+        let mut t = Self::default();
+        for r in records {
+            if let FlitEvent::RingUtil { occupied, capacity } = r.event {
+                let ri = r.ring as usize;
+                if t.rings.len() <= ri {
+                    t.rings.resize(ri + 1, Vec::new());
+                    t.capacity.resize(ri + 1, 0);
+                }
+                t.rings[ri].push((r.cycle, occupied));
+                t.capacity[ri] = capacity;
+            }
+        }
+        t
+    }
+
+    /// Number of rings seen.
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Samples for ring `ring`: `(cycle, occupied_slots)`.
+    pub fn samples(&self, ring: usize) -> &[(u64, u16)] {
+        self.rings.get(ring).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Slot capacity of ring `ring` (as of the last sample).
+    pub fn capacity(&self, ring: usize) -> u16 {
+        self.capacity.get(ring).copied().unwrap_or(0)
+    }
+
+    /// Mean fractional occupancy of ring `ring` across its samples.
+    pub fn mean_utilization(&self, ring: usize) -> f64 {
+        let samples = self.samples(ring);
+        let cap = self.capacity(ring);
+        if samples.is_empty() || cap == 0 {
+            return 0.0;
+        }
+        let occupied: u64 = samples.iter().map(|&(_, o)| o as u64).sum();
+        occupied as f64 / (samples.len() as u64 * cap as u64) as f64
+    }
+
+    /// Peak fractional occupancy of ring `ring`.
+    pub fn peak_utilization(&self, ring: usize) -> f64 {
+        let cap = self.capacity(ring);
+        if cap == 0 {
+            return 0.0;
+        }
+        self.samples(ring)
+            .iter()
+            .map(|&(_, o)| o as f64 / cap as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_LANE;
+
+    fn stamp(cycle: u64, flit: u64, ring: u16, station: u16, event: FlitEvent) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            flit,
+            ring,
+            station,
+            lane: NO_LANE,
+            event,
+        }
+    }
+
+    #[test]
+    fn latency_view_pairs_lifecycle_stamps() {
+        let records = [
+            stamp(0, 1, 0, 0, FlitEvent::Enqueued { node: 0, class: 0 }),
+            stamp(5, 1, 0, 0, FlitEvent::Injected { node: 0 }),
+            stamp(0, 2, 0, 0, FlitEvent::Enqueued { node: 0, class: 0 }),
+            stamp(25, 1, 0, 4, FlitEvent::Delivered { node: 3, class: 0 }),
+            // flit 2 never delivered: must not be counted
+        ];
+        let v = LatencyView::from_records(records.iter());
+        assert_eq!(v.total[0].count(), 1);
+        assert_eq!(v.total[0].max(), 25);
+        assert_eq!(v.network[0].max(), 20);
+        assert_eq!(v.total[1].count(), 0);
+        let table = v.summary_table("latency");
+        assert!(table.contains("REQ"), "{table}");
+        assert!(!table.contains("RSP"), "empty classes omitted: {table}");
+    }
+
+    #[test]
+    fn latency_view_skips_truncated_flits() {
+        // Delivered with no Enqueued record (evicted from a bounded
+        // buffer): skipped rather than mis-measured.
+        let records = [stamp(
+            9,
+            1,
+            0,
+            0,
+            FlitEvent::Delivered { node: 3, class: 2 },
+        )];
+        let v = LatencyView::from_records(records.iter());
+        assert_eq!(v.total[2].count(), 0);
+    }
+
+    #[test]
+    fn heatmap_counts_and_grows() {
+        let records = [
+            stamp(1, 1, 0, 3, FlitEvent::Deflected { target: 9 }),
+            stamp(2, 1, 0, 3, FlitEvent::Deflected { target: 9 }),
+            stamp(3, 2, 1, 7, FlitEvent::Deflected { target: 5 }),
+            stamp(3, 2, 1, 7, FlitEvent::ITagSet { node: 5 }),
+        ];
+        let h = Heatmap::deflections(records.iter());
+        assert_eq!(h.cells()[0][3], 2);
+        assert_eq!(h.cells()[1][7], 1);
+        assert_eq!(h.max(), 2);
+        assert_eq!(h.total(), 3);
+        let tags = Heatmap::itags(records.iter());
+        assert_eq!(tags.total(), 1);
+    }
+
+    #[test]
+    fn heatmap_with_shape_keeps_width() {
+        let h = Heatmap::with_shape(&[4, 8]);
+        assert_eq!(h.cells()[0].len(), 4);
+        assert_eq!(h.cells()[1].len(), 8);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn utilization_timeline_aggregates() {
+        let records = [
+            stamp(
+                8,
+                crate::NO_FLIT,
+                0,
+                0,
+                FlitEvent::RingUtil {
+                    occupied: 2,
+                    capacity: 8,
+                },
+            ),
+            stamp(
+                16,
+                crate::NO_FLIT,
+                0,
+                0,
+                FlitEvent::RingUtil {
+                    occupied: 6,
+                    capacity: 8,
+                },
+            ),
+        ];
+        let t = UtilizationTimeline::from_records(records.iter());
+        assert_eq!(t.ring_count(), 1);
+        assert_eq!(t.samples(0).len(), 2);
+        assert!((t.mean_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((t.peak_utilization(0) - 0.75).abs() < 1e-12);
+        assert_eq!(t.mean_utilization(3), 0.0, "unknown ring is 0");
+    }
+}

@@ -87,6 +87,20 @@ impl std::fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON (`serde_json::from_str::<Value>`) and inspect it dynamically.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Convert to the data-model tree.
