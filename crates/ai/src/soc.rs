@@ -3,9 +3,10 @@
 //! rings, RBRG-L1 bridges at every intersection. Any core↔memory route
 //! takes at most one ring change (X-Y/Y-X routing).
 
+use noc_core::telemetry::NullSink;
 use noc_core::{
-    BridgeConfig, Network, NetworkConfig, NodeId, RingId, RingKind, Topology, TopologyBuilder,
-    TopologyError,
+    BridgeConfig, ExecMode, Network, NetworkConfig, NocDiagnostics, NodeId, RingId, RingKind,
+    TickMode, Topology, TopologyBuilder, TopologyError,
 };
 
 /// AI-Processor configuration.
@@ -34,6 +35,10 @@ pub struct AiConfig {
     pub clock_ghz: f64,
     /// Network parameters.
     pub net: NetworkConfig,
+    /// How the NoC engine executes the per-ring phase of each tick
+    /// (sequential or fanned out over a worker pool). Results are
+    /// bit-identical either way; this only trades wall-clock time.
+    pub exec: ExecMode,
 }
 
 impl Default for AiConfig {
@@ -56,6 +61,7 @@ impl Default for AiConfig {
                 eject_queue_cap: 16,
                 ..NetworkConfig::default()
             },
+            exec: ExecMode::Sequential,
         }
     }
 }
@@ -252,26 +258,17 @@ impl AiProcessor {
     /// Propagates topology errors.
     pub fn build(cfg: AiConfig) -> Result<Self, TopologyError> {
         let (topo, map) = build_topology(&cfg)?;
-        let net = Network::new(topo, cfg.net.clone());
+        let net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
         Ok(AiProcessor { net, map, cfg })
     }
+}
 
-    /// ASCII heatmap of where deflections cluster across the ring mesh,
-    /// from the engine's built-in per-station diagnostics (available
-    /// with any sink, the default `NullSink` included). Hot cells point
-    /// at oversubscribed L2/HBM eject ports.
-    pub fn deflection_heatmap(&self) -> String {
-        noc_core::render::ascii_heatmap(
-            self.net.topology(),
-            "deflections",
-            &self.net.deflection_cells(),
-        )
-    }
-
-    /// ASCII heatmap of I-tag placements — which stations starved long
-    /// enough to reserve injection slots.
-    pub fn itag_heatmap(&self) -> String {
-        noc_core::render::ascii_heatmap(self.net.topology(), "i-tags", &self.net.itag_cells())
+/// Heatmap diagnostics (deflections, I-tag placements) come from the
+/// shared [`NocDiagnostics`] surface — hot cells point at
+/// oversubscribed L2/HBM eject ports and starving injectors.
+impl NocDiagnostics for AiProcessor {
+    fn noc(&self) -> &Network {
+        &self.net
     }
 }
 

@@ -211,6 +211,12 @@ impl AiEngine {
         t
     }
 
+    /// Try to enqueue one transaction flit. `Ok(true)` means the flit
+    /// entered the network, `Ok(false)` means the inject queue pushed
+    /// back (retry later — the token is released). Any other enqueue
+    /// failure is a wiring bug in the engine (bad node id, self-send)
+    /// and is propagated instead of panicking so callers can surface
+    /// it.
     fn offer(
         &mut self,
         src: NodeId,
@@ -218,19 +224,22 @@ impl AiEngine {
         class: FlitClass,
         bytes: u32,
         kind: Kind,
-    ) -> bool {
+    ) -> Result<bool, EnqueueError> {
         let token = self.alloc(kind);
         match self.proc.net.enqueue(src, dst, class, bytes, token) {
-            Ok(_) => true,
+            Ok(_) => Ok(true),
             Err(EnqueueError::InjectQueueFull { .. }) => {
                 self.tokens.remove(&token);
-                false
+                Ok(false)
             }
-            Err(e) => panic!("AI engine enqueue bug: {e}"),
+            Err(e) => {
+                self.tokens.remove(&token);
+                Err(e)
+            }
         }
     }
 
-    fn issue_core_traffic(&mut self) {
+    fn issue_core_traffic(&mut self) -> Result<(), EnqueueError> {
         let line = self.proc.cfg.line_bytes;
         let cores = self.proc.map.cores.clone();
         let n_l2 = self.proc.map.l2s.len();
@@ -244,12 +253,12 @@ impl AiEngine {
                     if self.traffic.via_llc {
                         let n_llc = self.proc.map.llcs.len().max(1);
                         let llc = self.proc.map.llcs[self.rng.gen_index(n_llc)];
-                        self.offer(core, llc, FlitClass::Request, 16, Kind::LlcReq { core })
+                        self.offer(core, llc, FlitClass::Request, 16, Kind::LlcReq { core })?
                     } else {
-                        self.offer(core, l2, FlitClass::Request, 16, Kind::ReadReq { core })
+                        self.offer(core, l2, FlitClass::Request, 16, Kind::ReadReq { core })?
                     }
                 } else {
-                    self.offer(core, l2, FlitClass::Data, line, Kind::WriteData { core })
+                    self.offer(core, l2, FlitClass::Data, line, Kind::WriteData { core })?
                 };
                 if ok {
                     *self.core_outstanding.get_mut(&core).expect("core") += 1;
@@ -258,9 +267,10 @@ impl AiEngine {
                 }
             }
         }
+        Ok(())
     }
 
-    fn issue_dma_traffic(&mut self) {
+    fn issue_dma_traffic(&mut self) -> Result<(), EnqueueError> {
         let line = self.proc.cfg.line_bytes;
         for h in 0..self.proc.map.hbms.len() {
             if !self.rng.gen_bool(self.traffic.dma_rate) {
@@ -276,44 +286,44 @@ impl AiEngine {
             self.dma_flip = !self.dma_flip;
             // Alternate fill (HBM→L2) and drain (L2→HBM) directions.
             if self.dma_flip {
-                self.offer(hbm, l2, FlitClass::Data, line, Kind::Dma);
+                self.offer(hbm, l2, FlitClass::Data, line, Kind::Dma)?;
             } else {
-                self.offer(l2, hbm, FlitClass::Data, line, Kind::Dma);
+                self.offer(l2, hbm, FlitClass::Data, line, Kind::Dma)?;
             }
         }
+        Ok(())
     }
 
-    fn respond(&mut self, l2_idx: usize, token: u64) -> bool {
+    fn respond(&mut self, l2_idx: usize, token: u64) -> Result<bool, EnqueueError> {
         let l2 = self.proc.map.l2s[l2_idx];
         let line = self.proc.cfg.line_bytes;
-        match self.tokens[&token] {
+        let (reply, sent) = match self.tokens[&token] {
             Kind::ReadReq { core } => {
                 let t = self.alloc(Kind::ReadData { core });
-                match self.proc.net.enqueue(l2, core, FlitClass::Data, line, t) {
-                    Ok(_) => {
-                        self.tokens.remove(&token);
-                        true
-                    }
-                    Err(_) => {
-                        self.tokens.remove(&t);
-                        false
-                    }
-                }
+                (t, self.proc.net.enqueue(l2, core, FlitClass::Data, line, t))
             }
             Kind::WriteData { core } => {
                 let t = self.alloc(Kind::WriteAck { core });
-                match self.proc.net.enqueue(l2, core, FlitClass::Response, 8, t) {
-                    Ok(_) => {
-                        self.tokens.remove(&token);
-                        true
-                    }
-                    Err(_) => {
-                        self.tokens.remove(&t);
-                        false
-                    }
-                }
+                (
+                    t,
+                    self.proc.net.enqueue(l2, core, FlitClass::Response, 8, t),
+                )
             }
             other => unreachable!("L2 service queue held {other:?}"),
+        };
+        match sent {
+            Ok(_) => {
+                self.tokens.remove(&token);
+                Ok(true)
+            }
+            Err(EnqueueError::InjectQueueFull { .. }) => {
+                self.tokens.remove(&reply);
+                Ok(false)
+            }
+            Err(e) => {
+                self.tokens.remove(&reply);
+                Err(e)
+            }
         }
     }
 
@@ -398,14 +408,14 @@ impl AiEngine {
         }
     }
 
-    fn service_l2(&mut self) {
+    fn service_l2(&mut self) -> Result<(), EnqueueError> {
         let now = self.proc.net.now().raw();
         let width = self.traffic.l2_port_bytes.max(1);
         let line = u64::from(self.proc.cfg.line_bytes);
         // Retry backpressured responses first (out-port already paid).
         let mut still = Vec::new();
         for (i, token) in std::mem::take(&mut self.retry) {
-            if !self.respond(i, token) {
+            if !self.respond(i, token)? {
                 still.push((i, token));
             }
         }
@@ -427,12 +437,13 @@ impl AiEngine {
                 let p = &mut self.l2_ports[i];
                 p.pending.pop_front();
                 p.out_free = p.out_free.max(now) + (out_bytes / width).max(1);
-                if !self.respond(i, token) {
+                if !self.respond(i, token)? {
                     self.retry.push((i, token));
                     break;
                 }
             }
         }
+        Ok(())
     }
 
     /// Diagnostic snapshot of engine state (token table size, summed
@@ -448,7 +459,7 @@ impl AiEngine {
         )
     }
 
-    fn forward_from_llc(&mut self, i: usize, token: u64) -> bool {
+    fn forward_from_llc(&mut self, i: usize, token: u64) -> Result<bool, EnqueueError> {
         let Kind::LlcReq { core } = self.tokens[&token] else {
             unreachable!("llc pending held a non-LlcReq token");
         };
@@ -464,25 +475,35 @@ impl AiEngine {
         self.forward_to(llc, l2, core, token)
     }
 
-    fn forward_to(&mut self, llc: NodeId, l2: NodeId, core: NodeId, token: u64) -> bool {
+    fn forward_to(
+        &mut self,
+        llc: NodeId,
+        l2: NodeId,
+        core: NodeId,
+        token: u64,
+    ) -> Result<bool, EnqueueError> {
         let t = self.alloc(Kind::ReadReq { core });
         match self.proc.net.enqueue(llc, l2, FlitClass::Request, 16, t) {
             Ok(_) => {
                 self.tokens.remove(&token);
-                true
+                Ok(true)
             }
-            Err(_) => {
+            Err(EnqueueError::InjectQueueFull { .. }) => {
                 self.tokens.remove(&t);
-                false
+                Ok(false)
+            }
+            Err(e) => {
+                self.tokens.remove(&t);
+                Err(e)
             }
         }
     }
 
-    fn service_llc(&mut self) {
+    fn service_llc(&mut self) -> Result<(), EnqueueError> {
         let now = self.proc.net.now().raw();
         let mut still = Vec::new();
         for (i, token) in std::mem::take(&mut self.llc_retry) {
-            if !self.forward_from_llc(i, token) {
+            if !self.forward_from_llc(i, token)? {
                 still.push((i, token));
             }
         }
@@ -493,46 +514,59 @@ impl AiEngine {
                 .is_some_and(|&(ready, _)| ready <= now)
             {
                 let (_, token) = self.llc_pending[i].pop_front().expect("checked");
-                if !self.forward_from_llc(i, token) {
+                if !self.forward_from_llc(i, token)? {
                     self.llc_retry.push((i, token));
                     break;
                 }
             }
         }
+        Ok(())
     }
 
     /// Advance one cycle.
-    pub fn tick(&mut self) {
-        self.issue_core_traffic();
-        self.issue_dma_traffic();
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`EnqueueError`] if the engine tries an
+    /// enqueue that the network rejects for a reason other than inject
+    /// backpressure (which is handled internally by retrying).
+    pub fn tick(&mut self) -> Result<(), EnqueueError> {
+        self.issue_core_traffic()?;
+        self.issue_dma_traffic()?;
         self.proc.net.tick();
         self.drain_deliveries();
-        self.service_l2();
-        self.service_llc();
+        self.service_l2()?;
+        self.service_llc()?;
+        Ok(())
     }
 
     /// Run `warmup` unrecorded cycles then `measure` recorded cycles and
     /// return the bandwidth report.
-    pub fn run(&mut self, warmup: u64, measure: u64) -> AiBandwidthReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first non-backpressure enqueue failure from
+    /// [`AiEngine::tick`].
+    pub fn run(&mut self, warmup: u64, measure: u64) -> Result<AiBandwidthReport, EnqueueError> {
         self.recording = false;
         for _ in 0..warmup {
-            self.tick();
+            self.tick()?;
         }
         self.recording = true;
         self.read_bytes = 0;
         self.write_bytes = 0;
         self.dma_bytes = 0;
         for _ in 0..measure {
-            self.tick();
+            self.tick()?;
         }
         self.recording = false;
-        AiBandwidthReport {
+        Ok(AiBandwidthReport {
             cycles: measure,
             read_bytes: self.read_bytes,
             write_bytes: self.write_bytes,
             dma_bytes: self.dma_bytes,
             clock_ghz: self.proc.cfg.clock_ghz,
-        }
+        })
     }
 }
 
@@ -558,7 +592,7 @@ mod tests {
     fn balanced_mix_moves_reads_and_writes() {
         let proc = AiProcessor::build(small()).unwrap();
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-        let r = e.run(1000, 4000);
+        let r = e.run(1000, 4000).expect("runs");
         assert!(r.read_bytes > 0, "reads must flow");
         assert!(r.write_bytes > 0, "writes must flow");
         assert!(r.dma_bytes > 0, "DMA must flow");
@@ -569,7 +603,7 @@ mod tests {
     fn pure_read_has_no_write_bandwidth() {
         let proc = AiProcessor::build(small()).unwrap();
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 0));
-        let r = e.run(500, 2000);
+        let r = e.run(500, 2000).expect("runs");
         assert_eq!(r.write_bytes, 0);
         assert!(r.read_bytes > 0);
     }
@@ -578,7 +612,7 @@ mod tests {
     fn pure_write_has_no_read_bandwidth() {
         let proc = AiProcessor::build(small()).unwrap();
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(0, 1));
-        let r = e.run(500, 2000);
+        let r = e.run(500, 2000).expect("runs");
         assert_eq!(r.read_bytes, 0);
         assert!(r.write_bytes > 0);
     }
@@ -590,7 +624,7 @@ mod tests {
         let bw = |read, write| {
             let proc = AiProcessor::build(small()).unwrap();
             let mut e = AiEngine::new(proc, AiTraffic::from_ratio(read, write));
-            e.run(1000, 6000).total_tbs()
+            e.run(1000, 6000).expect("runs").total_tbs()
         };
         let balanced = bw(1, 1);
         let pure_read = bw(1, 0);
@@ -599,6 +633,30 @@ mod tests {
             balanced > pure_read && balanced > pure_write,
             "balanced {balanced} vs read {pure_read} / write {pure_write}"
         );
+    }
+
+    #[test]
+    fn full_inject_queue_backpressures_instead_of_panicking() {
+        // Regression: a saturated inject queue used to be the only
+        // tolerated enqueue failure — anything else panicked deep in
+        // the engine. With a 1-entry inject queue and 16 outstanding
+        // transactions per core, every cycle hits InjectQueueFull;
+        // the engine must absorb it as backpressure and still make
+        // forward progress, and `run` must report success.
+        let mut cfg = small();
+        cfg.net.inject_queue_cap = 1;
+        let proc = AiProcessor::build(cfg).unwrap();
+        let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+        let r = e.run(500, 3000).expect("backpressure is not an error");
+        assert!(
+            r.read_bytes > 0 && r.write_bytes > 0,
+            "traffic still flows under heavy inject backpressure"
+        );
+        // The closed loop really was throttled by the tiny queue: no
+        // core can have more transactions in flight than it asked for.
+        for (&core, &n) in &e.core_outstanding {
+            assert!(n <= e.traffic.outstanding, "{core} holds {n}");
+        }
     }
 
     #[test]
@@ -612,7 +670,7 @@ mod tests {
                     ..AiTraffic::from_ratio(1, 1)
                 },
             );
-            e.run(500, 3000).dma_tbs()
+            e.run(500, 3000).expect("runs").dma_tbs()
         };
         assert!(run(0.8) > run(0.1));
         assert_eq!(run(0.0), 0.0);
@@ -647,7 +705,7 @@ mod llc_tests {
                 ..AiTraffic::from_ratio(1, 0)
             },
         );
-        let r = e.run(500, 3000);
+        let r = e.run(500, 3000).expect("runs");
         assert!(r.read_bytes > 0, "reads must flow through the directory");
     }
 
@@ -662,7 +720,7 @@ mod llc_tests {
                     ..AiTraffic::from_ratio(1, 1)
                 },
             );
-            e.run(800, 4000).total_tbs()
+            e.run(800, 4000).expect("runs").total_tbs()
         };
         let direct = bw(false);
         let routed = bw(true);

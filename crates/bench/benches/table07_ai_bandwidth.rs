@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let proc = AiProcessor::build(AiConfig::default()).expect("builds");
             let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-            std::hint::black_box(e.run(500, 2_000))
+            std::hint::black_box(e.run(500, 2_000).expect("AI engine run"))
         })
     });
     g.finish();

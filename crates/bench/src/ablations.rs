@@ -366,7 +366,9 @@ pub fn run_ring_scaling(scale: Scale) -> ExperimentResult {
         };
         let proc = AiProcessor::build(cfg).expect("builds");
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-        let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
+        let rep = e
+            .run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000))
+            .expect("AI engine run");
         totals.push(rep.total_tbs());
         r.push_row(vec![v.to_string(), c.to_string(), fnum(rep.total_tbs(), 1)]);
     }
@@ -401,7 +403,9 @@ pub fn run_llc_path(scale: Scale) -> ExperimentResult {
                 ..AiTraffic::from_ratio(1, 1)
             },
         );
-        let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
+        let rep = e
+            .run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000))
+            .expect("AI engine run");
         totals.push(rep.total_tbs());
         r.push_row(vec![
             if via_llc {

@@ -1,0 +1,130 @@
+//! Determinism gate: the sharded parallel engine must be bit-identical
+//! to the sequential engine on the AI topology, for any worker count.
+//!
+//! Each workload runs twice — once `ExecMode::Sequential`, once
+//! `ExecMode::Parallel(n)` with `n` taken from the `NOC_EXEC_THREADS`
+//! environment variable (default 2) — and the rows record both stats
+//! fingerprints. Nothing thread-count-dependent is emitted, so the
+//! JSON result of two invocations at *different* `NOC_EXEC_THREADS`
+//! values must be byte-identical; CI diffs exactly that.
+
+use crate::report::{ExperimentResult, Scale};
+use noc_ai::{build_topology, AiConfig};
+use noc_core::telemetry::NullSink;
+use noc_core::{ExecMode, FlitClass, Network, NetworkConfig, NodeId, TickMode};
+
+/// Worker count for the parallel runs, from `NOC_EXEC_THREADS`
+/// (default 2).
+pub fn threads_from_env() -> usize {
+    std::env::var("NOC_EXEC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+/// The mid-size AI mesh also used by the `engine_scaling` bench.
+fn ai_cfg() -> AiConfig {
+    AiConfig {
+        v_rings: 4,
+        cores_per_vring: 8,
+        h_rings: 2,
+        l2_per_hring: 8,
+        hbm_count: 2,
+        dma_count: 2,
+        llc_count: 2,
+        ..Default::default()
+    }
+}
+
+fn build(exec: ExecMode) -> (Network, Vec<NodeId>, Vec<NodeId>) {
+    let cfg = ai_cfg();
+    let (topo, map) = build_topology(&cfg).expect("builds");
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        exec,
+        NullSink,
+    );
+    (net, map.cores, map.l2s)
+}
+
+/// Fold a stats fingerprint vector into one displayable word
+/// (FNV-1a-style mix; equality of the full vectors is what the PASS
+/// check uses).
+fn digest(fp: &[u64]) -> u64 {
+    fp.iter().fold(0xcbf2_9ce4_8422_2325, |h, &w| {
+        (h ^ w).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Closed-loop core→L2 traffic; `every` controls the offered load
+/// (1 = saturating, larger = sparser).
+fn workload(exec: ExecMode, cycles: u64, every: u64) -> (Vec<u64>, u64) {
+    let (mut net, cores, l2s) = build(exec);
+    for c in 0..cycles {
+        if c % every == 0 {
+            for (i, &core) in cores.iter().enumerate() {
+                let l2 = l2s[(i * 7 + c as usize) % l2s.len()];
+                let _ = net.enqueue(core, l2, FlitClass::Data, 64, c);
+            }
+        }
+        net.tick();
+        for &l2 in &l2s {
+            while net.pop_delivered(l2).is_some() {}
+        }
+    }
+    let s = net.stats();
+    (s.fingerprint(), s.delivered.get())
+}
+
+/// The `determinism` experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let cycles = scale.pick(400, 4_000);
+    let threads = threads_from_env();
+    let mut r = ExperimentResult::new(
+        "determinism",
+        "Parallel engine fingerprint gate on the AI topology",
+    )
+    .with_header(vec![
+        "workload",
+        "fingerprint (sequential)",
+        "fingerprint (parallel)",
+        "delivered",
+    ]);
+
+    let mut all_match = true;
+    for (name, every) in [("saturating", 1u64), ("sparse(1/8)", 8)] {
+        let (fp_seq, delivered) = workload(ExecMode::Sequential, cycles, every);
+        let (fp_par, delivered_par) = workload(ExecMode::Parallel(threads), cycles, every);
+        all_match &= fp_seq == fp_par && delivered == delivered_par;
+        r.push_row(vec![
+            name.to_string(),
+            format!("{:016x}", digest(&fp_seq)),
+            format!("{:016x}", digest(&fp_par)),
+            delivered.to_string(),
+        ]);
+    }
+    r.note(format!(
+        "parallel engine bit-identical to sequential — {}",
+        if all_match { "PASS" } else { "FAIL" }
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_quick() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.notes.iter().all(|n| n.ends_with("PASS")), "{:?}", r.notes);
+        // Fingerprints in each row must already agree.
+        for row in &r.rows {
+            assert_eq!(row[1], row[2], "{row:?}");
+        }
+    }
+}

@@ -10,7 +10,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     cfg.net.probe_window = scale.pick(1_000, 2_000);
     let proc = AiProcessor::build(cfg).expect("builds");
     let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-    engine.run(scale.pick(1_000, 3_000), scale.pick(5_000, 16_000));
+    engine
+        .run(scale.pick(1_000, 3_000), scale.pick(5_000, 16_000))
+        .expect("AI engine run");
     engine.processor_mut().net.finish_probes();
 
     let map = engine.processor().map.clone();

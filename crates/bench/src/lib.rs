@@ -20,8 +20,10 @@
 //! | [`table09`] | Table 9 — commercial NoC survey |
 //! | [`ablations`] | Figure 9 SWAP + §3.4 design-choice ablations |
 //! | [`engine`] | engine tick profile (fast-path skip fractions) |
+//! | [`determinism`] | parallel-engine fingerprint gate |
 
 pub mod ablations;
+pub mod determinism;
 pub mod engine;
 pub mod fig03;
 pub mod fig10;
@@ -69,5 +71,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ablation_4p", ablations::run_multi_package),
         ("ablation_io", ablations::run_io_interference),
         ("engine_profile", engine::run),
+        ("determinism", determinism::run),
     ]
 }

@@ -10,7 +10,9 @@ pub const RATIOS: [(u32, u32); 6] = [(1, 1), (2, 1), (4, 1), (3, 2), (1, 0), (0,
 pub fn run_ratio(read: u32, write: u32, scale: Scale) -> noc_ai::AiBandwidthReport {
     let proc = AiProcessor::build(AiConfig::default()).expect("default AI config builds");
     let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(read, write));
-    engine.run(scale.pick(1_000, 3_000), scale.pick(3_000, 10_000))
+    engine
+        .run(scale.pick(1_000, 3_000), scale.pick(3_000, 10_000))
+        .expect("AI engine run")
 }
 
 /// Reproduce Table 7.
@@ -87,7 +89,9 @@ pub fn run_model_driven(scale: Scale) -> ExperimentResult {
                 ..AiTraffic::from_ratio(1, 1)
             },
         );
-        let rep = e.run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000));
+        let rep = e
+            .run(scale.pick(1_000, 3_000), scale.pick(3_000, 8_000))
+            .expect("AI engine run");
         totals.push(rep.total_tbs());
         r.push_row(vec![
             model.name.clone(),

@@ -1,0 +1,67 @@
+//! Bridge sides as double-buffered mailboxes.
+//!
+//! The monolithic engine kept one [`BridgeState`] per bridge with two
+//! shared pipelines — impossible to hand to two ring shards at once.
+//! Here each bridge is split into two [`BridgeSide`]s, one owned by
+//! each endpoint's [`RingShard`](crate::shard::RingShard), and the
+//! pipeline becomes a pair of mailboxes:
+//!
+//! * `tx` — flits this side pushed toward the peer **this tick**
+//!   (bridge intake writes here during the per-ring phase);
+//! * `rx` — flits in flight toward this side's endpoint (bridge
+//!   delivery drains matured entries at the start of the tick).
+//!
+//! Between the per-ring phase and the next tick, the engine swaps: each
+//! side's `tx` is appended onto the peer's `rx` at a phase barrier,
+//! with no shard running. During the per-ring phase a shard therefore
+//! only ever touches its own side — which is exactly what makes the
+//! fan-out deterministic: no ordering between shards can be observed.
+//!
+//! Capacity must still behave as if the pipeline were one queue. The
+//! engine snapshots the peer's post-delivery `rx` length into
+//! [`BridgeSide::peer_backlog`] before the per-ring phase, so
+//! [`BridgeSide::pipe_len`] (`peer_backlog + tx.len()`) reproduces the
+//! monolith's pipeline occupancy bit for bit.
+
+use crate::config::BridgeConfig;
+use crate::flit::Flit;
+use crate::ids::BridgeId;
+use std::collections::VecDeque;
+
+/// One side of a bridge, owned by the shard of the ring it sits on.
+/// Entries in `rx`/`tx` are `(ready_cycle, flit)` pairs, FIFO.
+#[derive(Debug, Clone)]
+pub(crate) struct BridgeSide {
+    /// The bridge this side belongs to.
+    pub bridge: BridgeId,
+    /// Shard-local index of this side's endpoint node.
+    pub endpoint: u32,
+    /// The bridge's configuration (shared by both sides).
+    pub cfg: BridgeConfig,
+    /// Inbound mailbox: flits in flight toward this endpoint.
+    pub rx: VecDeque<(u64, Flit)>,
+    /// Outbound mailbox: flits staged toward the peer this tick.
+    pub tx: VecDeque<(u64, Flit)>,
+    /// Peer `rx` length snapshotted at the pre-phase barrier.
+    pub peer_backlog: usize,
+    /// Reserved escape buffers (SWAP/escape mode, §4.4).
+    pub reserved: Vec<Flit>,
+    /// Whether this side is in deadlock resolution mode.
+    pub drm: bool,
+}
+
+impl BridgeSide {
+    /// Occupancy of this side's outgoing pipeline as the monolith saw
+    /// it: what already sits in the peer's inbox plus what this tick
+    /// has staged. Intake is capped by `cfg.buffer_cap` against this.
+    #[inline]
+    pub fn pipe_len(&self) -> usize {
+        self.peer_backlog + self.tx.len()
+    }
+
+    /// Flits physically inside this side (mailboxes + escape buffers),
+    /// for conservation checks.
+    pub fn resident_flits(&self) -> usize {
+        self.rx.len() + self.tx.len() + self.reserved.len()
+    }
+}

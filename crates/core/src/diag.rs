@@ -1,0 +1,59 @@
+//! Shared diagnostics surface for SoC wrappers around a [`Network`].
+//!
+//! Every SoC model in the workspace (the AI processor, the server CPU)
+//! embeds a `Network` and used to re-wrap the same heatmap accessors
+//! by hand. Implement [`NocDiagnostics`] instead — one `noc()` getter
+//! — and the rendered views come for free, identical across SoCs.
+
+use crate::network::Network;
+use crate::render::ascii_heatmap;
+use noc_telemetry::{NullSink, TraceSink};
+
+/// Uniform access to built-in NoC diagnostics for types embedding a
+/// [`Network`]. Only [`NocDiagnostics::noc`] is required.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{Network, NetworkConfig, NocDiagnostics, RingKind,
+///                TopologyBuilder};
+///
+/// struct MySoc {
+///     net: Network,
+/// }
+///
+/// impl NocDiagnostics for MySoc {
+///     fn noc(&self) -> &Network {
+///         &self.net
+///     }
+/// }
+///
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die0");
+/// let ring = b.add_ring(die, RingKind::Full, 4)?;
+/// b.add_node("a", ring, 0)?;
+/// b.add_node("b", ring, 2)?;
+/// let soc = MySoc {
+///     net: Network::new(b.build()?, NetworkConfig::default()),
+/// };
+/// assert!(soc.deflection_heatmap().contains("deflections"));
+/// # Ok::<(), noc_core::TopologyError>(())
+/// ```
+pub trait NocDiagnostics<S: TraceSink = NullSink> {
+    /// The wrapped network.
+    fn noc(&self) -> &Network<S>;
+
+    /// ASCII heatmap of deflections per (ring, station) — where
+    /// ejection pressure concentrates.
+    fn deflection_heatmap(&self) -> String {
+        let net = self.noc();
+        ascii_heatmap(net.topology(), "deflections", &net.deflection_cells())
+    }
+
+    /// ASCII heatmap of I-tag placements per (ring, station) — where
+    /// injection starvation concentrates.
+    fn itag_heatmap(&self) -> String {
+        let net = self.noc();
+        ascii_heatmap(net.topology(), "i-tags", &net.itag_cells())
+    }
+}

@@ -1,0 +1,59 @@
+//! Execution modes for the per-ring phase of the tick.
+
+use crate::shard::RingShard;
+use noc_sim::ShardPool;
+
+/// How the per-ring phase of [`Network::tick`](crate::Network::tick)
+/// is executed.
+///
+/// Both modes produce bit-identical results — delivery order, every
+/// [`NetStats`](crate::NetStats) counter and histogram, and the
+/// telemetry event stream — for every thread count, because ring
+/// shards own all the state they touch and exchange bridge traffic
+/// only at phase barriers. The differential fuzz in
+/// `tests/tick_equivalence.rs` holds this to
+/// [`NetStats::fingerprint`](crate::NetStats::fingerprint) equality
+/// over random topologies. Choose by wall-clock alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Evaluate ring shards one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan the per-ring phase out across `n` threads (the calling
+    /// thread plus `n - 1` pooled workers). `Parallel(0)` and
+    /// `Parallel(1)` degenerate to the sequential path through the
+    /// same code. Threads only pay off once rings are big enough that
+    /// a shard's phase outweighs two channel hops (~µs).
+    Parallel(usize),
+}
+
+impl ExecMode {
+    /// Worker threads this mode wants alongside the calling thread.
+    pub(crate) fn workers(self) -> usize {
+        match self {
+            ExecMode::Sequential => 0,
+            ExecMode::Parallel(n) => n.max(1) - 1,
+        }
+    }
+}
+
+/// Lazily spawned worker pool. Cloning a network must not duplicate
+/// OS threads, so a clone starts with an empty cell and respawns on
+/// its first parallel tick.
+#[derive(Default)]
+pub(crate) struct PoolCell(pub Option<ShardPool<RingShard>>);
+
+impl Clone for PoolCell {
+    fn clone(&self) -> Self {
+        PoolCell(None)
+    }
+}
+
+impl std::fmt::Debug for PoolCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(p) => write!(f, "PoolCell({} workers)", p.workers()),
+            None => write!(f, "PoolCell(idle)"),
+        }
+    }
+}

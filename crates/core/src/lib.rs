@@ -44,8 +44,11 @@
 //! ```
 
 pub mod bits;
+mod bridge;
 pub mod config;
+pub mod diag;
 pub mod error;
+pub mod exec;
 pub mod flit;
 pub mod ids;
 pub mod network;
@@ -54,6 +57,7 @@ pub mod reference;
 pub mod render;
 pub mod ring;
 pub mod route;
+mod shard;
 pub mod spec;
 pub mod stats;
 pub mod topology;
@@ -65,7 +69,9 @@ pub use noc_telemetry as telemetry;
 
 pub use bits::BitRing;
 pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
+pub use diag::NocDiagnostics;
 pub use error::{EnqueueError, TopologyError};
+pub use exec::ExecMode;
 pub use flit::{Flit, FlitClass};
 pub use ids::{BridgeId, ChipletId, Direction, NodeId, Port, RingId, RingKind};
 pub use network::{Network, TickMode};

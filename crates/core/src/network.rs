@@ -2,34 +2,55 @@
 //! starvation and livelock protection, ring bridges and SWAP deadlock
 //! resolution — the complete §4 of the paper, cycle by cycle.
 //!
+//! # Sharded tick
+//!
+//! The engine is decomposed along the paper's own fault line: rings are
+//! independent conveyor belts coupled *only* at bridges. Each ring is a
+//! self-contained [`crate::shard::RingShard`] owning its lanes,
+//! bitsets, node interfaces, bridge sides, statistics and telemetry
+//! buffer; [`Network`] itself is just the orchestrator. One call to
+//! [`Network::tick`] runs four phases:
+//!
+//! 1. **Deliver** — each shard drains matured flits from its bridge
+//!    inboxes ([`crate::bridge::BridgeSide::rx`]) into endpoint inject
+//!    queues.
+//! 2. **Barrier** — peer inbox depths are snapshotted so intake can
+//!    enforce pipeline capacity without reading another shard.
+//! 3. **Per-ring cycle** — zero-hop deliveries, the station sweep,
+//!    lane advance, bridge intake (staged into `tx` outboxes) and DRM
+//!    bookkeeping, entirely within one shard. This phase runs
+//!    sequentially or fanned out per [`ExecMode`]; since shards share
+//!    nothing mutable, both are bit-identical.
+//! 4. **Barrier** — `tx` outboxes are appended onto peer `rx` inboxes
+//!    in bridge order, per-shard telemetry is drained into the sink in
+//!    ring order, and ring utilization is sampled.
+//!
 //! # Occupancy-indexed tick
 //!
 //! A cross station is a strict no-op for a lane pass unless at least
 //! one of three things is true: the slot at the station carries a flit,
 //! the slot carries an I-tag, or a node interface at the station has a
-//! non-empty inject queue. The engine maintains one bitset per
-//! condition ([`crate::bits::BitRing`]: flit and I-tag bits per lane,
-//! pending-injector bits per ring) and the default
+//! non-empty inject queue. Each shard maintains one bitset per
+//! condition ([`crate::bits::BitRing`]) and the default
 //! [`TickMode::Fast`] sweep visits only stations whose merged
-//! activity word is non-zero. When a lane is at least half active the
-//! index would visit most stations anyway, so the pass falls back to a
-//! straight sweep (cheaper per station). The original full sweep is
-//! preserved verbatim as [`TickMode::Reference`] (see
-//! [`crate::reference`]) and serves as the golden model for the
-//! differential tests in `tests/tick_equivalence.rs`.
+//! activity word is non-zero, falling back to a straight sweep on
+//! saturated lanes. The original full sweep is preserved verbatim as
+//! [`TickMode::Reference`] (see [`crate::reference`]) and serves as the
+//! golden model for the differential tests in
+//! `tests/tick_equivalence.rs`.
 
-use crate::config::{BridgeLevel, NetworkConfig};
+use crate::config::NetworkConfig;
 use crate::error::EnqueueError;
+use crate::exec::{ExecMode, PoolCell};
 use crate::flit::{Flit, FlitClass};
 use crate::ids::{BridgeId, NodeId, RingId};
-use crate::queue::Fifo;
-use crate::ring::Ring;
-use crate::route::{ring_travel, RouteTable};
+use crate::route::RouteTable;
+use crate::shard::{EngineShared, NodeState, RingShard};
 use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
-use noc_sim::{BandwidthProbe, Component, Cycle};
+use noc_sim::{BandwidthProbe, Component, Cycle, PoolJob, ShardPool};
 use noc_telemetry::{FlitEvent, NullSink, TraceRecord, TraceSink, NO_FLIT, NO_LANE};
-use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Which sweep implementation [`Network::tick`] uses.
 ///
@@ -48,65 +69,11 @@ pub enum TickMode {
     Reference,
 }
 
-/// Fast-path lanes fall back to a full sweep when
-/// `active * SATURATION_DENOM >= stations * SATURATION_NUM` — i.e. at
-/// ≥ 50% activity, where per-station bit extraction stops paying off.
-const SATURATION_NUM: usize = 1;
-const SATURATION_DENOM: usize = 2;
-
 /// When a tracing sink is attached, every ring's occupancy is sampled
 /// into the sink ([`FlitEvent::RingUtil`]) once per this many cycles.
 /// Irrelevant for [`NullSink`] networks: the sampling loop is compiled
 /// away entirely.
 const UTIL_SAMPLE_PERIOD: u64 = 8;
-
-/// Per-node runtime state: the two queues of a node interface plus tag
-/// bookkeeping.
-#[derive(Debug, Clone)]
-pub(crate) struct NodeState {
-    ring: RingId,
-    station: u16,
-    kind: NodeKind,
-    inject: Fifo<Flit>,
-    eject: Fifo<Flit>,
-    /// Consecutive cycles the head of `inject` failed to win a slot.
-    starve: u32,
-    /// Whether an I-tagged slot is circulating for this node.
-    itag_pending: bool,
-    /// E-tag reservations: ids of flits entitled to freed eject buffers,
-    /// oldest first.
-    etag_list: VecDeque<u64>,
-    /// Deflections of flits that targeted this node (diagnostics).
-    deflected_here: u64,
-    /// I-tags this node has placed on passing slots (diagnostics).
-    itags_here: u64,
-}
-
-/// Per-bridge runtime state.
-#[derive(Debug, Clone)]
-struct BridgeState {
-    cfg: crate::config::BridgeConfig,
-    a: NodeId,
-    b: NodeId,
-    /// In-flight flits a→b: (ready cycle, flit).
-    pipe_ab: VecDeque<(u64, Flit)>,
-    /// In-flight flits b→a.
-    pipe_ba: VecDeque<(u64, Flit)>,
-    /// Reserved escape buffers for each side (used only in DRM).
-    reserved: [Vec<Flit>; 2],
-    /// Whether each side is in deadlock resolution mode.
-    drm: [bool; 2],
-}
-
-impl BridgeState {
-    fn side_of(&self, node: NodeId) -> usize {
-        if node == self.a {
-            0
-        } else {
-            1
-        }
-    }
-}
 
 /// The bufferless multi-ring network.
 ///
@@ -135,6 +102,14 @@ impl BridgeState {
 /// assert_eq!(flit.src, src);
 /// # Ok::<(), noc_core::TopologyError>(())
 /// ```
+///
+/// # Parallel execution
+///
+/// The per-ring phase of the tick can be fanned out over a persistent
+/// worker pool with [`Network::set_exec_mode`] /
+/// [`ExecMode::Parallel`]. Results are bit-identical to sequential
+/// execution for every thread count — see the module docs and
+/// DESIGN.md §10 for why.
 ///
 /// # Telemetry
 ///
@@ -173,26 +148,14 @@ impl BridgeState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network<S: TraceSink = NullSink> {
-    cfg: NetworkConfig,
-    topo: Topology,
-    route: RouteTable,
-    pub(crate) rings: Vec<Ring>,
-    pub(crate) nodes: Vec<NodeState>,
-    bridges: Vec<BridgeState>,
-    /// Round-robin pointer per (ring, station, lane).
-    rr: Vec<Vec<[u8; 2]>>,
-    /// Node ids attached per (ring, station): up to two ports.
-    ports: Vec<Vec<[Option<NodeId>; 2]>>,
-    /// Nodes with a non-empty inject queue per (ring, station): 0–2.
-    inject_count: Vec<Vec<u8>>,
-    /// Station bit set iff `inject_count > 0`, one bitset per ring.
-    inject_bits: Vec<crate::bits::BitRing>,
+    shared: Arc<EngineShared>,
+    shards: Vec<RingShard>,
     mode: TickMode,
+    exec: ExecMode,
+    pool: PoolCell,
     now: Cycle,
+    ticks: u64,
     next_flit_id: u64,
-    stats: NetStats,
-    profile: TickProfile,
-    probes: Vec<Option<BandwidthProbe>>,
     sink: S,
 }
 
@@ -217,91 +180,27 @@ impl<S: TraceSink> Network<S> {
     /// Instantiate with an explicit [`TraceSink`] receiving the full
     /// flit-lifecycle event stream (see the type-level docs).
     pub fn with_sink(topo: Topology, cfg: NetworkConfig, mode: TickMode, sink: S) -> Self {
-        let route = RouteTable::build(&topo);
-        let rings: Vec<Ring> = topo
-            .rings()
-            .iter()
-            .map(|r| Ring::new(r.id, r.chiplet, r.kind, r.stations))
-            .collect();
-        let nodes: Vec<NodeState> = topo
-            .nodes()
-            .iter()
-            .map(|n| NodeState {
-                ring: n.ring,
-                station: n.station,
-                kind: n.kind,
-                inject: Fifo::new(cfg.inject_queue_cap),
-                eject: Fifo::new(cfg.eject_queue_cap),
-                starve: 0,
-                itag_pending: false,
-                etag_list: VecDeque::new(),
-                deflected_here: 0,
-                itags_here: 0,
-            })
-            .collect();
-        let bridges: Vec<BridgeState> = topo
-            .bridges()
-            .iter()
-            .map(|b| BridgeState {
-                cfg: b.config.clone(),
-                a: b.a,
-                b: b.b,
-                pipe_ab: VecDeque::new(),
-                pipe_ba: VecDeque::new(),
-                reserved: [Vec::new(), Vec::new()],
-                drm: [false, false],
-            })
-            .collect();
-        let mut ports = Vec::with_capacity(rings.len());
-        for r in topo.rings() {
-            ports.push(vec![[None, None]; r.stations as usize]);
-        }
-        for n in topo.nodes() {
-            ports[n.ring.index()][n.station as usize][n.port as usize] = Some(n.id);
-        }
-        let rr = topo
-            .rings()
-            .iter()
-            .map(|r| vec![[0u8; 2]; r.stations as usize])
-            .collect();
-        let inject_count = topo
-            .rings()
-            .iter()
-            .map(|r| vec![0u8; r.stations as usize])
-            .collect();
-        let inject_bits = topo
-            .rings()
-            .iter()
-            .map(|r| crate::bits::BitRing::new(r.stations as usize))
-            .collect();
-        let probes = if cfg.probe_window > 0 {
-            topo.nodes()
-                .iter()
-                .map(|n| {
-                    matches!(n.kind, NodeKind::Device)
-                        .then(|| BandwidthProbe::new(n.name.clone(), cfg.probe_window))
-                })
-                .collect()
-        } else {
-            vec![None; topo.nodes().len()]
-        };
+        Self::with_exec(topo, cfg, mode, ExecMode::Sequential, sink)
+    }
+
+    /// Instantiate with explicit tick and execution modes.
+    pub fn with_exec(
+        topo: Topology,
+        cfg: NetworkConfig,
+        mode: TickMode,
+        exec: ExecMode,
+        sink: S,
+    ) -> Self {
+        let (shared, shards) = crate::shard::build(topo, cfg);
         Network {
-            cfg,
-            topo,
-            route,
-            rings,
-            nodes,
-            bridges,
-            rr,
-            ports,
-            inject_count,
-            inject_bits,
+            shared: Arc::new(shared),
+            shards,
             mode,
+            exec,
+            pool: PoolCell::default(),
             now: Cycle::ZERO,
+            ticks: 0,
             next_flit_id: 0,
-            stats: NetStats::new(),
-            profile: TickProfile::default(),
-            probes,
             sink,
         }
     }
@@ -329,12 +228,12 @@ impl<S: TraceSink> Network<S> {
 
     /// The topology the network was built from.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.shared.topo
     }
 
     /// The network's configuration.
     pub fn config(&self) -> &NetworkConfig {
-        &self.cfg
+        &self.shared.cfg
     }
 
     /// Which sweep implementation `tick` uses.
@@ -342,33 +241,70 @@ impl<S: TraceSink> Network<S> {
         self.mode
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// How the per-ring phase is executed.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Change how the per-ring phase is executed. Takes effect on the
+    /// next tick; the worker pool is (re)spawned lazily. Switching
+    /// modes mid-run cannot change results.
+    pub fn set_exec_mode(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// Accumulated statistics: the per-shard blocks merged in ring
+    /// order (the merge is commutative, so every execution mode yields
+    /// the same totals, histograms and [`NetStats::fingerprint`]).
+    pub fn stats(&self) -> NetStats {
+        let mut total = NetStats::new();
+        for shard in &self.shards {
+            total.merge_from(&shard.stats);
+        }
+        total
     }
 
     /// Engine instrumentation: how much station-visiting work the tick
-    /// loop has done (independent of what the network simulated).
-    pub fn tick_profile(&self) -> &TickProfile {
-        &self.profile
+    /// loop has done (independent of what the network simulated),
+    /// merged across shards.
+    pub fn tick_profile(&self) -> TickProfile {
+        let mut p = TickProfile {
+            ticks: self.ticks,
+            ..TickProfile::default()
+        };
+        for shard in &self.shards {
+            p.merge_from(&shard.profile);
+        }
+        p
     }
 
     /// Route table (exit stations, ring-change distances).
     pub fn route(&self) -> &RouteTable {
-        &self.route
+        &self.shared.route
     }
 
     /// Flits inside the network (queued, on rings, in bridges) that have
     /// not yet been delivered to a device.
     pub fn in_flight(&self) -> u64 {
-        self.stats.outstanding()
+        let (enqueued, delivered) = self.shards.iter().fold((0u64, 0u64), |(e, d), sh| {
+            (e + sh.stats.enqueued.get(), d + sh.stats.delivered.get())
+        });
+        enqueued - delivered
+    }
+
+    fn node(&self, id: NodeId) -> Option<&NodeState> {
+        let loc = self.shared.node_loc.get(id.index())?;
+        Some(&self.shards[loc.ring as usize].nodes[loc.local as usize])
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeState> {
+        let loc = self.shared.node_loc.get(id.index())?;
+        Some(&mut self.shards[loc.ring as usize].nodes[loc.local as usize])
     }
 
     /// Whether `src` currently has room to enqueue another flit.
     pub fn can_enqueue(&self, src: NodeId) -> bool {
-        self.nodes
-            .get(src.index())
-            .is_some_and(|n| !n.inject.is_full())
+        self.node(src).is_some_and(|n| !n.inject.is_full())
     }
 
     /// Enqueue a new single-flit transaction at `src`'s Inject Queue.
@@ -386,76 +322,78 @@ impl<S: TraceSink> Network<S> {
         payload_bytes: u32,
         token: u64,
     ) -> Result<u64, EnqueueError> {
-        if src.index() >= self.nodes.len() {
+        if src.index() >= self.shared.node_loc.len() {
             return Err(EnqueueError::UnknownNode { node: src });
         }
-        if dst.index() >= self.nodes.len() {
+        if dst.index() >= self.shared.node_loc.len() {
             return Err(EnqueueError::UnknownNode { node: dst });
         }
         if src == dst {
             return Err(EnqueueError::SelfSend { node: src });
         }
-        if !matches!(self.nodes[src.index()].kind, NodeKind::Device) {
+        if !matches!(self.node(src).expect("checked").kind, NodeKind::Device) {
             return Err(EnqueueError::NotAddressable { node: src });
         }
-        if !matches!(self.nodes[dst.index()].kind, NodeKind::Device) {
+        if !matches!(self.node(dst).expect("checked").kind, NodeKind::Device) {
             return Err(EnqueueError::NotAddressable { node: dst });
         }
         let id = self.next_flit_id;
         let flit = Flit::new(id, src, dst, class, payload_bytes, token, self.now);
-        match self.nodes[src.index()].inject.push(flit) {
-            Ok(()) => {
-                self.next_flit_id += 1;
-                self.stats.enqueued.inc();
-                if S::ENABLED {
-                    let n = &self.nodes[src.index()];
-                    let (ring, station) = (n.ring.0, n.station);
-                    self.sink.emit(TraceRecord {
-                        cycle: self.now.raw(),
-                        flit: id,
-                        ring,
-                        station,
-                        lane: NO_LANE,
-                        event: FlitEvent::Enqueued {
-                            node: src.0,
-                            class: class.index() as u8,
-                        },
-                    });
-                }
-                if self.nodes[src.index()].inject.len() == 1 {
-                    self.inject_became_nonempty(src.index());
-                }
-                Ok(id)
+        let loc = self.shared.node_loc[src.index()];
+        let station = {
+            let shard = &mut self.shards[loc.ring as usize];
+            let ni = loc.local as usize;
+            if shard.nodes[ni].inject.push(flit).is_err() {
+                return Err(EnqueueError::InjectQueueFull { node: src });
             }
-            Err(_) => Err(EnqueueError::InjectQueueFull { node: src }),
+            shard.stats.enqueued.inc();
+            if shard.nodes[ni].inject.len() == 1 {
+                shard.inject_became_nonempty(ni);
+            }
+            shard.nodes[ni].station
+        };
+        self.next_flit_id += 1;
+        if S::ENABLED {
+            self.sink.emit(TraceRecord {
+                cycle: self.now.raw(),
+                flit: id,
+                ring: loc.ring,
+                station,
+                lane: NO_LANE,
+                event: FlitEvent::Enqueued {
+                    node: src.0,
+                    class: class.index() as u8,
+                },
+            });
         }
+        Ok(id)
     }
 
     /// Pop the oldest flit delivered to device `node`, if any. Devices
     /// must drain their Eject Queues or the network will backpressure
     /// (E-tag deflections).
     pub fn pop_delivered(&mut self, node: NodeId) -> Option<Flit> {
-        self.nodes.get_mut(node.index())?.eject.pop()
+        self.node_mut(node)?.eject.pop()
     }
 
     /// Number of delivered flits waiting at device `node`.
     pub fn delivered_len(&self, node: NodeId) -> usize {
-        self.nodes.get(node.index()).map_or(0, |n| n.eject.len())
+        self.node(node).map_or(0, |n| n.eject.len())
     }
 
     /// Occupied inject-queue depth at `node`.
     pub fn inject_len(&self, node: NodeId) -> usize {
-        self.nodes.get(node.index()).map_or(0, |n| n.inject.len())
+        self.node(node).map_or(0, |n| n.inject.len())
     }
 
     /// Deflections charged to flits targeting `node` (diagnostics).
     pub fn deflections_at(&self, node: NodeId) -> u64 {
-        self.nodes.get(node.index()).map_or(0, |n| n.deflected_here)
+        self.node(node).map_or(0, |n| n.deflected_here)
     }
 
     /// I-tags node `node` has placed on passing slots (diagnostics).
     pub fn itags_placed_by(&self, node: NodeId) -> u64 {
-        self.nodes.get(node.index()).map_or(0, |n| n.itags_here)
+        self.node(node).map_or(0, |n| n.itags_here)
     }
 
     /// Per-(ring, station) deflection counts from the engine's built-in
@@ -472,750 +410,224 @@ impl<S: TraceSink> Network<S> {
     }
 
     fn station_cells(&self, value: impl Fn(&NodeState) -> u64) -> Vec<Vec<u64>> {
-        let mut cells: Vec<Vec<u64>> = self
-            .rings
+        self.shards
             .iter()
-            .map(|r| vec![0u64; r.stations as usize])
-            .collect();
-        for n in &self.nodes {
-            cells[n.ring.index()][n.station as usize] += value(n);
-        }
-        cells
+            .map(|sh| {
+                let mut row = vec![0u64; sh.ring.stations as usize];
+                for n in &sh.nodes {
+                    row[n.station as usize] += value(n);
+                }
+                row
+            })
+            .collect()
     }
 
     /// Current consecutive-injection-failure count at `node`
     /// (diagnostics; feeds I-tag placement and L2 deadlock detection).
     pub fn starve_of(&self, node: NodeId) -> u32 {
-        self.nodes.get(node.index()).map_or(0, |n| n.starve)
+        self.node(node).map_or(0, |n| n.starve)
     }
 
     /// Outstanding E-tag reservations at `node` (diagnostics).
     pub fn etag_backlog(&self, node: NodeId) -> usize {
-        self.nodes
-            .get(node.index())
-            .map_or(0, |n| n.etag_list.len())
+        self.node(node).map_or(0, |n| n.etag_list.len())
     }
 
     /// Flits currently riding ring `ring`.
     pub fn ring_occupancy(&self, ring: RingId) -> usize {
-        self.rings[ring.index()].occupancy()
+        self.shards[ring.index()].ring.occupancy()
     }
 
     /// Slots of `ring` currently reserved by circulating I-tags.
     pub fn ring_itag_count(&self, ring: RingId) -> usize {
-        self.rings[ring.index()].itag_count()
+        self.shards[ring.index()].ring.itag_count()
     }
 
     /// Whether either side of `bridge` is in deadlock resolution mode.
     pub fn bridge_in_drm(&self, bridge: BridgeId) -> bool {
-        let b = &self.bridges[bridge.index()];
-        b.drm[0] || b.drm[1]
+        self.shared.side_loc[bridge.index()]
+            .iter()
+            .any(|l| self.shards[l.ring as usize].sides[l.idx as usize].drm)
     }
 
     /// Per-device bandwidth probes (present when
-    /// [`NetworkConfig::probe_window`] is non-zero), keyed by node index.
+    /// [`NetworkConfig::probe_window`] is non-zero), ascending node id.
     pub fn probes(&self) -> impl Iterator<Item = (NodeId, &BandwidthProbe)> {
-        self.probes
+        let mut all: Vec<(NodeId, &BandwidthProbe)> = self
+            .shards
             .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|p| (NodeId(i as u32), p)))
+            .flat_map(|sh| {
+                sh.nodes
+                    .iter()
+                    .filter_map(|n| n.probe.as_ref().map(|p| (n.id, p)))
+            })
+            .collect();
+        all.sort_by_key(|(id, _)| id.0);
+        all.into_iter()
     }
 
     /// Flush probe windows at end of run.
     pub fn finish_probes(&mut self) {
         let now = self.now;
-        for p in self.probes.iter_mut().flatten() {
-            p.finish(now);
+        for shard in &mut self.shards {
+            for node in &mut shard.nodes {
+                if let Some(p) = &mut node.probe {
+                    p.finish(now);
+                }
+            }
         }
     }
 
     /// Total flits physically present anywhere inside the network
-    /// (queues, slots, pipelines, escape buffers). Used by conservation
+    /// (queues, slots, mailboxes, escape buffers). Used by conservation
     /// checks.
     pub fn count_resident_flits(&self) -> u64 {
-        let mut n = 0u64;
-        for node in &self.nodes {
-            n += (node.inject.len() + node.eject.len()) as u64;
-        }
-        for ring in &self.rings {
-            n += ring.occupancy() as u64;
-        }
-        for b in &self.bridges {
-            n += (b.pipe_ab.len() + b.pipe_ba.len()) as u64;
-            n += (b.reserved[0].len() + b.reserved[1].len()) as u64;
-        }
-        // Delivered flits still sitting in device eject queues were
-        // counted above but are already "delivered" in stats; subtract
-        // them so the value matches `in_flight` + undrained deliveries.
-        n
-    }
-
-    // ------------------------------------------------------------------
-    // Occupancy-index maintenance
-    // ------------------------------------------------------------------
-
-    /// Record that node `ni`'s inject queue went from empty to
-    /// non-empty. Must be called at every such transition.
-    #[inline]
-    fn inject_became_nonempty(&mut self, ni: usize) {
-        let ri = self.nodes[ni].ring.index();
-        let s = self.nodes[ni].station as usize;
-        let c = &mut self.inject_count[ri][s];
-        *c += 1;
-        if *c == 1 {
-            self.inject_bits[ri].set(s);
-        }
-    }
-
-    /// Record that node `ni`'s inject queue went from non-empty to
-    /// empty. Must be called at every such transition.
-    #[inline]
-    fn inject_became_empty(&mut self, ni: usize) {
-        let ri = self.nodes[ni].ring.index();
-        let s = self.nodes[ni].station as usize;
-        let c = &mut self.inject_count[ri][s];
-        debug_assert!(*c > 0, "inject count underflow at ring {ri} station {s}");
-        *c -= 1;
-        if *c == 0 {
-            self.inject_bits[ri].clear(s);
-        }
+        self.shards.iter().map(RingShard::resident_flits).sum()
     }
 
     // ------------------------------------------------------------------
     // Simulation step
     // ------------------------------------------------------------------
 
-    /// Advance the network by one clock cycle.
+    /// Advance the network by one clock cycle (see the module docs for
+    /// the phase structure).
     pub fn tick(&mut self) {
         self.now += 1;
-        self.profile.ticks += 1;
-        self.bridge_deliver();
-        self.local_deliveries();
-        match self.mode {
-            TickMode::Fast => self.sweep_active(),
-            TickMode::Reference => crate::reference::sweep(self),
-        }
-        for ring in &mut self.rings {
-            for lane in &mut ring.lanes {
-                lane.advance();
-            }
-        }
-        self.bridge_intake();
-        self.drm_update();
-        if S::ENABLED && self.now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {
-            for ri in 0..self.rings.len() {
-                let (occupied, capacity) = {
-                    let r = &self.rings[ri];
-                    (r.occupancy() as u16, r.capacity() as u16)
-                };
-                self.sink.emit(TraceRecord {
-                    cycle: self.now.raw(),
-                    flit: NO_FLIT,
-                    ring: ri as u16,
-                    station: 0,
-                    lane: NO_LANE,
-                    event: FlitEvent::RingUtil { occupied, capacity },
-                });
-            }
-        }
-    }
-
-    /// Occupancy-indexed station walk: per lane, merge the flit, I-tag
-    /// and pending-injector bitsets word by word and visit only set
-    /// bits, in ascending station order — the same order as the
-    /// reference sweep. Correctness rests on `process_station(s)` only
-    /// mutating state attached to station `s` (its slot, its ports'
-    /// queues, its bridge side), so skipping provably-idle stations and
-    /// snapshotting each 64-station word before visiting it cannot
-    /// change the outcome.
-    fn sweep_active(&mut self) {
-        for ri in 0..self.rings.len() {
-            let stations = self.rings[ri].stations as usize;
-            let nlanes = self.rings[ri].lanes.len();
-            let nwords = self.inject_bits[ri].words().len();
-            for li in 0..nlanes {
-                self.profile.lane_passes += 1;
-                self.profile.stations_total += stations as u64;
-                let mut active = 0usize;
-                for wi in 0..nwords {
-                    let lane = &self.rings[ri].lanes[li];
-                    let w = lane.flit_bits().words()[wi]
-                        | lane.itag_bits().words()[wi]
-                        | self.inject_bits[ri].words()[wi];
-                    active += w.count_ones() as usize;
-                }
-                if active * SATURATION_DENOM >= stations * SATURATION_NUM {
-                    self.profile.full_lane_sweeps += 1;
-                    self.profile.stations_visited += stations as u64;
-                    for s in 0..stations as u16 {
-                        self.process_station(ri, li, s);
-                    }
-                    continue;
-                }
-                for wi in 0..nwords {
-                    let lane = &self.rings[ri].lanes[li];
-                    let mut w = lane.flit_bits().words()[wi]
-                        | lane.itag_bits().words()[wi]
-                        | self.inject_bits[ri].words()[wi];
-                    while w != 0 {
-                        let s = wi * 64 + w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        self.profile.stations_visited += 1;
-                        self.process_station(ri, li, s as u16);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Move matured bridge-pipeline flits into destination endpoint
-    /// inject queues.
-    fn bridge_deliver(&mut self) {
-        let now = self.now.raw();
-        for bi in 0..self.bridges.len() {
-            for dir in 0..2 {
-                loop {
-                    let b = &mut self.bridges[bi];
-                    let (pipe, dst) = if dir == 0 {
-                        (&mut b.pipe_ab, b.b)
-                    } else {
-                        (&mut b.pipe_ba, b.a)
-                    };
-                    let ready = pipe.front().is_some_and(|&(r, _)| r <= now);
-                    if !ready || self.nodes[dst.index()].inject.is_full() {
-                        if S::ENABLED && ready {
-                            // Matured flit held in the pipeline by a full
-                            // endpoint Inject Queue: backpressure.
-                            let fid = pipe.front().map_or(NO_FLIT, |(_, f)| f.id);
-                            let n = &self.nodes[dst.index()];
-                            let (ring, station) = (n.ring.0, n.station);
-                            self.sink.emit(TraceRecord {
-                                cycle: now,
-                                flit: fid,
-                                ring,
-                                station,
-                                lane: NO_LANE,
-                                event: FlitEvent::BridgeStalled { bridge: bi as u16 },
-                            });
-                        }
-                        break;
-                    }
-                    let (_, flit) = self.bridges[bi]
-                        .pipe_if(dir)
-                        .pop_front()
-                        .expect("checked non-empty");
-                    self.nodes[dst.index()]
-                        .inject
-                        .push(flit)
-                        .expect("checked not full");
-                    if self.nodes[dst.index()].inject.len() == 1 {
-                        self.inject_became_nonempty(dst.index());
-                    }
-                    self.stats.bridge_crossings.inc();
-                }
-            }
-        }
-    }
-
-    /// Deliver head flits whose exit station equals their source node's
-    /// own station without touching the ring (zero-hop path).
-    ///
-    /// Interactions are confined to one station (a node's zero-hop
-    /// target always sits at its own station), so the fast path can
-    /// enumerate candidate stations from the pending-injector bits in
-    /// any order; [`crate::reference::local_sweep`] walks all nodes.
-    fn local_deliveries(&mut self) {
-        match self.mode {
-            TickMode::Reference => crate::reference::local_sweep(self),
-            TickMode::Fast => {
-                for ri in 0..self.rings.len() {
-                    for wi in 0..self.inject_bits[ri].words().len() {
-                        let mut w = self.inject_bits[ri].words()[wi];
-                        while w != 0 {
-                            let s = wi * 64 + w.trailing_zeros() as usize;
-                            w &= w - 1;
-                            for port in 0..2 {
-                                if let Some(node) = self.ports[ri][s][port] {
-                                    self.try_local_delivery(node.index());
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Attempt the zero-hop local delivery for node `i`'s head flit.
-    pub(crate) fn try_local_delivery(&mut self, i: usize) {
-        let (ring, station) = (self.nodes[i].ring, self.nodes[i].station);
-        let Some(head) = self.nodes[i].inject.peek() else {
-            return;
-        };
-        let hop = match self.route.exit(ring, head.dst) {
-            Some(h) => h,
-            None => return,
-        };
-        if hop.station != station || hop.target.index() == i {
-            return;
-        }
-        let t = hop.target.index();
-        // Normal-flit eject rule: leave reserved buffers alone.
-        let free = self.nodes[t].eject.free();
-        let reserved = self.nodes[t].etag_list.len();
-        if free > reserved {
-            let mut flit = self.nodes[i].inject.pop().expect("peeked");
-            if self.nodes[i].inject.is_empty() {
-                self.inject_became_empty(i);
-            }
-            flit.injected_at = Some(self.now);
-            self.stats.injected.inc();
-            if S::ENABLED {
-                self.sink.emit(TraceRecord {
-                    cycle: self.now.raw(),
-                    flit: flit.id,
-                    ring: ring.0,
-                    station,
-                    lane: NO_LANE,
-                    event: FlitEvent::Injected { node: i as u32 },
-                });
-            }
-            self.finish_arrival(t, flit, NO_LANE);
-            self.nodes[i].starve = 0;
-        }
-    }
-
-    pub(crate) fn process_station(&mut self, ri: usize, li: usize, s: u16) {
-        let ring_id = RingId(ri as u16);
-        // ---- arrival / ejection ----
-        if let Some(flit) = self.rings[ri].lanes[li].take_flit(s) {
-            let hop = self
-                .route
-                .exit(ring_id, flit.dst)
-                .expect("validated topology routes every destination");
-            if hop.station == s {
-                self.arrive(ri, li, s, hop.target, flit);
-            } else {
-                self.rings[ri].lanes[li].put_flit(s, flit);
-            }
-        }
-        // ---- injection ----
-        let mut injected_port: Option<u8> = None;
-        let slot_free = self.rings[ri].lanes[li].flit_at(s).is_none();
-        if slot_free {
-            let itag = self.rings[ri].lanes[li].itag_at(s);
-            if let Some(owner) = itag {
-                let o = owner.index();
-                if self.nodes[o].ring == ring_id && self.nodes[o].station == s {
-                    match self.head_lane(o) {
-                        Some(lane) if lane == li => {
-                            if S::ENABLED {
-                                let fid = self.nodes[o].inject.peek().expect("head checked").id;
-                                self.sink.emit(TraceRecord {
-                                    cycle: self.now.raw(),
-                                    flit: fid,
-                                    ring: ri as u16,
-                                    station: s,
-                                    lane: li as u8,
-                                    event: FlitEvent::ITagClaimed { node: o as u32 },
-                                });
-                            }
-                            self.inject_head(o, ri, li, s);
-                            injected_port = self.ports[ri][s as usize]
-                                .iter()
-                                .position(|&p| p == Some(owner))
-                                .map(|p| p as u8);
-                            self.rings[ri].lanes[li].take_itag(s);
-                            self.nodes[o].itag_pending = false;
-                        }
-                        Some(_) | None => {
-                            // Stale tag: head now prefers the other lane
-                            // or queue drained. Release the slot.
-                            self.rings[ri].lanes[li].take_itag(s);
-                            self.nodes[o].itag_pending = false;
-                        }
-                    }
-                }
-                // Tag owned by a node elsewhere on the ring: slot stays
-                // reserved and passes by.
-            } else {
-                // Round-robin arbitration between the two interfaces.
-                let start = self.rr[ri][s as usize][li];
-                for off in 0..2u8 {
-                    let port = (start + off) % 2;
-                    let Some(node) = self.ports[ri][s as usize][port as usize] else {
-                        continue;
-                    };
-                    let ni = node.index();
-                    if self.head_lane(ni) == Some(li) {
-                        self.inject_head(ni, ri, li, s);
-                        self.rr[ri][s as usize][li] = (port + 1) % 2;
-                        injected_port = Some(port);
-                        break;
-                    }
-                }
-            }
-        }
-        // ---- starvation accounting & I-tag placement ----
-        for port in 0..2u8 {
-            if injected_port == Some(port) {
-                continue;
-            }
-            let Some(node) = self.ports[ri][s as usize][port as usize] else {
-                continue;
-            };
-            let ni = node.index();
-            if self.head_lane(ni) != Some(li) {
-                continue;
-            }
-            self.nodes[ni].starve += 1;
-            if S::ENABLED {
-                let fid = self.nodes[ni].inject.peek().expect("head checked").id;
-                self.sink.emit(TraceRecord {
-                    cycle: self.now.raw(),
-                    flit: fid,
-                    ring: ri as u16,
-                    station: s,
-                    lane: li as u8,
-                    event: FlitEvent::InjectLost { node: ni as u32 },
-                });
-            }
-            if self.nodes[ni].starve >= self.cfg.itag_threshold
-                && !self.nodes[ni].itag_pending
-                && self.rings[ri].lanes[li].itag_at(s).is_none()
-            {
-                self.rings[ri].lanes[li].set_itag(s, node);
-                self.nodes[ni].itag_pending = true;
-                self.nodes[ni].itags_here += 1;
-                self.stats.itags_placed.inc();
-                if S::ENABLED {
-                    let fid = self.nodes[ni].inject.peek().expect("head checked").id;
-                    self.sink.emit(TraceRecord {
-                        cycle: self.now.raw(),
-                        flit: fid,
-                        ring: ri as u16,
-                        station: s,
-                        lane: li as u8,
-                        event: FlitEvent::ITagSet { node: ni as u32 },
-                    });
-                }
-            }
-        }
-    }
-
-    /// Which lane the head flit of node `ni` wants, if it has one and
-    /// needs the ring (local zero-hop deliveries are handled elsewhere).
-    fn head_lane(&self, ni: usize) -> Option<usize> {
-        let node = &self.nodes[ni];
-        let head = node.inject.peek()?;
-        let hop = self.route.exit(node.ring, head.dst)?;
-        if hop.station == node.station {
-            return None; // zero-hop: local delivery path
-        }
-        let ring = &self.rings[node.ring.index()];
-        let (dir, _) = ring_travel(ring.kind, ring.stations, node.station, hop.station);
-        Some(dir.lane())
-    }
-
-    /// Move node `ni`'s head flit into the (empty) slot at its station.
-    fn inject_head(&mut self, ni: usize, ri: usize, li: usize, s: u16) {
-        let mut flit = self.nodes[ni].inject.pop().expect("head checked");
-        if self.nodes[ni].inject.is_empty() {
-            self.inject_became_empty(ni);
-        }
-        if flit.injected_at.is_none() {
-            flit.injected_at = Some(self.now);
-            self.stats.injected.inc();
-            if S::ENABLED {
-                self.sink.emit(TraceRecord {
-                    cycle: self.now.raw(),
-                    flit: flit.id,
-                    ring: ri as u16,
-                    station: s,
-                    lane: li as u8,
-                    event: FlitEvent::Injected { node: ni as u32 },
-                });
-            }
-        }
-        self.rings[ri].lanes[li].put_flit(s, flit);
-        self.nodes[ni].starve = 0;
-    }
-
-    /// Handle a flit arriving at its exit station: eject, SWAP, or
-    /// deflect with an E-tag.
-    fn arrive(&mut self, ri: usize, li: usize, s: u16, target: NodeId, mut flit: Flit) {
-        let t = target.index();
-        let free = self.nodes[t].eject.free();
-        let reserved_count = self.nodes[t].etag_list.len();
-
-        let may_eject = if flit.etag {
-            // A returning E-tag flit may use a freed buffer once its
-            // reservation is covered by the free count.
-            match self.nodes[t].etag_list.iter().position(|&id| id == flit.id) {
-                Some(pos) => free > pos,
-                None => free > reserved_count, // tagged for another node earlier
+        self.ticks += 1;
+        let now = self.now;
+        // Phase 1: bridge delivery. Cheap enough to stay sequential in
+        // every mode (a handful of queue pops per bridge).
+        if S::ENABLED {
+            for shard in &mut self.shards {
+                shard.phase_deliver::<true>(now);
             }
         } else {
-            free > reserved_count
-        };
-
-        if may_eject {
-            if flit.etag {
-                self.consume_etag(t, flit.id);
-                flit.etag = false;
+            for shard in &mut self.shards {
+                shard.phase_deliver::<false>(now);
             }
-            self.finish_arrival(t, flit, li as u8);
-            return;
         }
-
-        // SWAP path (§4.4): bridge endpoint in DRM (or permanently, in
-        // escape-buffer mode) with escape space.
-        if let NodeKind::BridgeEndpoint { bridge, .. } = self.nodes[t].kind {
-            let bi = bridge.index();
-            let side = self.bridges[bi].side_of(target);
-            let active = self.bridges[bi].drm[side] || self.bridges[bi].cfg.escape_always;
-            if active
-                && self.bridges[bi].reserved[side].len() < self.bridges[bi].cfg.reserved_cap
-                && !self.nodes[t].eject.is_empty()
-            {
-                // Push the Eject Queue head into a reserved Tx buffer…
-                let escaped = self.nodes[t].eject.pop().expect("non-empty");
-                self.bridges[bi].reserved[side].push(escaped);
-                // …eject the traversing flit into the vacated space…
-                if flit.etag {
-                    self.consume_etag(t, flit.id);
-                    flit.etag = false;
-                }
-                let fid = flit.id;
-                self.nodes[t].eject.push(flit).expect("space just vacated");
+        // Barrier: snapshot peer inbox depths so intake can enforce
+        // pipeline capacity without reading another shard.
+        self.refresh_peer_backlogs();
+        // Phase 2: the per-ring cycle — the only phase worth fanning
+        // out, and the only one that runs with shards detached.
+        match self.exec {
+            ExecMode::Sequential => {
+                let shared = Arc::clone(&self.shared);
+                let mode = self.mode;
                 if S::ENABLED {
-                    self.sink.emit(TraceRecord {
-                        cycle: self.now.raw(),
-                        flit: fid,
-                        ring: ri as u16,
-                        station: s,
-                        lane: li as u8,
-                        event: FlitEvent::Ejected { node: t as u32 },
-                    });
-                }
-                // …and, in SWAP mode, swap the Inject Queue head onto
-                // the ring slot in the same cycle. The escape-buffer
-                // alternative lacks this simultaneous injection — that
-                // is exactly the latency edge §4.4 claims for SWAP.
-                if self.bridges[bi].drm[side] && self.nodes[t].inject.peek().is_some() {
-                    self.inject_head(t, ri, li, s);
-                    self.stats.swaps.inc();
-                    if S::ENABLED {
-                        self.sink.emit(TraceRecord {
-                            cycle: self.now.raw(),
-                            flit: fid,
-                            ring: ri as u16,
-                            station: s,
-                            lane: li as u8,
-                            event: FlitEvent::SwapTriggered { node: t as u32 },
-                        });
+                    for shard in &mut self.shards {
+                        shard.phase_cycle::<true>(&shared, now, mode);
                     }
-                }
-                return;
-            }
-        }
-
-        // Deflect: place an E-tag reservation (once) and circle on.
-        if !flit.etag {
-            flit.etag = true;
-            self.nodes[t].etag_list.push_back(flit.id);
-            self.stats.etags_placed.inc();
-            if S::ENABLED {
-                self.sink.emit(TraceRecord {
-                    cycle: self.now.raw(),
-                    flit: flit.id,
-                    ring: ri as u16,
-                    station: s,
-                    lane: li as u8,
-                    event: FlitEvent::ETagReserved { target: t as u32 },
-                });
-            }
-        }
-        flit.deflections += 1;
-        self.stats.deflections.inc();
-        self.nodes[t].deflected_here += 1;
-        if S::ENABLED {
-            self.sink.emit(TraceRecord {
-                cycle: self.now.raw(),
-                flit: flit.id,
-                ring: ri as u16,
-                station: s,
-                lane: li as u8,
-                event: FlitEvent::Deflected { target: t as u32 },
-            });
-        }
-        self.rings[ri].lanes[li].put_flit(s, flit);
-    }
-
-    fn consume_etag(&mut self, t: usize, flit_id: u64) {
-        if let Some(pos) = self.nodes[t].etag_list.iter().position(|&id| id == flit_id) {
-            self.nodes[t].etag_list.remove(pos);
-        }
-    }
-
-    /// Complete an arrival into node `t`'s eject queue, recording
-    /// delivery stats for devices. `lane` is the ring lane the flit
-    /// left (or [`NO_LANE`] for the zero-hop local path).
-    fn finish_arrival(&mut self, t: usize, flit: Flit, lane: u8) {
-        let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
-        if is_device {
-            self.stats.record_delivery(&flit, self.now);
-            if let Some(p) = &mut self.probes[t] {
-                p.record(self.now, flit.payload_bytes as u64);
-            }
-        }
-        if S::ENABLED {
-            let (ring, station) = (self.nodes[t].ring.0, self.nodes[t].station);
-            let cycle = self.now.raw();
-            self.sink.emit(TraceRecord {
-                cycle,
-                flit: flit.id,
-                ring,
-                station,
-                lane,
-                event: FlitEvent::Ejected { node: t as u32 },
-            });
-            if is_device {
-                self.sink.emit(TraceRecord {
-                    cycle,
-                    flit: flit.id,
-                    ring,
-                    station,
-                    lane,
-                    event: FlitEvent::Delivered {
-                        node: t as u32,
-                        class: flit.class.index() as u8,
-                    },
-                });
-            }
-        }
-        self.nodes[t]
-            .eject
-            .push(flit)
-            .expect("caller checked eject space");
-    }
-
-    /// Record a flit entering bridge `bi`'s pipeline at endpoint `ep`.
-    #[inline]
-    fn emit_bridge_enqueued(&mut self, bi: usize, ep: NodeId, flit: u64) {
-        if S::ENABLED {
-            let n = &self.nodes[ep.index()];
-            let (ring, station) = (n.ring.0, n.station);
-            self.sink.emit(TraceRecord {
-                cycle: self.now.raw(),
-                flit,
-                ring,
-                station,
-                lane: NO_LANE,
-                event: FlitEvent::BridgeEnqueued { bridge: bi as u16 },
-            });
-        }
-    }
-
-    /// Pull flits from bridge endpoint eject queues into the pipelines,
-    /// draining reserved escape buffers first.
-    fn bridge_intake(&mut self) {
-        let now = self.now.raw();
-        for bi in 0..self.bridges.len() {
-            for side in 0..2 {
-                let (ep, latency, width, cap) = {
-                    let b = &self.bridges[bi];
-                    (
-                        if side == 0 { b.a } else { b.b },
-                        b.cfg.latency as u64,
-                        b.cfg.width_flits_per_cycle as usize,
-                        b.cfg.buffer_cap,
-                    )
-                };
-                let mut moved = 0usize;
-                // Priority: reserved escape buffers drain first.
-                while moved < width
-                    && !self.bridges[bi].reserved[side].is_empty()
-                    && self.bridges[bi].pipe_if_len(side) < cap
-                {
-                    let mut flit = self.bridges[bi].reserved[side].remove(0);
-                    flit.ring_changes += 1;
-                    self.emit_bridge_enqueued(bi, ep, flit.id);
-                    self.bridges[bi]
-                        .pipe_for_side(side)
-                        .push_back((now + latency, flit));
-                    moved += 1;
-                }
-                while moved < width
-                    && !self.nodes[ep.index()].eject.is_empty()
-                    && self.bridges[bi].pipe_if_len(side) < cap
-                {
-                    let mut flit = self.nodes[ep.index()].eject.pop().expect("non-empty");
-                    flit.ring_changes += 1;
-                    self.emit_bridge_enqueued(bi, ep, flit.id);
-                    self.bridges[bi]
-                        .pipe_for_side(side)
-                        .push_back((now + latency, flit));
-                    moved += 1;
-                }
-            }
-        }
-    }
-
-    /// Enter/exit deadlock resolution mode per L2 bridge side.
-    fn drm_update(&mut self) {
-        for bi in 0..self.bridges.len() {
-            if self.bridges[bi].cfg.level != BridgeLevel::L2 || !self.bridges[bi].cfg.swap_enabled {
-                continue;
-            }
-            for side in 0..2 {
-                let ep = if side == 0 {
-                    self.bridges[bi].a
                 } else {
-                    self.bridges[bi].b
-                };
-                let starve = self.nodes[ep.index()].starve;
-                let b = &mut self.bridges[bi];
-                if !b.drm[side] {
-                    if starve >= b.cfg.deadlock_threshold
-                        && !self.nodes[ep.index()].inject.is_empty()
-                    {
-                        b.drm[side] = true;
-                        self.stats.drm_entries.inc();
+                    for shard in &mut self.shards {
+                        shard.phase_cycle::<false>(&shared, now, mode);
                     }
-                } else if b.reserved[side].len() <= b.cfg.drm_exit_occupancy
-                    && starve < b.cfg.deadlock_threshold
-                {
-                    b.drm[side] = false;
                 }
+            }
+            ExecMode::Parallel(_) => self.run_parallel(now),
+        }
+        // Barrier: swap bridge mailboxes, then drain telemetry in ring
+        // order so the sink sees one deterministic stream.
+        self.exchange_bridges();
+        if S::ENABLED {
+            self.drain_trace_buffers();
+            if now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {
+                self.sample_ring_util();
             }
         }
     }
-}
 
-impl BridgeState {
-    fn pipe_if(&mut self, dir: usize) -> &mut VecDeque<(u64, Flit)> {
-        if dir == 0 {
-            &mut self.pipe_ab
+    /// Fan the per-ring phase out over the worker pool, (re)spawning it
+    /// lazily when the requested thread count changed. Shards are moved
+    /// into the pool by value and reassembled in ring order, so no
+    /// state is ever shared between threads.
+    fn run_parallel(&mut self, now: Cycle) {
+        let workers = self.exec.workers();
+        if self.pool.0.as_ref().map(ShardPool::workers) != Some(workers) {
+            self.pool.0 = Some(ShardPool::new(workers));
+        }
+        let shared = Arc::clone(&self.shared);
+        let mode = self.mode;
+        let job: PoolJob<RingShard> = if S::ENABLED {
+            Arc::new(move |shard: &mut RingShard| shard.phase_cycle::<true>(&shared, now, mode))
         } else {
-            &mut self.pipe_ba
+            Arc::new(move |shard: &mut RingShard| shard.phase_cycle::<false>(&shared, now, mode))
+        };
+        let shards = std::mem::take(&mut self.shards);
+        let done = self
+            .pool
+            .0
+            .as_mut()
+            .expect("pool just ensured")
+            .run(shards, job);
+        self.shards = done;
+    }
+
+    /// Record each bridge side's view of its peer's inbox depth
+    /// (post-delivery), reproducing the monolith's single-pipeline
+    /// occupancy for intake capacity checks.
+    fn refresh_peer_backlogs(&mut self) {
+        for bi in 0..self.shared.side_loc.len() {
+            let [la, lb] = self.shared.side_loc[bi];
+            let len_a = self.shards[la.ring as usize].sides[la.idx as usize]
+                .rx
+                .len();
+            let len_b = self.shards[lb.ring as usize].sides[lb.idx as usize]
+                .rx
+                .len();
+            self.shards[la.ring as usize].sides[la.idx as usize].peer_backlog = len_b;
+            self.shards[lb.ring as usize].sides[lb.idx as usize].peer_backlog = len_a;
         }
     }
 
-    /// Pipeline that carries flits AWAY from `side`.
-    fn pipe_for_side(&mut self, side: usize) -> &mut VecDeque<(u64, Flit)> {
-        if side == 0 {
-            &mut self.pipe_ab
-        } else {
-            &mut self.pipe_ba
+    /// Append every side's `tx` outbox onto its peer's `rx` inbox, in
+    /// bridge order. Mailbox buffers are returned to their owners so
+    /// capacity is reused tick over tick.
+    fn exchange_bridges(&mut self) {
+        for bi in 0..self.shared.side_loc.len() {
+            let [la, lb] = self.shared.side_loc[bi];
+            let mut tx =
+                std::mem::take(&mut self.shards[la.ring as usize].sides[la.idx as usize].tx);
+            self.shards[lb.ring as usize].sides[lb.idx as usize]
+                .rx
+                .append(&mut tx);
+            self.shards[la.ring as usize].sides[la.idx as usize].tx = tx;
+            let mut tx =
+                std::mem::take(&mut self.shards[lb.ring as usize].sides[lb.idx as usize].tx);
+            self.shards[la.ring as usize].sides[la.idx as usize]
+                .rx
+                .append(&mut tx);
+            self.shards[lb.ring as usize].sides[lb.idx as usize].tx = tx;
         }
     }
 
-    fn pipe_if_len(&self, side: usize) -> usize {
-        if side == 0 {
-            self.pipe_ab.len()
-        } else {
-            self.pipe_ba.len()
+    /// Drain per-shard trace buffers into the sink in ascending ring
+    /// order — the deterministic merge that makes the event stream
+    /// independent of execution mode.
+    fn drain_trace_buffers(&mut self) {
+        for si in 0..self.shards.len() {
+            let mut trace = std::mem::take(&mut self.shards[si].trace);
+            trace.drain_into(&mut self.sink);
+            self.shards[si].trace = trace;
+        }
+    }
+
+    /// Emit one [`FlitEvent::RingUtil`] sample per ring.
+    fn sample_ring_util(&mut self) {
+        for si in 0..self.shards.len() {
+            let (occupied, capacity) = {
+                let r = &self.shards[si].ring;
+                (r.occupancy() as u16, r.capacity() as u16)
+            };
+            self.sink.emit(TraceRecord {
+                cycle: self.now.raw(),
+                flit: NO_FLIT,
+                ring: si as u16,
+                station: 0,
+                lane: NO_LANE,
+                event: FlitEvent::RingUtil { occupied, capacity },
+            });
         }
     }
 }

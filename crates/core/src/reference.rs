@@ -2,41 +2,51 @@
 //!
 //! This module preserves the original `Network::tick` inner loops
 //! exactly as first written: every cycle, walk every station of every
-//! lane of every ring (and every node for zero-hop local deliveries),
+//! lane of the ring (and every node for zero-hop local deliveries),
 //! whether or not anything can happen there. It is deliberately boring
 //! — the point is that its correctness is easy to see, so it can anchor
 //! the differential tests that hold the occupancy-indexed fast path
 //! ([`crate::network::TickMode::Fast`]) to cycle-exact equivalence.
 //!
 //! Both sweeps call the same `process_station` / `try_local_delivery`
-//! station logic; only the enumeration differs. The fast path skips a
-//! station exactly when its slot carries no flit, no I-tag, and no port
-//! node has a queued flit — conditions under which `process_station` is
-//! a provable no-op (it cannot arrive, inject, advance a round-robin
-//! pointer, or change a starve counter). Any divergence between the two
-//! modes is therefore a bug in the occupancy index, never in this
-//! module.
+//! station logic on the owning [`RingShard`]; only the enumeration
+//! differs. The fast path skips a station exactly when its slot
+//! carries no flit, no I-tag, and no port node has a queued flit —
+//! conditions under which `process_station` is a provable no-op (it
+//! cannot arrive, inject, advance a round-robin pointer, or change a
+//! starve counter). Any divergence between the two modes is therefore
+//! a bug in the occupancy index, never in this module.
+//!
+//! Since the engine was sharded per ring, these walk one shard at a
+//! time; ascending local node order within a shard is ascending global
+//! node order (nodes are assigned ids ring by ring is *not* guaranteed,
+//! but `try_local_delivery` only touches state of the one station it
+//! serves, so any fixed enumeration order yields identical results —
+//! see DESIGN.md §10).
 
-use crate::network::Network;
-use noc_telemetry::TraceSink;
+use crate::shard::{EngineShared, RingShard};
+use noc_sim::Cycle;
 
-/// Exhaustive station walk: every ring, every lane, every station, in
-/// ascending order.
-pub(crate) fn sweep<S: TraceSink>(net: &mut Network<S>) {
-    for ri in 0..net.rings.len() {
-        let lanes = net.rings[ri].lanes.len();
-        let stations = net.rings[ri].stations;
-        for li in 0..lanes {
-            for s in 0..stations {
-                net.process_station(ri, li, s);
-            }
+/// Exhaustive station walk over one shard: every lane, every station,
+/// in ascending order.
+pub(crate) fn sweep<const TRACE: bool>(shard: &mut RingShard, shared: &EngineShared, now: Cycle) {
+    let lanes = shard.ring.lanes.len();
+    let stations = shard.ring.stations;
+    for li in 0..lanes {
+        for s in 0..stations {
+            shard.process_station::<TRACE>(shared, now, li, s);
         }
     }
 }
 
-/// Exhaustive zero-hop local-delivery pass: every node in id order.
-pub(crate) fn local_sweep<S: TraceSink>(net: &mut Network<S>) {
-    for i in 0..net.nodes.len() {
-        net.try_local_delivery(i);
+/// Exhaustive zero-hop local-delivery pass: every node of the shard in
+/// ascending local (= ascending global, within the ring) order.
+pub(crate) fn local_sweep<const TRACE: bool>(
+    shard: &mut RingShard,
+    shared: &EngineShared,
+    now: Cycle,
+) {
+    for i in 0..shard.nodes.len() {
+        shard.try_local_delivery::<TRACE>(shared, now, i);
     }
 }

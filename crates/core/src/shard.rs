@@ -1,0 +1,865 @@
+//! Per-ring shards: the unit of state ownership and parallelism.
+//!
+//! A [`RingShard`] owns everything the paper's §4 station logic can
+//! touch while processing one ring for one cycle: the ring's lanes and
+//! their flit/I-tag bitsets, the node interfaces attached to its
+//! stations (inject/eject queues, starvation counters, E-tag lists),
+//! its sides of any bridges ([`BridgeSide`] mailboxes), the
+//! round-robin pointers and pending-injector index, plus a private
+//! [`NetStats`], [`TickProfile`] and [`TraceBuffer`].
+//!
+//! Because the station logic is provably ring-local — a flit can only
+//! leave its ring through a bridge mailbox, and mailboxes are swapped
+//! by the engine at phase barriers — shards can be evaluated in any
+//! order, or concurrently, with bit-identical results. The engine
+//! merges their stats, profiles and trace buffers in ascending ring
+//! order afterwards. Immutable inputs every shard needs (config, route
+//! table, global→local id maps) live in one shared [`EngineShared`].
+//!
+//! Methods take a `const TRACE: bool` parameter instead of a sink type:
+//! with `TRACE = false` every record construction folds away exactly
+//! like the `S::ENABLED` guards did in the monolith, and shards stay
+//! independent of sink types (which keeps them `Send` without bounds
+//! gymnastics).
+
+use crate::bits::BitRing;
+use crate::bridge::BridgeSide;
+use crate::config::{BridgeLevel, NetworkConfig};
+use crate::flit::Flit;
+use crate::ids::{NodeId, RingId};
+use crate::network::TickMode;
+use crate::queue::Fifo;
+use crate::ring::Ring;
+use crate::route::{ring_travel, RouteTable};
+use crate::stats::{NetStats, TickProfile};
+use crate::topology::{NodeKind, Topology};
+use noc_sim::{BandwidthProbe, Cycle};
+use noc_telemetry::{FlitEvent, TraceBuffer, TraceRecord, NO_FLIT, NO_LANE};
+use std::collections::VecDeque;
+
+/// Fast-path lanes fall back to a full sweep when
+/// `active * SATURATION_DENOM >= stations * SATURATION_NUM` — i.e. at
+/// ≥ 50% activity, where per-station bit extraction stops paying off.
+const SATURATION_NUM: usize = 1;
+const SATURATION_DENOM: usize = 2;
+
+/// Where a global node id lives: which ring shard, at which index.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeLoc {
+    pub ring: u16,
+    pub local: u32,
+}
+
+/// Where one side of a bridge lives: which ring shard, at which index
+/// in that shard's `sides`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SideLoc {
+    pub ring: u16,
+    pub idx: u32,
+}
+
+/// Immutable engine inputs shared by all shards (held in an `Arc` so a
+/// parallel fan-out can hand every worker the same reference).
+#[derive(Debug)]
+pub(crate) struct EngineShared {
+    pub cfg: NetworkConfig,
+    pub topo: Topology,
+    pub route: RouteTable,
+    /// Global node id → owning shard and local index.
+    pub node_loc: Vec<NodeLoc>,
+    /// Bridge id → location of each side.
+    pub side_loc: Vec<[SideLoc; 2]>,
+}
+
+/// Per-node runtime state: the two queues of a node interface plus tag
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeState {
+    /// Global id (telemetry events and the public API speak global ids).
+    pub id: NodeId,
+    pub ring: RingId,
+    pub station: u16,
+    pub kind: NodeKind,
+    pub inject: Fifo<Flit>,
+    pub eject: Fifo<Flit>,
+    /// Consecutive cycles the head of `inject` failed to win a slot.
+    pub starve: u32,
+    /// Whether an I-tagged slot is circulating for this node.
+    pub itag_pending: bool,
+    /// E-tag reservations: ids of flits entitled to freed eject buffers,
+    /// oldest first.
+    pub etag_list: VecDeque<u64>,
+    /// Deflections of flits that targeted this node (diagnostics).
+    pub deflected_here: u64,
+    /// I-tags this node has placed on passing slots (diagnostics).
+    pub itags_here: u64,
+    /// Bandwidth probe (devices only, when probing is configured).
+    pub probe: Option<BandwidthProbe>,
+}
+
+/// One ring plus everything attached to it. See the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct RingShard {
+    pub ring: Ring,
+    /// Node interfaces on this ring, ascending global id.
+    pub nodes: Vec<NodeState>,
+    /// Bridge sides on this ring, ascending (bridge, side).
+    pub sides: Vec<BridgeSide>,
+    /// Round-robin pointer per (station, lane).
+    rr: Vec<[u8; 2]>,
+    /// Local node index attached per (station, port).
+    ports: Vec<[Option<u32>; 2]>,
+    /// Nodes with a non-empty inject queue per station: 0–2.
+    inject_count: Vec<u8>,
+    /// Station bit set iff `inject_count > 0`.
+    inject_bits: BitRing,
+    pub stats: NetStats,
+    /// Shard-local sweep instrumentation (`ticks` stays 0 here; the
+    /// engine adds the tick count on top when merging).
+    pub profile: TickProfile,
+    /// Events staged this tick, drained by the engine in ring order.
+    pub trace: TraceBuffer,
+}
+
+/// Build the shared inputs and one shard per ring from a validated
+/// topology.
+pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<RingShard>) {
+    let route = RouteTable::build(&topo);
+    let mut shards: Vec<RingShard> = topo
+        .rings()
+        .iter()
+        .map(|r| RingShard {
+            ring: Ring::new(r.id, r.chiplet, r.kind, r.stations),
+            nodes: Vec::new(),
+            sides: Vec::new(),
+            rr: vec![[0u8; 2]; r.stations as usize],
+            ports: vec![[None, None]; r.stations as usize],
+            inject_count: vec![0u8; r.stations as usize],
+            inject_bits: BitRing::new(r.stations as usize),
+            stats: NetStats::new(),
+            profile: TickProfile::default(),
+            trace: TraceBuffer::default(),
+        })
+        .collect();
+    let mut node_loc = Vec::with_capacity(topo.nodes().len());
+    for n in topo.nodes() {
+        let shard = &mut shards[n.ring.index()];
+        let local = shard.nodes.len() as u32;
+        node_loc.push(NodeLoc {
+            ring: n.ring.0,
+            local,
+        });
+        shard.ports[n.station as usize][n.port as usize] = Some(local);
+        shard.nodes.push(NodeState {
+            id: n.id,
+            ring: n.ring,
+            station: n.station,
+            kind: n.kind,
+            inject: Fifo::new(cfg.inject_queue_cap),
+            eject: Fifo::new(cfg.eject_queue_cap),
+            starve: 0,
+            itag_pending: false,
+            etag_list: VecDeque::new(),
+            deflected_here: 0,
+            itags_here: 0,
+            probe: (cfg.probe_window > 0 && matches!(n.kind, NodeKind::Device))
+                .then(|| BandwidthProbe::new(n.name.clone(), cfg.probe_window)),
+        });
+    }
+    let mut side_loc = Vec::with_capacity(topo.bridges().len());
+    for b in topo.bridges() {
+        let mut locs = [SideLoc { ring: 0, idx: 0 }; 2];
+        for (side, ep) in [(0u8, b.a), (1u8, b.b)] {
+            let loc = node_loc[ep.index()];
+            let shard = &mut shards[loc.ring as usize];
+            locs[side as usize] = SideLoc {
+                ring: loc.ring,
+                idx: shard.sides.len() as u32,
+            };
+            shard.sides.push(BridgeSide {
+                bridge: b.id,
+                endpoint: loc.local,
+                cfg: b.config.clone(),
+                rx: VecDeque::new(),
+                tx: VecDeque::new(),
+                peer_backlog: 0,
+                reserved: Vec::new(),
+                drm: false,
+            });
+        }
+        side_loc.push(locs);
+    }
+    let shared = EngineShared {
+        cfg,
+        topo,
+        route,
+        node_loc,
+        side_loc,
+    };
+    (shared, shards)
+}
+
+impl RingShard {
+    // ------------------------------------------------------------------
+    // Occupancy-index maintenance
+    // ------------------------------------------------------------------
+
+    /// Record that local node `ni`'s inject queue went from empty to
+    /// non-empty. Must be called at every such transition.
+    #[inline]
+    pub(crate) fn inject_became_nonempty(&mut self, ni: usize) {
+        let s = self.nodes[ni].station as usize;
+        let c = &mut self.inject_count[s];
+        *c += 1;
+        if *c == 1 {
+            self.inject_bits.set(s);
+        }
+    }
+
+    /// Record that local node `ni`'s inject queue went from non-empty
+    /// to empty. Must be called at every such transition.
+    #[inline]
+    fn inject_became_empty(&mut self, ni: usize) {
+        let s = self.nodes[ni].station as usize;
+        let c = &mut self.inject_count[s];
+        debug_assert!(*c > 0, "inject count underflow at station {s}");
+        *c -= 1;
+        if *c == 0 {
+            self.inject_bits.clear(s);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: bridge delivery (reads only this shard + its rx inboxes)
+    // ------------------------------------------------------------------
+
+    /// Move matured flits from this shard's bridge inboxes into their
+    /// endpoint inject queues.
+    pub(crate) fn phase_deliver<const TRACE: bool>(&mut self, now: Cycle) {
+        let nraw = now.raw();
+        for si in 0..self.sides.len() {
+            let ep = self.sides[si].endpoint as usize;
+            loop {
+                let ready = self.sides[si].rx.front().is_some_and(|&(r, _)| r <= nraw);
+                if !ready || self.nodes[ep].inject.is_full() {
+                    if TRACE && ready {
+                        // Matured flit held in the pipeline by a full
+                        // endpoint Inject Queue: backpressure.
+                        let fid = self.sides[si].rx.front().map_or(NO_FLIT, |(_, f)| f.id);
+                        let record = TraceRecord {
+                            cycle: nraw,
+                            flit: fid,
+                            ring: self.ring.id.0,
+                            station: self.nodes[ep].station,
+                            lane: NO_LANE,
+                            event: FlitEvent::BridgeStalled {
+                                bridge: self.sides[si].bridge.index() as u16,
+                            },
+                        };
+                        self.trace.push(record);
+                    }
+                    break;
+                }
+                let (_, flit) = self.sides[si].rx.pop_front().expect("checked non-empty");
+                self.nodes[ep].inject.push(flit).expect("checked not full");
+                if self.nodes[ep].inject.len() == 1 {
+                    self.inject_became_nonempty(ep);
+                }
+                self.stats.bridge_crossings.inc();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: the per-ring cycle (safe to run concurrently per shard)
+    // ------------------------------------------------------------------
+
+    /// The fused per-ring portion of one tick: zero-hop local
+    /// deliveries, the station sweep, lane advancement, bridge intake
+    /// (staged into `tx` mailboxes) and DRM bookkeeping.
+    pub(crate) fn phase_cycle<const TRACE: bool>(
+        &mut self,
+        shared: &EngineShared,
+        now: Cycle,
+        mode: TickMode,
+    ) {
+        match mode {
+            TickMode::Fast => self.local_deliveries_fast::<TRACE>(shared, now),
+            TickMode::Reference => crate::reference::local_sweep::<TRACE>(self, shared, now),
+        }
+        match mode {
+            TickMode::Fast => self.sweep_active::<TRACE>(shared, now),
+            TickMode::Reference => crate::reference::sweep::<TRACE>(self, shared, now),
+        }
+        for lane in &mut self.ring.lanes {
+            lane.advance();
+        }
+        self.bridge_intake::<TRACE>(now);
+        self.drm_update();
+    }
+
+    /// Occupancy-indexed station walk: per lane, merge the flit, I-tag
+    /// and pending-injector bitsets word by word and visit only set
+    /// bits, in ascending station order — the same order as the
+    /// reference sweep. Correctness rests on `process_station(s)` only
+    /// mutating state attached to station `s` (its slot, its ports'
+    /// queues, its bridge side), so skipping provably-idle stations and
+    /// snapshotting each 64-station word before visiting it cannot
+    /// change the outcome.
+    fn sweep_active<const TRACE: bool>(&mut self, shared: &EngineShared, now: Cycle) {
+        let stations = self.ring.stations as usize;
+        let nlanes = self.ring.lanes.len();
+        let nwords = self.inject_bits.words().len();
+        for li in 0..nlanes {
+            self.profile.lane_passes += 1;
+            self.profile.stations_total += stations as u64;
+            let mut active = 0usize;
+            for wi in 0..nwords {
+                let lane = &self.ring.lanes[li];
+                let w = lane.flit_bits().words()[wi]
+                    | lane.itag_bits().words()[wi]
+                    | self.inject_bits.words()[wi];
+                active += w.count_ones() as usize;
+            }
+            if active * SATURATION_DENOM >= stations * SATURATION_NUM {
+                self.profile.full_lane_sweeps += 1;
+                self.profile.stations_visited += stations as u64;
+                for s in 0..stations as u16 {
+                    self.process_station::<TRACE>(shared, now, li, s);
+                }
+                continue;
+            }
+            for wi in 0..nwords {
+                let lane = &self.ring.lanes[li];
+                let mut w = lane.flit_bits().words()[wi]
+                    | lane.itag_bits().words()[wi]
+                    | self.inject_bits.words()[wi];
+                while w != 0 {
+                    let s = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.profile.stations_visited += 1;
+                    self.process_station::<TRACE>(shared, now, li, s as u16);
+                }
+            }
+        }
+    }
+
+    /// Deliver head flits whose exit station equals their source node's
+    /// own station without touching the ring (zero-hop path),
+    /// enumerating candidate stations from the pending-injector bits.
+    fn local_deliveries_fast<const TRACE: bool>(&mut self, shared: &EngineShared, now: Cycle) {
+        for wi in 0..self.inject_bits.words().len() {
+            let mut w = self.inject_bits.words()[wi];
+            while w != 0 {
+                let s = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                for port in 0..2 {
+                    if let Some(local) = self.ports[s][port] {
+                        self.try_local_delivery::<TRACE>(shared, now, local as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempt the zero-hop local delivery for local node `i`'s head
+    /// flit.
+    pub(crate) fn try_local_delivery<const TRACE: bool>(
+        &mut self,
+        shared: &EngineShared,
+        now: Cycle,
+        i: usize,
+    ) {
+        let station = self.nodes[i].station;
+        let Some(head) = self.nodes[i].inject.peek() else {
+            return;
+        };
+        let hop = match shared.route.exit(self.ring.id, head.dst) {
+            Some(h) => h,
+            None => return,
+        };
+        if hop.station != station || hop.target == self.nodes[i].id {
+            return;
+        }
+        let t = shared.node_loc[hop.target.index()].local as usize;
+        // Normal-flit eject rule: leave reserved buffers alone.
+        let free = self.nodes[t].eject.free();
+        let reserved = self.nodes[t].etag_list.len();
+        if free > reserved {
+            let mut flit = self.nodes[i].inject.pop().expect("peeked");
+            if self.nodes[i].inject.is_empty() {
+                self.inject_became_empty(i);
+            }
+            flit.injected_at = Some(now);
+            self.stats.injected.inc();
+            if TRACE {
+                let record = TraceRecord {
+                    cycle: now.raw(),
+                    flit: flit.id,
+                    ring: self.ring.id.0,
+                    station,
+                    lane: NO_LANE,
+                    event: FlitEvent::Injected {
+                        node: self.nodes[i].id.0,
+                    },
+                };
+                self.trace.push(record);
+            }
+            self.finish_arrival::<TRACE>(now, t, flit, NO_LANE);
+            self.nodes[i].starve = 0;
+        }
+    }
+
+    /// The full cross-station evaluation for `(lane, station)`:
+    /// arrival/ejection, injection arbitration (I-tag claim or
+    /// round-robin), then starvation accounting and I-tag placement.
+    pub(crate) fn process_station<const TRACE: bool>(
+        &mut self,
+        shared: &EngineShared,
+        now: Cycle,
+        li: usize,
+        s: u16,
+    ) {
+        let ring_id = self.ring.id;
+        // ---- arrival / ejection ----
+        if let Some(flit) = self.ring.lanes[li].take_flit(s) {
+            let hop = shared
+                .route
+                .exit(ring_id, flit.dst)
+                .expect("validated topology routes every destination");
+            if hop.station == s {
+                self.arrive::<TRACE>(shared, now, li, s, hop.target, flit);
+            } else {
+                self.ring.lanes[li].put_flit(s, flit);
+            }
+        }
+        // ---- injection ----
+        let mut injected_port: Option<u8> = None;
+        let slot_free = self.ring.lanes[li].flit_at(s).is_none();
+        if slot_free {
+            let itag = self.ring.lanes[li].itag_at(s);
+            if let Some(owner) = itag {
+                let loc = shared.node_loc[owner.index()];
+                let o = loc.local as usize;
+                if loc.ring == ring_id.0 && self.nodes[o].station == s {
+                    match self.head_lane(shared, o) {
+                        Some(lane) if lane == li => {
+                            if TRACE {
+                                let fid = self.nodes[o].inject.peek().expect("head checked").id;
+                                let record = TraceRecord {
+                                    cycle: now.raw(),
+                                    flit: fid,
+                                    ring: ring_id.0,
+                                    station: s,
+                                    lane: li as u8,
+                                    event: FlitEvent::ITagClaimed { node: owner.0 },
+                                };
+                                self.trace.push(record);
+                            }
+                            self.inject_head::<TRACE>(now, o, li, s);
+                            injected_port = self.ports[s as usize]
+                                .iter()
+                                .position(|&p| p == Some(o as u32))
+                                .map(|p| p as u8);
+                            self.ring.lanes[li].take_itag(s);
+                            self.nodes[o].itag_pending = false;
+                        }
+                        Some(_) | None => {
+                            // Stale tag: head now prefers the other lane
+                            // or queue drained. Release the slot.
+                            self.ring.lanes[li].take_itag(s);
+                            self.nodes[o].itag_pending = false;
+                        }
+                    }
+                }
+                // Tag owned by a node elsewhere on the ring: slot stays
+                // reserved and passes by.
+            } else {
+                // Round-robin arbitration between the two interfaces.
+                let start = self.rr[s as usize][li];
+                for off in 0..2u8 {
+                    let port = (start + off) % 2;
+                    let Some(local) = self.ports[s as usize][port as usize] else {
+                        continue;
+                    };
+                    let ni = local as usize;
+                    if self.head_lane(shared, ni) == Some(li) {
+                        self.inject_head::<TRACE>(now, ni, li, s);
+                        self.rr[s as usize][li] = (port + 1) % 2;
+                        injected_port = Some(port);
+                        break;
+                    }
+                }
+            }
+        }
+        // ---- starvation accounting & I-tag placement ----
+        for port in 0..2u8 {
+            if injected_port == Some(port) {
+                continue;
+            }
+            let Some(local) = self.ports[s as usize][port as usize] else {
+                continue;
+            };
+            let ni = local as usize;
+            if self.head_lane(shared, ni) != Some(li) {
+                continue;
+            }
+            self.nodes[ni].starve += 1;
+            if TRACE {
+                let fid = self.nodes[ni].inject.peek().expect("head checked").id;
+                let record = TraceRecord {
+                    cycle: now.raw(),
+                    flit: fid,
+                    ring: ring_id.0,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::InjectLost {
+                        node: self.nodes[ni].id.0,
+                    },
+                };
+                self.trace.push(record);
+            }
+            if self.nodes[ni].starve >= shared.cfg.itag_threshold
+                && !self.nodes[ni].itag_pending
+                && self.ring.lanes[li].itag_at(s).is_none()
+            {
+                self.ring.lanes[li].set_itag(s, self.nodes[ni].id);
+                self.nodes[ni].itag_pending = true;
+                self.nodes[ni].itags_here += 1;
+                self.stats.itags_placed.inc();
+                if TRACE {
+                    let fid = self.nodes[ni].inject.peek().expect("head checked").id;
+                    let record = TraceRecord {
+                        cycle: now.raw(),
+                        flit: fid,
+                        ring: ring_id.0,
+                        station: s,
+                        lane: li as u8,
+                        event: FlitEvent::ITagSet {
+                            node: self.nodes[ni].id.0,
+                        },
+                    };
+                    self.trace.push(record);
+                }
+            }
+        }
+    }
+
+    /// Which lane the head flit of local node `ni` wants, if it has one
+    /// and needs the ring (zero-hop deliveries are handled elsewhere).
+    fn head_lane(&self, shared: &EngineShared, ni: usize) -> Option<usize> {
+        let node = &self.nodes[ni];
+        let head = node.inject.peek()?;
+        let hop = shared.route.exit(node.ring, head.dst)?;
+        if hop.station == node.station {
+            return None; // zero-hop: local delivery path
+        }
+        let (dir, _) = ring_travel(
+            self.ring.kind,
+            self.ring.stations,
+            node.station,
+            hop.station,
+        );
+        Some(dir.lane())
+    }
+
+    /// Move local node `ni`'s head flit into the (empty) slot at its
+    /// station.
+    fn inject_head<const TRACE: bool>(&mut self, now: Cycle, ni: usize, li: usize, s: u16) {
+        let mut flit = self.nodes[ni].inject.pop().expect("head checked");
+        if self.nodes[ni].inject.is_empty() {
+            self.inject_became_empty(ni);
+        }
+        if flit.injected_at.is_none() {
+            flit.injected_at = Some(now);
+            self.stats.injected.inc();
+            if TRACE {
+                let record = TraceRecord {
+                    cycle: now.raw(),
+                    flit: flit.id,
+                    ring: self.ring.id.0,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::Injected {
+                        node: self.nodes[ni].id.0,
+                    },
+                };
+                self.trace.push(record);
+            }
+        }
+        self.ring.lanes[li].put_flit(s, flit);
+        self.nodes[ni].starve = 0;
+    }
+
+    /// Handle a flit arriving at its exit station: eject, SWAP, or
+    /// deflect with an E-tag.
+    fn arrive<const TRACE: bool>(
+        &mut self,
+        shared: &EngineShared,
+        now: Cycle,
+        li: usize,
+        s: u16,
+        target: NodeId,
+        mut flit: Flit,
+    ) {
+        let t = shared.node_loc[target.index()].local as usize;
+        let free = self.nodes[t].eject.free();
+        let reserved_count = self.nodes[t].etag_list.len();
+
+        let may_eject = if flit.etag {
+            // A returning E-tag flit may use a freed buffer once its
+            // reservation is covered by the free count.
+            match self.nodes[t].etag_list.iter().position(|&id| id == flit.id) {
+                Some(pos) => free > pos,
+                None => free > reserved_count, // tagged for another node earlier
+            }
+        } else {
+            free > reserved_count
+        };
+
+        if may_eject {
+            if flit.etag {
+                self.consume_etag(t, flit.id);
+                flit.etag = false;
+            }
+            self.finish_arrival::<TRACE>(now, t, flit, li as u8);
+            return;
+        }
+
+        // SWAP path (§4.4): bridge endpoint in DRM (or permanently, in
+        // escape-buffer mode) with escape space.
+        if let NodeKind::BridgeEndpoint { bridge, side } = self.nodes[t].kind {
+            let si = shared.side_loc[bridge.index()][side as usize].idx as usize;
+            let active = self.sides[si].drm || self.sides[si].cfg.escape_always;
+            if active
+                && self.sides[si].reserved.len() < self.sides[si].cfg.reserved_cap
+                && !self.nodes[t].eject.is_empty()
+            {
+                // Push the Eject Queue head into a reserved Tx buffer…
+                let escaped = self.nodes[t].eject.pop().expect("non-empty");
+                self.sides[si].reserved.push(escaped);
+                // …eject the traversing flit into the vacated space…
+                if flit.etag {
+                    self.consume_etag(t, flit.id);
+                    flit.etag = false;
+                }
+                let fid = flit.id;
+                self.nodes[t].eject.push(flit).expect("space just vacated");
+                if TRACE {
+                    let record = TraceRecord {
+                        cycle: now.raw(),
+                        flit: fid,
+                        ring: self.ring.id.0,
+                        station: s,
+                        lane: li as u8,
+                        event: FlitEvent::Ejected { node: target.0 },
+                    };
+                    self.trace.push(record);
+                }
+                // …and, in SWAP mode, swap the Inject Queue head onto
+                // the ring slot in the same cycle. The escape-buffer
+                // alternative lacks this simultaneous injection — that
+                // is exactly the latency edge §4.4 claims for SWAP.
+                if self.sides[si].drm && self.nodes[t].inject.peek().is_some() {
+                    self.inject_head::<TRACE>(now, t, li, s);
+                    self.stats.swaps.inc();
+                    if TRACE {
+                        let record = TraceRecord {
+                            cycle: now.raw(),
+                            flit: fid,
+                            ring: self.ring.id.0,
+                            station: s,
+                            lane: li as u8,
+                            event: FlitEvent::SwapTriggered { node: target.0 },
+                        };
+                        self.trace.push(record);
+                    }
+                }
+                return;
+            }
+        }
+
+        // Deflect: place an E-tag reservation (once) and circle on.
+        if !flit.etag {
+            flit.etag = true;
+            self.nodes[t].etag_list.push_back(flit.id);
+            self.stats.etags_placed.inc();
+            if TRACE {
+                let record = TraceRecord {
+                    cycle: now.raw(),
+                    flit: flit.id,
+                    ring: self.ring.id.0,
+                    station: s,
+                    lane: li as u8,
+                    event: FlitEvent::ETagReserved { target: target.0 },
+                };
+                self.trace.push(record);
+            }
+        }
+        flit.deflections += 1;
+        self.stats.deflections.inc();
+        self.nodes[t].deflected_here += 1;
+        if TRACE {
+            let record = TraceRecord {
+                cycle: now.raw(),
+                flit: flit.id,
+                ring: self.ring.id.0,
+                station: s,
+                lane: li as u8,
+                event: FlitEvent::Deflected { target: target.0 },
+            };
+            self.trace.push(record);
+        }
+        self.ring.lanes[li].put_flit(s, flit);
+    }
+
+    fn consume_etag(&mut self, t: usize, flit_id: u64) {
+        if let Some(pos) = self.nodes[t].etag_list.iter().position(|&id| id == flit_id) {
+            self.nodes[t].etag_list.remove(pos);
+        }
+    }
+
+    /// Complete an arrival into local node `t`'s eject queue, recording
+    /// delivery stats for devices. `lane` is the ring lane the flit
+    /// left (or [`NO_LANE`] for the zero-hop local path).
+    fn finish_arrival<const TRACE: bool>(&mut self, now: Cycle, t: usize, flit: Flit, lane: u8) {
+        let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
+        if is_device {
+            self.stats.record_delivery(&flit, now);
+            if let Some(p) = &mut self.nodes[t].probe {
+                p.record(now, flit.payload_bytes as u64);
+            }
+        }
+        if TRACE {
+            let (ring, station) = (self.ring.id.0, self.nodes[t].station);
+            let cycle = now.raw();
+            self.trace.push(TraceRecord {
+                cycle,
+                flit: flit.id,
+                ring,
+                station,
+                lane,
+                event: FlitEvent::Ejected {
+                    node: self.nodes[t].id.0,
+                },
+            });
+            if is_device {
+                self.trace.push(TraceRecord {
+                    cycle,
+                    flit: flit.id,
+                    ring,
+                    station,
+                    lane,
+                    event: FlitEvent::Delivered {
+                        node: self.nodes[t].id.0,
+                        class: flit.class.index() as u8,
+                    },
+                });
+            }
+        }
+        self.nodes[t]
+            .eject
+            .push(flit)
+            .expect("caller checked eject space");
+    }
+
+    /// Pull flits from bridge endpoint eject queues into the outbound
+    /// `tx` mailboxes, draining reserved escape buffers first.
+    fn bridge_intake<const TRACE: bool>(&mut self, now: Cycle) {
+        let nraw = now.raw();
+        for si in 0..self.sides.len() {
+            let (ep, latency, width, cap) = {
+                let side = &self.sides[si];
+                (
+                    side.endpoint as usize,
+                    side.cfg.latency as u64,
+                    side.cfg.width_flits_per_cycle as usize,
+                    side.cfg.buffer_cap,
+                )
+            };
+            let mut moved = 0usize;
+            // Priority: reserved escape buffers drain first.
+            while moved < width
+                && !self.sides[si].reserved.is_empty()
+                && self.sides[si].pipe_len() < cap
+            {
+                let mut flit = self.sides[si].reserved.remove(0);
+                flit.ring_changes += 1;
+                if TRACE {
+                    self.push_bridge_enqueued(nraw, si, ep, flit.id);
+                }
+                self.sides[si].tx.push_back((nraw + latency, flit));
+                moved += 1;
+            }
+            while moved < width
+                && !self.nodes[ep].eject.is_empty()
+                && self.sides[si].pipe_len() < cap
+            {
+                let mut flit = self.nodes[ep].eject.pop().expect("non-empty");
+                flit.ring_changes += 1;
+                if TRACE {
+                    self.push_bridge_enqueued(nraw, si, ep, flit.id);
+                }
+                self.sides[si].tx.push_back((nraw + latency, flit));
+                moved += 1;
+            }
+        }
+    }
+
+    /// Record a flit entering the bridge pipeline at endpoint `ep`.
+    fn push_bridge_enqueued(&mut self, cycle: u64, si: usize, ep: usize, flit: u64) {
+        self.trace.push(TraceRecord {
+            cycle,
+            flit,
+            ring: self.ring.id.0,
+            station: self.nodes[ep].station,
+            lane: NO_LANE,
+            event: FlitEvent::BridgeEnqueued {
+                bridge: self.sides[si].bridge.index() as u16,
+            },
+        });
+    }
+
+    /// Enter/exit deadlock resolution mode per L2 bridge side on this
+    /// ring. Reads only this side's escape buffers and its endpoint's
+    /// starvation state — both shard-local.
+    fn drm_update(&mut self) {
+        for si in 0..self.sides.len() {
+            if self.sides[si].cfg.level != BridgeLevel::L2 || !self.sides[si].cfg.swap_enabled {
+                continue;
+            }
+            let ep = self.sides[si].endpoint as usize;
+            let starve = self.nodes[ep].starve;
+            let inject_empty = self.nodes[ep].inject.is_empty();
+            let side = &mut self.sides[si];
+            let mut entered = false;
+            if !side.drm {
+                if starve >= side.cfg.deadlock_threshold && !inject_empty {
+                    side.drm = true;
+                    entered = true;
+                }
+            } else if side.reserved.len() <= side.cfg.drm_exit_occupancy
+                && starve < side.cfg.deadlock_threshold
+            {
+                side.drm = false;
+            }
+            if entered {
+                self.stats.drm_entries.inc();
+            }
+        }
+    }
+
+    /// Flits physically inside this shard (queues, slots, mailboxes,
+    /// escape buffers), for conservation checks.
+    pub(crate) fn resident_flits(&self) -> u64 {
+        let mut n = 0u64;
+        for node in &self.nodes {
+            n += (node.inject.len() + node.eject.len()) as u64;
+        }
+        n += self.ring.occupancy() as u64;
+        for side in &self.sides {
+            n += side.resident_flits() as u64;
+        }
+        n
+    }
+}

@@ -116,6 +116,31 @@ impl NetStats {
         self.enqueued.get() - self.delivered.get()
     }
 
+    /// Fold another statistics block into this one (counter sums,
+    /// histogram merges). Used by the sharded engine to combine
+    /// per-ring statistics into the network-wide view; merging is
+    /// commutative, so the result is independent of shard order.
+    pub fn merge_from(&mut self, other: &NetStats) {
+        self.enqueued.add(other.enqueued.get());
+        self.injected.add(other.injected.get());
+        self.delivered.add(other.delivered.get());
+        self.delivered_bytes.add(other.delivered_bytes.get());
+        self.deflections.add(other.deflections.get());
+        self.itags_placed.add(other.itags_placed.get());
+        self.etags_placed.add(other.etags_placed.get());
+        self.drm_entries.add(other.drm_entries.get());
+        self.swaps.add(other.swaps.get());
+        self.bridge_crossings.add(other.bridge_crossings.get());
+        for (mine, theirs) in self.total_latency.iter_mut().zip(&other.total_latency) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.network_latency.iter_mut().zip(&other.network_latency) {
+            mine.merge(theirs);
+        }
+        self.hops.merge(&other.hops);
+        self.deflections_per_flit.merge(&other.deflections_per_flit);
+    }
+
     /// A semantic digest of the run: every counter plus a
     /// (count, sum, max) triple per histogram.
     ///
@@ -172,6 +197,17 @@ pub struct TickProfile {
 }
 
 impl TickProfile {
+    /// Fold another profile into this one. `ticks` is summed like the
+    /// rest; shard-local profiles keep it at zero so the merged value
+    /// is whatever the engine adds on top.
+    pub fn merge_from(&mut self, other: &TickProfile) {
+        self.ticks += other.ticks;
+        self.lane_passes += other.lane_passes;
+        self.stations_total += other.stations_total;
+        self.stations_visited += other.stations_visited;
+        self.full_lane_sweeps += other.full_lane_sweeps;
+    }
+
     /// Fraction of station visits skipped relative to a full sweep
     /// (0.0 for the reference mode or a fully saturated network).
     pub fn skip_fraction(&self) -> f64 {

@@ -8,9 +8,10 @@
 //! networks that differ only in tick mode through the same enqueue and
 //! drain schedule, comparing every popped flit and the final stats.
 
+use noc_core::telemetry::RingBufferSink;
 use noc_core::{
-    BridgeConfig, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode, Topology,
-    TopologyBuilder,
+    BridgeConfig, ExecMode, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode,
+    Topology, TopologyBuilder,
 };
 
 /// splitmix64: deterministic per-seed stream.
@@ -206,6 +207,198 @@ fn run_seed(seed: u64) {
 fn fast_tick_matches_reference_on_120_random_seeds() {
     for seed in 0..120 {
         run_seed(seed);
+    }
+}
+
+/// Three-way differential: the golden-model sweep, the occupancy-indexed
+/// fast tick and the sharded parallel engine must agree flit for flit.
+/// All three networks share one enqueue/drain schedule; the parallel
+/// engine's thread count rotates through {1, 2, 4, 8} across seeds.
+///
+/// Checked per seed: per-drain delivery streams (order included), final
+/// stats fingerprints, telemetry event *counts* across all three, and
+/// full telemetry record-stream equality between the sequential and
+/// parallel fast engines (the tentpole determinism guarantee).
+fn run_seed_3way(seed: u64) {
+    let mut rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x9e6c_63d0_876a_68ee);
+    let (topo, devices) = random_topology(&mut rng);
+    assert!(devices.len() >= 2, "seed {seed}: too few devices");
+    let cfg = NetworkConfig {
+        inject_queue_cap: 2 + rng.below(7) as usize,
+        eject_queue_cap: 1 + rng.below(4) as usize,
+        itag_threshold: 4 + rng.below(12) as u32,
+        ..NetworkConfig::default()
+    };
+    let threads = [1usize, 2, 4, 8][(seed % 4) as usize];
+    let sink = || RingBufferSink::new(1 << 20);
+    let mut nets = [
+        Network::with_exec(
+            topo.clone(),
+            cfg.clone(),
+            TickMode::Reference,
+            ExecMode::Sequential,
+            sink(),
+        ),
+        Network::with_exec(
+            topo.clone(),
+            cfg.clone(),
+            TickMode::Fast,
+            ExecMode::Sequential,
+            sink(),
+        ),
+        Network::with_exec(
+            topo,
+            cfg,
+            TickMode::Fast,
+            ExecMode::Parallel(threads),
+            sink(),
+        ),
+    ];
+
+    let cycles = 200 + rng.below(100);
+    let drain_period = 1 + rng.below(4);
+    let send_die = 1 + rng.below(3);
+    let mut token = 0u64;
+    for cycle in 0..cycles + 2_000 {
+        if cycle < cycles {
+            for si in 0..devices.len() {
+                if rng.below(1 + send_die) != 0 {
+                    continue;
+                }
+                let di = (si + 1 + rng.below(devices.len() as u64 - 1) as usize) % devices.len();
+                let class = match rng.below(4) {
+                    0 => FlitClass::Request,
+                    1 => FlitClass::Response,
+                    2 => FlitClass::Snoop,
+                    _ => FlitClass::Data,
+                };
+                let bytes = [32u32, 64][rng.below(2) as usize];
+                token += 1;
+                let outcomes = nets.each_mut().map(|n| {
+                    n.enqueue(devices[si], devices[di], class, bytes, token)
+                        .is_ok()
+                });
+                assert!(
+                    outcomes[0] == outcomes[1] && outcomes[1] == outcomes[2],
+                    "seed {seed} cycle {cycle}: enqueue outcome diverged {outcomes:?}"
+                );
+            }
+        }
+        for n in nets.iter_mut() {
+            n.tick();
+        }
+        if cycle % drain_period == 0 || cycle >= cycles {
+            for &d in &devices {
+                loop {
+                    let pops = nets.each_mut().map(|n| n.pop_delivered(d));
+                    match &pops[0] {
+                        None => {
+                            assert!(
+                                pops[1].is_none() && pops[2].is_none(),
+                                "seed {seed} cycle {cycle} ({threads} threads): delivery \
+                                 presence diverged at {d:?}: {pops:?}"
+                            );
+                            break;
+                        }
+                        Some(f0) => {
+                            for (name, f) in [("fast", &pops[1]), ("parallel", &pops[2])] {
+                                let f = f.as_ref().unwrap_or_else(|| {
+                                    panic!(
+                                        "seed {seed} cycle {cycle} ({threads} threads): \
+                                         {name} missed a delivery at {d:?}"
+                                    )
+                                });
+                                assert_eq!(
+                                    digest(f0),
+                                    digest(f),
+                                    "seed {seed} cycle {cycle} ({threads} threads): \
+                                     {name} delivery stream diverged at {d:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if cycle >= cycles && nets.iter().all(|n| n.in_flight() == 0) {
+            break;
+        }
+    }
+
+    let fp = nets.each_ref().map(|n| n.stats().fingerprint());
+    assert!(
+        fp[0] == fp[1] && fp[1] == fp[2],
+        "seed {seed} ({threads} threads): stats fingerprints diverged {fp:?}"
+    );
+    let counts = nets.each_ref().map(|n| *n.sink().counts());
+    assert_eq!(
+        counts[0], counts[1],
+        "seed {seed}: reference vs fast event counts diverged"
+    );
+    assert_eq!(
+        counts[1], counts[2],
+        "seed {seed} ({threads} threads): fast vs parallel event counts diverged"
+    );
+    assert!(
+        nets[1].sink().dropped() == 0 && nets[2].sink().dropped() == 0,
+        "seed {seed}: sink capacity too small for exact stream comparison"
+    );
+    assert!(
+        nets[1].sink().to_vec() == nets[2].sink().to_vec(),
+        "seed {seed} ({threads} threads): fast vs parallel telemetry record streams diverged"
+    );
+    assert!(
+        nets[1].stats().delivered.get() > 0,
+        "seed {seed}: nothing was delivered"
+    );
+}
+
+#[test]
+fn three_way_differential_fuzz_on_60_seeds() {
+    for seed in 0..60 {
+        run_seed_3way(seed);
+    }
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_at_every_thread_count() {
+    // One fixed topology and schedule, run once sequentially and once
+    // per thread count: every run must produce the same fingerprint and
+    // the same telemetry record stream, bit for bit.
+    let run = |exec: ExecMode| {
+        let mut rng = Rng(0xba5e_ba11 ^ 0x5bd1_e995);
+        let (topo, devices) = random_topology(&mut rng);
+        let cfg = NetworkConfig::default();
+        let mut net = Network::with_exec(
+            topo,
+            cfg,
+            TickMode::Fast,
+            exec,
+            RingBufferSink::new(1 << 20),
+        );
+        let mut token = 0u64;
+        for cycle in 0..600 {
+            if cycle < 300 {
+                for si in 0..devices.len() {
+                    let di = (si + 1) % devices.len();
+                    token += 1;
+                    let _ = net.enqueue(devices[si], devices[di], FlitClass::Data, 64, token);
+                }
+            }
+            net.tick();
+            for &d in &devices {
+                while net.pop_delivered(d).is_some() {}
+            }
+        }
+        assert_eq!(net.exec_mode(), exec);
+        (net.stats().fingerprint(), net.into_sink().to_vec())
+    };
+    let (base_fp, base_trace) = run(ExecMode::Sequential);
+    assert!(!base_trace.is_empty());
+    for n in [1, 2, 4, 8] {
+        let (fp, trace) = run(ExecMode::Parallel(n));
+        assert_eq!(fp, base_fp, "{n}-thread fingerprint diverged");
+        assert!(trace == base_trace, "{n}-thread telemetry diverged");
     }
 }
 

@@ -5,9 +5,10 @@
 //! (via PA/SerDes) between packages.
 
 use noc_chi::{CoherentSystem, LlcParams, MemoryParams, SystemSpec};
+use noc_core::telemetry::NullSink;
 use noc_core::{
-    BridgeConfig, Network, NetworkConfig, NodeId, RingKind, Topology, TopologyBuilder,
-    TopologyError,
+    BridgeConfig, ExecMode, Network, NetworkConfig, NocDiagnostics, NodeId, RingKind, TickMode,
+    Topology, TopologyBuilder, TopologyError,
 };
 
 /// Server-CPU configuration.
@@ -36,6 +37,10 @@ pub struct ServerCpuConfig {
     pub llc: LlcParams,
     /// Network queue/tag parameters.
     pub net: NetworkConfig,
+    /// How the NoC engine executes the per-ring phase of each tick.
+    /// Results are bit-identical across modes; this only trades
+    /// wall-clock time.
+    pub exec: ExecMode,
 }
 
 impl Default for ServerCpuConfig {
@@ -54,6 +59,7 @@ impl Default for ServerCpuConfig {
             mem_params: MemoryParams::ddr4(),
             llc: LlcParams::default(),
             net: NetworkConfig::default(),
+            exec: ExecMode::Sequential,
         }
     }
 }
@@ -224,7 +230,7 @@ impl ServerCpu {
     /// Propagates topology errors from degenerate configurations.
     pub fn build(cfg: ServerCpuConfig) -> Result<Self, TopologyError> {
         let (topo, map) = build_topology(&cfg)?;
-        let net = Network::new(topo, cfg.net.clone());
+        let net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
         let sys = CoherentSystem::new(
             net,
             SystemSpec {
@@ -240,6 +246,15 @@ impl ServerCpu {
             },
         );
         Ok(ServerCpu { sys, map, cfg })
+    }
+}
+
+/// Heatmap diagnostics (deflections, I-tag placements) via the shared
+/// [`NocDiagnostics`] surface — the same accessors the AI-Processor
+/// harness exposes, so tooling can treat both SoCs uniformly.
+impl NocDiagnostics for ServerCpu {
+    fn noc(&self) -> &Network {
+        self.sys.network()
     }
 }
 
@@ -314,6 +329,26 @@ mod tests {
             .run_until_complete(t, 100_000)
             .expect("cross-package read");
         assert!(c.latency() > 0);
+    }
+
+    #[test]
+    fn heatmaps_render_one_row_per_ring() {
+        let mut s = ServerCpu::build(ServerCpuConfig::default()).unwrap();
+        // Generate some traffic so the cells are not all zero.
+        let rn0 = s.map.clusters_of_ccd(0)[0];
+        let rn1 = s.map.clusters_of_ccd(1)[0];
+        let a = LineAddr(0x4000);
+        let t = s.sys.write(rn0, a);
+        s.sys.run_until_complete(t, 50_000).expect("write");
+        let t = s.sys.read(rn1, a, ReadKind::Shared);
+        s.sys.run_until_complete(t, 50_000).expect("read");
+        let rings = s.noc().topology().rings().len();
+        for art in [s.deflection_heatmap(), s.itag_heatmap()] {
+            // title + station header + one row per ring
+            assert_eq!(art.lines().count(), 2 + rings, "{art}");
+        }
+        assert!(s.deflection_heatmap().starts_with("deflections"));
+        assert!(s.itag_heatmap().starts_with("i-tags"));
     }
 
     #[test]

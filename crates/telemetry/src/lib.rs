@@ -62,5 +62,5 @@ pub mod views;
 
 pub use chrome::chrome_trace;
 pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
-pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceBuffer, TraceSink};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};

@@ -31,6 +31,65 @@ pub trait TraceSink {
     fn flush(&mut self) {}
 }
 
+/// A plain per-shard staging buffer for trace records.
+///
+/// The sharded engine cannot hand every ring a `&mut` to the one
+/// [`TraceSink`], so each shard appends its records here during its
+/// (possibly parallel) phase, and the engine drains the buffers into
+/// the real sink **in ring order** at the tick's merge barrier. Records
+/// within one shard keep their emission order, and the drain order is
+/// fixed, so the sink observes a deterministic stream regardless of
+/// execution mode or thread count.
+///
+/// # Example
+///
+/// ```
+/// use noc_telemetry::{FlitEvent, RingBufferSink, TraceBuffer, TraceRecord, NO_LANE};
+/// let mut buf = TraceBuffer::default();
+/// buf.push(TraceRecord {
+///     cycle: 0,
+///     flit: 0,
+///     ring: 1,
+///     station: 2,
+///     lane: NO_LANE,
+///     event: FlitEvent::Injected { node: 9 },
+/// });
+/// let mut sink = RingBufferSink::new(16);
+/// buf.drain_into(&mut sink);
+/// assert!(buf.is_empty());
+/// assert_eq!(sink.counts().injected, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceBuffer {
+    /// Append one record.
+    #[inline]
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Emit all buffered records into `sink` in push order, leaving the
+    /// buffer empty (capacity retained for the next tick).
+    pub fn drain_into<S: TraceSink>(&mut self, sink: &mut S) {
+        for record in self.records.drain(..) {
+            sink.emit(record);
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
 /// The off switch: drops everything, compiled to nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullSink;

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (read, write) in [(1u32, 1u32), (2, 1), (4, 1), (3, 2), (1, 0), (0, 1)] {
         let proc = AiProcessor::build(cfg.clone())?;
         let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(read, write));
-        let report = engine.run(2_000, 8_000);
+        let report = engine.run(2_000, 8_000)?;
         println!(
             "{read}:{write}        {:>5.1}   {:>5.1}   {:>5.1}  {:>5.1}",
             report.total_tbs(),
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // NoC mechanism counters from the balanced run.
     let proc = AiProcessor::build(cfg)?;
     let mut engine = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-    engine.run(2_000, 8_000);
+    engine.run(2_000, 8_000)?;
     let stats = engine.processor().net.stats();
     println!(
         "\nmechanisms during 1:1 run: {} bridge crossings, {} deflections, {} I-tags, {} E-tags",

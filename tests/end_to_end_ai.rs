@@ -34,7 +34,7 @@ fn xy_routing_is_one_ring_change_for_all_core_l2_pairs() {
 fn sustained_run_conserves_transactions() {
     let proc = AiProcessor::build(reduced()).expect("builds");
     let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-    let rep = e.run(500, 3_000);
+    let rep = e.run(500, 3_000).expect("runs");
     assert!(rep.total_tbs() > 0.5);
     // The network never leaks flits: what was enqueued is delivered or
     // still resident.
@@ -67,7 +67,7 @@ fn ratio_sweep_shape_holds_at_reduced_scale() {
     let bw = |r, w| {
         let proc = AiProcessor::build(reduced()).expect("builds");
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(r, w));
-        e.run(800, 4_000).total_tbs()
+        e.run(800, 4_000).expect("runs").total_tbs()
     };
     let balanced = bw(1, 1);
     let read_only = bw(1, 0);
@@ -83,7 +83,7 @@ fn deterministic_bandwidth_runs() {
     let run = || {
         let proc = AiProcessor::build(reduced()).expect("builds");
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(2, 1));
-        let rep = e.run(300, 2_000);
+        let rep = e.run(300, 2_000).expect("runs");
         (rep.read_bytes, rep.write_bytes, rep.dma_bytes)
     };
     assert_eq!(run(), run());
@@ -94,7 +94,7 @@ fn bigger_mesh_more_bandwidth() {
     let small = {
         let proc = AiProcessor::build(reduced()).expect("builds");
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-        e.run(800, 4_000).total_tbs()
+        e.run(800, 4_000).expect("runs").total_tbs()
     };
     let large = {
         let proc = AiProcessor::build(AiConfig {
@@ -109,7 +109,7 @@ fn bigger_mesh_more_bandwidth() {
         })
         .expect("builds");
         let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
-        e.run(800, 4_000).total_tbs()
+        e.run(800, 4_000).expect("runs").total_tbs()
     };
     assert!(
         large > small,
