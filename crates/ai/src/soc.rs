@@ -39,6 +39,10 @@ pub struct AiConfig {
     /// (sequential or fanned out over a worker pool). Results are
     /// bit-identical either way; this only trades wall-clock time.
     pub exec: ExecMode,
+    /// Observatory sampling period in cycles: a metrics snapshot (and
+    /// health-watchdog pass) every this many cycles. `0` (the default)
+    /// keeps the observatory off.
+    pub metrics_period: u64,
 }
 
 impl Default for AiConfig {
@@ -62,6 +66,7 @@ impl Default for AiConfig {
                 ..NetworkConfig::default()
             },
             exec: ExecMode::Sequential,
+            metrics_period: 0,
         }
     }
 }
@@ -258,7 +263,10 @@ impl AiProcessor {
     /// Propagates topology errors.
     pub fn build(cfg: AiConfig) -> Result<Self, TopologyError> {
         let (topo, map) = build_topology(&cfg)?;
-        let net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
+        let mut net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
+        if cfg.metrics_period > 0 {
+            net.enable_metrics(cfg.metrics_period);
+        }
         Ok(AiProcessor { net, map, cfg })
     }
 }

@@ -1,0 +1,100 @@
+//! `noc-bench` — machine-readable benchmark driver.
+//!
+//! ```text
+//! noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]
+//! ```
+//!
+//! `trajectory` runs the performance-trajectory benchmark
+//! ([`noc_experiments::trajectory`]) and writes the JSON report
+//! (default `BENCH_PR4.json`). With `--check-overhead PCT` the process
+//! exits non-zero when the observatory's measured tick-loop overhead
+//! exceeds `PCT` percent — the CI regression gate.
+
+use noc_experiments::trajectory;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("trajectory") {
+        return usage();
+    }
+    let mut quick = false;
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut check_overhead: Option<f64> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--check-overhead" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => check_overhead = Some(pct),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    eprintln!(
+        "noc-bench trajectory: running ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = trajectory::run(quick);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("noc-bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for w in &report.workloads {
+        eprintln!(
+            "  {:>12}: {:.3} flits/cycle, p50 {} p99 {} cycles, deflection rate {:.3}",
+            w.workload,
+            w.throughput_flits_per_cycle,
+            w.p50_latency,
+            w.p99_latency,
+            w.deflection_rate
+        );
+    }
+    for e in &report.exec_sweep {
+        eprintln!(
+            "  {:>12}: {:.0} ticks/sec (fingerprint {})",
+            e.exec,
+            e.ticks_per_sec,
+            if e.fingerprint_ok { "ok" } else { "DIVERGED" }
+        );
+    }
+    eprintln!(
+        "  observatory overhead: {:.2}% ({:.0} → {:.0} ticks/sec, best of {})",
+        report.overhead.overhead_pct,
+        report.overhead.plain_ticks_per_sec,
+        report.overhead.metrics_ticks_per_sec,
+        report.overhead.repeats
+    );
+    eprintln!("noc-bench: wrote {out}");
+
+    if report.exec_sweep.iter().any(|e| !e.fingerprint_ok) {
+        eprintln!("noc-bench: FAIL — execution modes disagree on the simulation");
+        return ExitCode::FAILURE;
+    }
+    if let Some(limit) = check_overhead {
+        if report.overhead.overhead_pct > limit {
+            eprintln!(
+                "noc-bench: FAIL — metrics overhead {:.2}% exceeds the {limit}% budget",
+                report.overhead.overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "noc-bench: overhead within the {limit}% budget ({:.2}%)",
+            report.overhead.overhead_pct
+        );
+    }
+    ExitCode::SUCCESS
+}

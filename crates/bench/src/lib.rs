@@ -21,6 +21,7 @@
 //! | [`ablations`] | Figure 9 SWAP + §3.4 design-choice ablations |
 //! | [`engine`] | engine tick profile (fast-path skip fractions) |
 //! | [`determinism`] | parallel-engine fingerprint gate |
+//! | [`trajectory`] | `noc-bench trajectory` → `BENCH_PR4.json` perf trajectory |
 
 pub mod ablations;
 pub mod determinism;
@@ -38,6 +39,7 @@ pub mod table06;
 pub mod table07;
 pub mod table08;
 pub mod table09;
+pub mod trajectory;
 
 pub use report::{ExperimentResult, Scale};
 

@@ -1,0 +1,370 @@
+//! `noc-bench trajectory`: the machine-readable performance trajectory.
+//!
+//! One run produces `BENCH_PR4.json` — a single JSON document a CI job
+//! (or the next PR) can diff without parsing human tables:
+//!
+//! * **Workload points** — throughput, p50/p99 end-to-end latency and
+//!   deflection rate for three canonical workloads (uniform low,
+//!   uniform high, hotspot) on a 4-ring chain, each run with the
+//!   observatory on so the snapshot/verdict counts are part of the
+//!   record.
+//! * **Exec sweep** — engine ticks/second for `Sequential` and
+//!   `Parallel(2/4/8)`, with a fingerprint check proving the modes
+//!   simulated the same network.
+//! * **Metrics overhead** — best-of-N ticks/second with the observatory
+//!   off vs on (period 32) on the same workload; the observatory is
+//!   sold as cheap, so the regression gate holds the overhead to a few
+//!   percent.
+//!
+//! Timings are wall-clock and machine-dependent; everything else in the
+//! document is deterministic.
+
+use noc_core::telemetry::NullSink;
+use noc_core::{
+    BridgeConfig, ExecMode, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode,
+    Topology, TopologyBuilder,
+};
+use noc_sim::Histogram;
+use serde::Serialize;
+use std::time::Instant;
+
+/// splitmix64, the workspace's deterministic stream of choice.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`, from the top 53 bits.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Observatory sampling period used throughout the trajectory.
+pub const METRICS_PERIOD: u64 = 32;
+
+/// One workload's measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadPoint {
+    /// Workload name (`uniform_low` / `uniform_high` / `hotspot`).
+    pub workload: String,
+    /// Cycles simulated (including the drain tail).
+    pub cycles: u64,
+    /// Flits delivered to devices.
+    pub delivered: u64,
+    /// Delivered flits per cycle.
+    pub throughput_flits_per_cycle: f64,
+    /// Median end-to-end latency (cycles), all classes merged.
+    pub p50_latency: u64,
+    /// Tail end-to-end latency (cycles), all classes merged.
+    pub p99_latency: u64,
+    /// Deflections / (deflections + deliveries) over the whole run.
+    pub deflection_rate: f64,
+    /// Metrics snapshots committed by the observatory.
+    pub snapshots: u64,
+    /// Health verdicts the watchdogs emitted.
+    pub verdicts: u64,
+    /// Rules that fired, deduplicated, in first-fired order.
+    pub fired_rules: Vec<String>,
+}
+
+/// Ticks/second for one execution mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecPoint {
+    /// Execution mode label (`sequential`, `parallel2`, …).
+    pub exec: String,
+    /// Engine throughput in simulated cycles per wall-clock second.
+    pub ticks_per_sec: f64,
+    /// Whether this mode's `NetStats` fingerprint matched sequential.
+    pub fingerprint_ok: bool,
+}
+
+/// The observatory's cost on the tick loop.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadPoint {
+    /// Median ticks/second with the observatory off.
+    pub plain_ticks_per_sec: f64,
+    /// Best-of-N ticks/second with metrics sampling every
+    /// [`METRICS_PERIOD`] cycles.
+    pub metrics_ticks_per_sec: f64,
+    /// Throughput lost to metrics, in percent (negative = noise).
+    pub overhead_pct: f64,
+    /// Timing repeats the best-of was taken over.
+    pub repeats: u32,
+}
+
+/// The whole `BENCH_PR4.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrajectoryReport {
+    /// Report schema tag.
+    pub bench: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Per-workload measured points.
+    pub workloads: Vec<WorkloadPoint>,
+    /// Ticks/second per execution mode.
+    pub exec_sweep: Vec<ExecPoint>,
+    /// Observatory cost measurement.
+    pub overhead: OverheadPoint,
+}
+
+/// The trajectory system: four 16-station rings chained by L2 bridges,
+/// six devices per ring — big enough to exercise bridges, deflections
+/// and the observatory, small enough for CI.
+pub fn chain_topology() -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let dies = [b.add_chiplet("die0"), b.add_chiplet("die1")];
+    let mut rings = Vec::new();
+    for i in 0..4 {
+        rings.push(
+            b.add_ring(dies[i / 2], RingKind::Full, 16)
+                .expect("ring fits"),
+        );
+    }
+    let mut devices = Vec::new();
+    for (ri, &ring) in rings.iter().enumerate() {
+        for d in 0..6u16 {
+            // Stations 0..=10 step 2; station 12+ stays free for bridges.
+            let id = b
+                .add_node(format!("dev{ri}_{d}"), ring, d * 2)
+                .expect("device placement");
+            devices.push(id);
+        }
+    }
+    for w in 0..rings.len() - 1 {
+        b.add_bridge(BridgeConfig::l2(), rings[w], 13, rings[w + 1], 15)
+            .expect("bridge placement");
+    }
+    (b.build().expect("valid trajectory topology"), devices)
+}
+
+/// Destination picker for one workload shape.
+enum Pattern {
+    /// Uniform random destination.
+    Uniform,
+    /// Everything targets device 0 (the classic hotspot).
+    Hotspot,
+}
+
+/// Drive the chain system for `cycles` of open-loop traffic at
+/// `rate` flits/device/cycle, then drain.
+fn drive(net: &mut Network, devices: &[NodeId], cycles: u64, rate: f64, pattern: &Pattern) {
+    let mut rng = Rng(0x7261_6a65_6374_6f72); // fixed: the trajectory seed
+    let mut token = 0u64;
+    for cycle in 0..cycles + 4 * cycles.max(2_000) {
+        if cycle < cycles {
+            for (si, &src) in devices.iter().enumerate() {
+                if rng.unit() >= rate {
+                    continue;
+                }
+                let dst = match pattern {
+                    Pattern::Uniform => {
+                        devices[(si + 1 + rng.below(devices.len() as u64 - 1) as usize)
+                            % devices.len()]
+                    }
+                    Pattern::Hotspot => {
+                        if si == 0 {
+                            devices[1 + rng.below(devices.len() as u64 - 1) as usize]
+                        } else {
+                            devices[0]
+                        }
+                    }
+                };
+                token += 1;
+                let _ = net.enqueue(src, dst, FlitClass::Data, 64, token);
+            }
+        }
+        net.tick();
+        for &d in devices {
+            while net.pop_delivered(d).is_some() {}
+        }
+        if cycle >= cycles && net.in_flight() == 0 {
+            break;
+        }
+    }
+}
+
+/// Measure one workload point with the observatory on.
+fn workload_point(name: &str, cycles: u64, rate: f64, pattern: Pattern) -> WorkloadPoint {
+    let (topo, devices) = chain_topology();
+    let mut net = Network::new(topo, NetworkConfig::default());
+    net.enable_metrics(METRICS_PERIOD);
+    drive(&mut net, &devices, cycles, rate, &pattern);
+    net.finish_metrics();
+
+    let stats = net.stats();
+    let elapsed = net.now().raw();
+    let mut latency = Histogram::new("total_latency");
+    for h in &stats.total_latency {
+        latency.merge(h);
+    }
+    let delivered = stats.delivered.get();
+    let deflections = stats.deflections.get();
+    let monitor = net.health().expect("observatory enabled");
+    let mut fired_rules: Vec<String> = Vec::new();
+    for v in monitor.verdicts() {
+        let rule = v.rule.to_string();
+        if !fired_rules.contains(&rule) {
+            fired_rules.push(rule);
+        }
+    }
+    WorkloadPoint {
+        workload: name.to_string(),
+        cycles: elapsed,
+        delivered,
+        throughput_flits_per_cycle: if elapsed == 0 {
+            0.0
+        } else {
+            delivered as f64 / elapsed as f64
+        },
+        p50_latency: latency.percentile(0.50),
+        p99_latency: latency.percentile(0.99),
+        deflection_rate: if deflections + delivered == 0 {
+            0.0
+        } else {
+            deflections as f64 / (deflections + delivered) as f64
+        },
+        snapshots: net.metrics().expect("enabled").len() as u64,
+        verdicts: monitor.verdicts().len() as u64,
+        fired_rules,
+    }
+}
+
+/// Time one full uniform-high run, returning ticks/second and the
+/// resulting stats fingerprint.
+fn timed_run(cycles: u64, exec: ExecMode, metrics: bool) -> (f64, Vec<u64>) {
+    let (topo, devices) = chain_topology();
+    let mut net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        exec,
+        NullSink,
+    );
+    if metrics {
+        net.enable_metrics(METRICS_PERIOD);
+    }
+    let start = Instant::now();
+    drive(&mut net, &devices, cycles, 0.4, &Pattern::Uniform);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (net.now().raw() as f64 / secs, net.stats().fingerprint())
+}
+
+/// Best-of-N: the max ticks/second observed. Scheduling noise only ever
+/// slows a run down, so the fastest repeat is the least contaminated —
+/// comparing best against best is far more stable than medians on the
+/// short runs a CI box allows.
+fn best(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::MIN, f64::max)
+}
+
+/// Run the whole trajectory. `quick` trades cycle counts and timing
+/// repeats for CI wall-clock.
+pub fn run(quick: bool) -> TrajectoryReport {
+    let cycles: u64 = if quick { 4_000 } else { 20_000 };
+    let repeats: u32 = if quick { 5 } else { 7 };
+
+    let workloads = vec![
+        workload_point("uniform_low", cycles, 0.05, Pattern::Uniform),
+        workload_point("uniform_high", cycles, 0.4, Pattern::Uniform),
+        workload_point("hotspot", cycles, 0.15, Pattern::Hotspot),
+    ];
+
+    let mut exec_sweep = Vec::new();
+    let mut base_fp: Option<Vec<u64>> = None;
+    for (label, exec) in [
+        ("sequential", ExecMode::Sequential),
+        ("parallel2", ExecMode::Parallel(2)),
+        ("parallel4", ExecMode::Parallel(4)),
+        ("parallel8", ExecMode::Parallel(8)),
+    ] {
+        let (tps, fp) = timed_run(cycles, exec, false);
+        let fingerprint_ok = match &base_fp {
+            None => {
+                base_fp = Some(fp);
+                true
+            }
+            Some(base) => base == &fp,
+        };
+        exec_sweep.push(ExecPoint {
+            exec: label.to_string(),
+            ticks_per_sec: tps,
+            fingerprint_ok,
+        });
+    }
+
+    // Interleave the off/on repeats so cache and frequency drift hit
+    // both sides equally.
+    let mut plain_runs = Vec::new();
+    let mut metrics_runs = Vec::new();
+    for _ in 0..repeats {
+        plain_runs.push(timed_run(cycles, ExecMode::Sequential, false).0);
+        metrics_runs.push(timed_run(cycles, ExecMode::Sequential, true).0);
+    }
+    let plain = best(plain_runs);
+    let with_metrics = best(metrics_runs);
+    let overhead = OverheadPoint {
+        plain_ticks_per_sec: plain,
+        metrics_ticks_per_sec: with_metrics,
+        overhead_pct: (1.0 - with_metrics / plain) * 100.0,
+        repeats,
+    };
+
+    TrajectoryReport {
+        bench: "noc-bench trajectory".to_string(),
+        quick,
+        workloads,
+        exec_sweep,
+        overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_is_complete_and_consistent() {
+        let report = run(true);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert!(w.delivered > 0, "{}: no traffic", w.workload);
+            assert!(w.snapshots > 0, "{}: no snapshots", w.workload);
+            assert!(
+                w.p50_latency <= w.p99_latency,
+                "{}: percentiles out of order",
+                w.workload
+            );
+            assert!(
+                !w.fired_rules.iter().any(|r| r == "liveness-stall"),
+                "{}: liveness false positive ({:?})",
+                w.workload,
+                w.fired_rules
+            );
+        }
+        // Hotspot concentrates ejection pressure: deflection rate must
+        // exceed the low-uniform point's.
+        assert!(
+            report.workloads[2].deflection_rate >= report.workloads[0].deflection_rate,
+            "hotspot should deflect at least as much as uniform_low"
+        );
+        assert_eq!(report.exec_sweep.len(), 4);
+        for e in &report.exec_sweep {
+            assert!(e.fingerprint_ok, "{}: fingerprint diverged", e.exec);
+            assert!(e.ticks_per_sec > 0.0);
+        }
+        assert!(report.overhead.plain_ticks_per_sec > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        assert!(json.contains("\"bench\""));
+    }
+}

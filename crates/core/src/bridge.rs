@@ -34,6 +34,9 @@ use std::collections::VecDeque;
 pub(crate) struct BridgeSide {
     /// The bridge this side belongs to.
     pub bridge: BridgeId,
+    /// Which side of the bridge this is (0 = `a`, 1 = `b`), for
+    /// metrics labelling.
+    pub side: u8,
     /// Shard-local index of this side's endpoint node.
     pub endpoint: u32,
     /// The bridge's configuration (shared by both sides).
@@ -48,6 +51,9 @@ pub(crate) struct BridgeSide {
     pub reserved: Vec<Flit>,
     /// Whether this side is in deadlock resolution mode.
     pub drm: bool,
+    /// Times this side has entered DRM since construction (monotonic;
+    /// the per-side split of `NetStats::drm_entries`).
+    pub drm_entries: u64,
 }
 
 impl BridgeSide {

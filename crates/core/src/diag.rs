@@ -56,4 +56,12 @@ pub trait NocDiagnostics<S: TraceSink = NullSink> {
         let net = self.noc();
         ascii_heatmap(net.topology(), "i-tags", &net.itag_cells())
     }
+
+    /// The network's watchdog report: every health verdict so far
+    /// (starvation onset, congestion knee, SWAP storms, liveness
+    /// stalls), or a one-line all-clear. Requires the observatory to be
+    /// enabled ([`Network::enable_metrics`]); says so when it is off.
+    fn health_summary(&self) -> String {
+        self.noc().health_report()
+    }
 }

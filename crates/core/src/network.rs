@@ -49,7 +49,10 @@ use crate::shard::{EngineShared, NodeState, RingShard};
 use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Component, Cycle, PoolJob, ShardPool};
-use noc_telemetry::{FlitEvent, NullSink, TraceRecord, TraceSink, NO_FLIT, NO_LANE};
+use noc_telemetry::{
+    FlitEvent, HealthConfig, HealthMonitor, MetricsRegistry, NullSink, RingWindow, TraceRecord,
+    TraceSink, NO_FLIT, NO_LANE,
+};
 use std::sync::Arc;
 
 /// Which sweep implementation [`Network::tick`] uses.
@@ -74,6 +77,15 @@ pub enum TickMode {
 /// Irrelevant for [`NullSink`] networks: the sampling loop is compiled
 /// away entirely.
 const UTIL_SAMPLE_PERIOD: u64 = 8;
+
+/// Online observability state: the snapshot registry plus the watchdog
+/// monitor, attached by [`Network::enable_metrics`] /
+/// [`Network::enable_observatory`].
+#[derive(Debug, Clone)]
+struct Observatory {
+    registry: MetricsRegistry,
+    monitor: HealthMonitor,
+}
 
 /// The bufferless multi-ring network.
 ///
@@ -157,6 +169,7 @@ pub struct Network<S: TraceSink = NullSink> {
     ticks: u64,
     next_flit_id: u64,
     sink: S,
+    observatory: Option<Observatory>,
 }
 
 impl Network {
@@ -202,7 +215,117 @@ impl<S: TraceSink> Network<S> {
             ticks: 0,
             next_flit_id: 0,
             sink,
+            observatory: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Observatory: online metrics + health watchdogs
+    // ------------------------------------------------------------------
+
+    /// Switch on online metrics sampling (and the default health
+    /// watchdogs): every `period` cycles each shard stages one
+    /// per-ring sample during the per-ring phase, and the engine
+    /// commits them as one
+    /// [`MetricsSnapshot`](noc_telemetry::MetricsSnapshot) at the
+    /// merge barrier —
+    /// in ring order, so the snapshot stream is bit-identical across
+    /// [`ExecMode::Sequential`] and [`ExecMode::Parallel`].
+    ///
+    /// Counters observed before this call are excluded from the
+    /// windows; enabling mid-run starts a fresh series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_metrics(&mut self, period: u64) {
+        self.enable_observatory(period, HealthConfig::default());
+    }
+
+    /// [`Network::enable_metrics`] with explicit watchdog thresholds.
+    pub fn enable_observatory(&mut self, period: u64, cfg: HealthConfig) {
+        for shard in &mut self.shards {
+            shard.metrics_period = period;
+            shard.rebase_metrics();
+        }
+        self.observatory = Some(Observatory {
+            registry: MetricsRegistry::new(period),
+            monitor: HealthMonitor::new(cfg),
+        });
+    }
+
+    /// The snapshot registry, if the observatory is enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.observatory.as_ref().map(|o| &o.registry)
+    }
+
+    /// The health monitor, if the observatory is enabled.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.observatory.as_ref().map(|o| &o.monitor)
+    }
+
+    /// Human-readable watchdog report: every verdict so far, or a
+    /// one-line all-clear. Works on any network; says so when the
+    /// observatory is off.
+    pub fn health_report(&self) -> String {
+        match self.health() {
+            Some(monitor) => monitor.report(),
+            None => "health: observatory disabled (call enable_metrics)\n".to_string(),
+        }
+    }
+
+    /// Force one final sample covering the partial window since the
+    /// last periodic snapshot (plus any post-tick enqueues), so the
+    /// committed windows sum exactly to the run's [`NetStats`] totals.
+    /// Call at end of run before reading [`Network::metrics`].
+    pub fn finish_metrics(&mut self) {
+        let Some(period) = self.observatory.as_ref().map(|o| o.registry.period()) else {
+            return;
+        };
+        let now = self.now;
+        let shared = Arc::clone(&self.shared);
+        for shard in &mut self.shards {
+            shard.sample_metrics(&shared, now);
+        }
+        self.commit_metrics(now.raw() % period);
+    }
+
+    /// Collect the per-ring samples staged this tick (if any) into one
+    /// snapshot. Runs at the post-phase barrier with no shard active;
+    /// collection order is ascending ring id, always.
+    fn collect_metrics(&mut self) {
+        if self.observatory.is_none()
+            || self
+                .shards
+                .first()
+                .is_none_or(|s| s.pending_metrics.is_none())
+        {
+            return;
+        }
+        let window = self
+            .observatory
+            .as_ref()
+            .expect("checked above")
+            .registry
+            .period();
+        self.commit_metrics(window);
+    }
+
+    fn commit_metrics(&mut self, window: u64) {
+        let rings: Vec<RingWindow> = self
+            .shards
+            .iter_mut()
+            .map(|s| {
+                s.pending_metrics
+                    .take()
+                    .expect("all shards sample together")
+            })
+            .collect();
+        let in_flight = self.in_flight();
+        let cycle = self.now.raw();
+        let obs = self.observatory.as_mut().expect("caller checked");
+        let snap = obs.registry.commit(cycle, window, in_flight, rings);
+        obs.monitor.observe(snap);
     }
 
     /// The attached trace sink.
@@ -527,9 +650,11 @@ impl<S: TraceSink> Network<S> {
             }
             ExecMode::Parallel(_) => self.run_parallel(now),
         }
-        // Barrier: swap bridge mailboxes, then drain telemetry in ring
-        // order so the sink sees one deterministic stream.
+        // Barrier: swap bridge mailboxes, collect staged metrics
+        // samples, then drain telemetry in ring order so the sink sees
+        // one deterministic stream.
         self.exchange_bridges();
+        self.collect_metrics();
         if S::ENABLED {
             self.drain_trace_buffers();
             if now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {

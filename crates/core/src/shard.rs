@@ -34,7 +34,10 @@ use crate::route::{ring_travel, RouteTable};
 use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Cycle};
-use noc_telemetry::{FlitEvent, TraceBuffer, TraceRecord, NO_FLIT, NO_LANE};
+use noc_telemetry::{
+    BridgeGauges, FlitEvent, RingGauges, RingWindow, TraceBuffer, TraceRecord, WindowCounters,
+    NO_FLIT, NO_LANE,
+};
 use std::collections::VecDeque;
 
 /// Fast-path lanes fall back to a full sweep when
@@ -119,6 +122,14 @@ pub(crate) struct RingShard {
     pub profile: TickProfile,
     /// Events staged this tick, drained by the engine in ring order.
     pub trace: TraceBuffer,
+    /// Metrics sampling period in cycles; 0 disables sampling.
+    pub metrics_period: u64,
+    /// Counter readings at the end of the previous metrics window, so
+    /// each sample reports exact per-window deltas.
+    metrics_base: WindowCounters,
+    /// Sample staged during the (possibly parallel) per-ring phase,
+    /// collected by the engine in ring order at the merge barrier.
+    pub pending_metrics: Option<RingWindow>,
 }
 
 /// Build the shared inputs and one shard per ring from a validated
@@ -139,6 +150,9 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
             stats: NetStats::new(),
             profile: TickProfile::default(),
             trace: TraceBuffer::default(),
+            metrics_period: 0,
+            metrics_base: WindowCounters::default(),
+            pending_metrics: None,
         })
         .collect();
     let mut node_loc = Vec::with_capacity(topo.nodes().len());
@@ -178,6 +192,7 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
             };
             shard.sides.push(BridgeSide {
                 bridge: b.id,
+                side,
                 endpoint: loc.local,
                 cfg: b.config.clone(),
                 rx: VecDeque::new(),
@@ -185,6 +200,7 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
                 peer_backlog: 0,
                 reserved: Vec::new(),
                 drm: false,
+                drm_entries: 0,
             });
         }
         side_loc.push(locs);
@@ -296,6 +312,9 @@ impl RingShard {
         }
         self.bridge_intake::<TRACE>(now);
         self.drm_update();
+        if self.metrics_period != 0 && now.raw().is_multiple_of(self.metrics_period) {
+            self.sample_metrics(shared, now);
+        }
     }
 
     /// Occupancy-indexed station walk: per lane, merge the flit, I-tag
@@ -505,6 +524,7 @@ impl RingShard {
                 continue;
             }
             self.nodes[ni].starve += 1;
+            self.stats.inject_losses.inc();
             if TRACE {
                 let fid = self.nodes[ni].inject.peek().expect("head checked").id;
                 let record = TraceRecord {
@@ -836,6 +856,7 @@ impl RingShard {
             if !side.drm {
                 if starve >= side.cfg.deadlock_threshold && !inject_empty {
                     side.drm = true;
+                    side.drm_entries += 1;
                     entered = true;
                 }
             } else if side.reserved.len() <= side.cfg.drm_exit_occupancy
@@ -847,6 +868,86 @@ impl RingShard {
                 self.stats.drm_entries.inc();
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Observatory sampling (shard-local, deterministic)
+    // ------------------------------------------------------------------
+
+    /// Current cumulative counter readings of this shard, in
+    /// [`WindowCounters`] form.
+    pub(crate) fn counters_now(&self) -> WindowCounters {
+        WindowCounters {
+            enqueued: self.stats.enqueued.get(),
+            injected: self.stats.injected.get(),
+            inject_losses: self.stats.inject_losses.get(),
+            delivered: self.stats.delivered.get(),
+            delivered_bytes: self.stats.delivered_bytes.get(),
+            deflections: self.stats.deflections.get(),
+            itags_placed: self.stats.itags_placed.get(),
+            etags_placed: self.stats.etags_placed.get(),
+            drm_entries: self.stats.drm_entries.get(),
+            swaps: self.stats.swaps.get(),
+            bridge_crossings: self.stats.bridge_crossings.get(),
+        }
+    }
+
+    /// Reset the window base to the current counter readings (called
+    /// when sampling is switched on, so the first window excludes
+    /// pre-enable history).
+    pub(crate) fn rebase_metrics(&mut self) {
+        self.metrics_base = self.counters_now();
+    }
+
+    /// Stage one metrics sample: window counter deltas since the last
+    /// sample plus instantaneous ring/bridge gauges. Runs inside the
+    /// per-ring phase — it reads only shard-local state, so samples are
+    /// identical under any execution order. The engine collects the
+    /// staged [`RingWindow`]s in ring order at the merge barrier.
+    pub(crate) fn sample_metrics(&mut self, shared: &EngineShared, _now: Cycle) {
+        let now_counters = self.counters_now();
+        let counters = now_counters.delta_since(&self.metrics_base);
+        self.metrics_base = now_counters;
+
+        let mut gauges = RingGauges {
+            occupancy: self.ring.occupancy() as u64,
+            capacity: self.ring.capacity() as u64,
+            itag_slots: self.ring.itag_count() as u64,
+            ..RingGauges::default()
+        };
+        for node in &self.nodes {
+            gauges.inject_backlog += node.inject.len() as u64;
+            gauges.eject_backlog += node.eject.len() as u64;
+            gauges.etag_backlog += node.etag_list.len() as u64;
+            let starve = node.starve as u64;
+            gauges.record_starve(starve);
+            gauges.max_starve = gauges.max_starve.max(starve);
+            if node.starve >= shared.cfg.itag_threshold {
+                gauges.starving_nodes += 1;
+            }
+        }
+
+        let bridges = self
+            .sides
+            .iter()
+            .map(|side| BridgeGauges {
+                bridge: side.bridge.index() as u16,
+                side: side.side,
+                ring: self.ring.id.0,
+                tx_pipe: side.pipe_len() as u32,
+                rx_depth: side.rx.len() as u32,
+                reserved: side.reserved.len() as u32,
+                in_drm: side.drm,
+                drm_entries: side.drm_entries,
+            })
+            .collect();
+
+        self.pending_metrics = Some(RingWindow {
+            ring: self.ring.id.0,
+            counters,
+            gauges,
+            bridges,
+        });
     }
 
     /// Flits physically inside this shard (queues, slots, mailboxes,

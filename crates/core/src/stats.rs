@@ -14,6 +14,11 @@ pub struct NetStats {
     pub enqueued: Counter,
     /// Flits that won a ring slot.
     pub injected: Counter,
+    /// Injection attempts that lost arbitration (no free slot, or the
+    /// passing slot was reserved for someone else). One flit can lose
+    /// many times before it wins; `injected / (injected +
+    /// inject_losses)` is the injection success rate.
+    pub inject_losses: Counter,
     /// Flits delivered to a device eject queue.
     pub delivered: Counter,
     /// Payload bytes delivered to devices.
@@ -47,6 +52,7 @@ impl NetStats {
         NetStats {
             enqueued: Counter::new("enqueued"),
             injected: Counter::new("injected"),
+            inject_losses: Counter::new("inject_losses"),
             delivered: Counter::new("delivered"),
             delivered_bytes: Counter::new("delivered_bytes"),
             deflections: Counter::new("deflections"),
@@ -123,6 +129,7 @@ impl NetStats {
     pub fn merge_from(&mut self, other: &NetStats) {
         self.enqueued.add(other.enqueued.get());
         self.injected.add(other.injected.get());
+        self.inject_losses.add(other.inject_losses.get());
         self.delivered.add(other.delivered.get());
         self.delivered_bytes.add(other.delivered_bytes.get());
         self.deflections.add(other.deflections.get());
@@ -154,6 +161,7 @@ impl NetStats {
         let mut fp = vec![
             self.enqueued.get(),
             self.injected.get(),
+            self.inject_losses.get(),
             self.delivered.get(),
             self.delivered_bytes.get(),
             self.deflections.get(),

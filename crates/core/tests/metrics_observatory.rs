@@ -1,0 +1,354 @@
+//! Observatory correctness: the online metrics snapshot stream must be
+//! (a) exact — window counter deltas sum to the run's `NetStats`
+//! totals, counter for counter — and (b) deterministic — byte-identical
+//! JSONL across `ExecMode::Sequential` and `Parallel(n)` for every
+//! thread count, and across `TickMode::Fast`/`Reference`.
+//!
+//! Plus the watchdog regression pair: the liveness rule must fire when
+//! ejection is artificially wedged, and must stay silent on workloads
+//! that drain.
+
+use noc_core::telemetry::{snapshots_jsonl, HealthRule, WindowCounters};
+use noc_core::{
+    BridgeConfig, ExecMode, FlitClass, NetStats, Network, NetworkConfig, NodeId, RingKind,
+    TickMode, Topology, TopologyBuilder,
+};
+
+/// splitmix64: deterministic per-seed stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Random 2–4 ring topology over two chiplets, rings chained by
+/// bridges, devices scattered (same generator as `tick_equivalence`).
+fn random_topology(rng: &mut Rng) -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let dies = [b.add_chiplet("die0"), b.add_chiplet("die1")];
+    let nrings = 2 + rng.below(3) as usize;
+    let mut rings = Vec::new();
+    let mut stations = Vec::new();
+    for i in 0..nrings {
+        let kind = if rng.below(2) == 0 {
+            RingKind::Full
+        } else {
+            RingKind::Half
+        };
+        let n = 4 + rng.below(29) as u16;
+        let die = dies[(rng.below(2) as usize + i) % 2];
+        rings.push(b.add_ring(die, kind, n).expect("ring"));
+        stations.push(n);
+    }
+    let mut devices = Vec::new();
+    for i in 0..rings.len() {
+        let ndev = 2 + rng.below(4);
+        for d in 0..ndev {
+            for _ in 0..8 {
+                let s = rng.below(stations[i] as u64) as u16;
+                if let Ok(id) = b.add_node(format!("dev{i}_{d}"), rings[i], s) {
+                    devices.push(id);
+                    break;
+                }
+            }
+        }
+    }
+    for w in 0..nrings - 1 {
+        let cfg = BridgeConfig::l2()
+            .with_latency(1 + rng.below(4) as u32)
+            .with_deadlock_threshold(32 + rng.below(64) as u32);
+        let mut bridged = false;
+        for _ in 0..16 {
+            let sa = rng.below(stations[w] as u64) as u16;
+            let sb = rng.below(stations[w + 1] as u64) as u16;
+            if b.add_bridge(cfg.clone(), rings[w], sa, rings[w + 1], sb)
+                .is_ok()
+            {
+                bridged = true;
+                break;
+            }
+        }
+        assert!(bridged, "could not place bridge between rings {w}..");
+    }
+    (b.build().expect("valid random topology"), devices)
+}
+
+const SAMPLE_PERIOD: u64 = 32;
+
+/// Drive one observatory-enabled network to full drain with a
+/// deterministic traffic pattern, finishing the metrics series.
+fn run_observed(
+    topo: Topology,
+    cfg: NetworkConfig,
+    mode: TickMode,
+    exec: ExecMode,
+    devices: &[NodeId],
+    traffic_seed: u64,
+) -> Network {
+    let mut net = Network::with_exec(topo, cfg, mode, exec, noc_core::telemetry::NullSink);
+    net.enable_metrics(SAMPLE_PERIOD);
+    let mut rng = Rng(traffic_seed);
+    let cycles = 200 + rng.below(100);
+    let drain_period = 1 + rng.below(4);
+    let send_die = 1 + rng.below(3);
+    let mut token = 0u64;
+    for cycle in 0..cycles + 10_000 {
+        if cycle < cycles {
+            for si in 0..devices.len() {
+                if rng.below(1 + send_die) != 0 {
+                    continue;
+                }
+                let di = (si + 1 + rng.below(devices.len() as u64 - 1) as usize) % devices.len();
+                let class = match rng.below(4) {
+                    0 => FlitClass::Request,
+                    1 => FlitClass::Response,
+                    2 => FlitClass::Snoop,
+                    _ => FlitClass::Data,
+                };
+                let bytes = [32u32, 64][rng.below(2) as usize];
+                token += 1;
+                let _ = net.enqueue(devices[si], devices[di], class, bytes, token);
+            }
+        }
+        net.tick();
+        if cycle % drain_period == 0 || cycle >= cycles {
+            for &d in devices {
+                while net.pop_delivered(d).is_some() {}
+            }
+        }
+        if cycle >= cycles && net.in_flight() == 0 {
+            break;
+        }
+    }
+    net.finish_metrics();
+    net
+}
+
+/// `NetStats` counters in `WindowCounters` shape, so reconciliation can
+/// compare field-for-field through the shared `fields()` naming.
+fn stats_as_counters(s: &NetStats) -> WindowCounters {
+    WindowCounters {
+        enqueued: s.enqueued.get(),
+        injected: s.injected.get(),
+        inject_losses: s.inject_losses.get(),
+        delivered: s.delivered.get(),
+        delivered_bytes: s.delivered_bytes.get(),
+        deflections: s.deflections.get(),
+        itags_placed: s.itags_placed.get(),
+        etags_placed: s.etags_placed.get(),
+        drm_entries: s.drm_entries.get(),
+        swaps: s.swaps.get(),
+        bridge_crossings: s.bridge_crossings.get(),
+    }
+}
+
+/// Window sums must equal `NetStats` exactly: nothing sampled twice,
+/// nothing dropped between windows.
+fn reconcile(net: &Network, ctx: &str) {
+    let reg = net.metrics().expect("observatory enabled");
+    assert!(!reg.is_empty(), "{ctx}: no snapshots committed");
+    let mut acc = WindowCounters::default();
+    for snap in reg.snapshots() {
+        acc.add(&snap.totals);
+        // Per-snapshot internal consistency: ring shares sum to totals.
+        let mut ring_sum = WindowCounters::default();
+        for ring in &snap.rings {
+            ring_sum.add(&ring.counters);
+        }
+        assert_eq!(ring_sum, snap.totals, "{ctx}: ring shares != totals");
+    }
+    let expected = stats_as_counters(&net.stats());
+    for ((name, got), (_, want)) in acc.fields().iter().zip(expected.fields().iter()) {
+        assert_eq!(got, want, "{ctx}: window sums diverge on `{name}`");
+    }
+    assert_eq!(acc, reg.summed(), "{ctx}: registry cumulative mismatch");
+    let last = reg.last().expect("non-empty");
+    assert_eq!(last.cumulative, acc, "{ctx}: last cumulative mismatch");
+    assert_eq!(
+        last.in_flight,
+        net.in_flight(),
+        "{ctx}: in-flight gauge mismatch"
+    );
+}
+
+#[test]
+fn snapshots_reconcile_and_are_byte_identical_across_modes_on_20_seeds() {
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xa076_1d64_78bd_642f);
+        let (topo, devices) = random_topology(&mut rng);
+        assert!(devices.len() >= 2, "seed {seed}: too few devices");
+        let cfg = NetworkConfig {
+            inject_queue_cap: 2 + rng.below(7) as usize,
+            eject_queue_cap: 1 + rng.below(4) as usize,
+            itag_threshold: 4 + rng.below(12) as u32,
+            ..NetworkConfig::default()
+        };
+        let traffic_seed = rng.next();
+
+        let variants: [(TickMode, ExecMode); 5] = [
+            (TickMode::Fast, ExecMode::Sequential),
+            (TickMode::Fast, ExecMode::Parallel(2)),
+            (TickMode::Fast, ExecMode::Parallel(4)),
+            (TickMode::Fast, ExecMode::Parallel(8)),
+            (TickMode::Reference, ExecMode::Sequential),
+        ];
+        let mut baseline: Option<(String, Vec<u64>)> = None;
+        for (mode, exec) in variants {
+            let ctx = format!("seed {seed} {mode:?} {exec:?}");
+            let net = run_observed(
+                topo.clone(),
+                cfg.clone(),
+                mode,
+                exec,
+                &devices,
+                traffic_seed,
+            );
+            assert!(
+                net.stats().delivered.get() > 0,
+                "{ctx}: nothing was delivered"
+            );
+            reconcile(&net, &ctx);
+            let jsonl = snapshots_jsonl(net.metrics().expect("enabled").snapshots());
+            let fp = net.stats().fingerprint();
+            match &baseline {
+                None => baseline = Some((jsonl, fp)),
+                Some((base_jsonl, base_fp)) => {
+                    assert_eq!(
+                        base_fp, &fp,
+                        "{ctx}: NetStats fingerprint diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_jsonl, &jsonl,
+                        "{ctx}: snapshot JSONL diverged from sequential fast"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Two devices on one small ring; the destination never drains its
+/// eject queue, so once it fills every arrival deflects forever:
+/// in-flight stays positive while deliveries flatline. The liveness
+/// watchdog must call it.
+#[test]
+fn liveness_stall_fires_when_ejection_is_wedged() {
+    let mut b = TopologyBuilder::new();
+    let die = b.add_chiplet("die0");
+    let ring = b.add_ring(die, RingKind::Full, 8).expect("ring");
+    let src = b.add_node("src", ring, 0).expect("src");
+    let dst = b.add_node("dst", ring, 4).expect("dst");
+    let mut net = Network::new(
+        b.build().expect("topology"),
+        NetworkConfig {
+            eject_queue_cap: 2,
+            ..NetworkConfig::default()
+        },
+    );
+    net.enable_metrics(32);
+    // More flits than the eject queue holds; never pop a single one.
+    for token in 0..8u64 {
+        while net
+            .enqueue(src, dst, FlitClass::Request, 64, token)
+            .is_err()
+        {
+            net.tick();
+        }
+    }
+    for _ in 0..2_000 {
+        net.tick();
+    }
+    net.finish_metrics();
+    assert!(net.in_flight() > 0, "flits must still be circulating");
+    let monitor = net.health().expect("observatory enabled");
+    assert!(!monitor.is_healthy(), "wedged run must not report healthy");
+    assert!(
+        monitor
+            .verdicts()
+            .iter()
+            .any(|v| v.rule == HealthRule::LivenessStall),
+        "liveness watchdog did not fire:\n{}",
+        net.health_report()
+    );
+}
+
+/// The same watchdog must stay silent on workloads that drain — over
+/// every random seed of the reconciliation sweep.
+#[test]
+fn liveness_never_fires_on_draining_workloads() {
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xa076_1d64_78bd_642f);
+        let (topo, devices) = random_topology(&mut rng);
+        let cfg = NetworkConfig::default();
+        let traffic_seed = rng.next();
+        let net = run_observed(
+            topo,
+            cfg,
+            TickMode::Fast,
+            ExecMode::Sequential,
+            &devices,
+            traffic_seed,
+        );
+        if net.in_flight() > 0 {
+            continue; // rare wedged seed: not a liveness false positive
+        }
+        let monitor = net.health().expect("observatory enabled");
+        assert!(
+            monitor
+                .verdicts()
+                .iter()
+                .all(|v| v.rule != HealthRule::LivenessStall),
+            "seed {seed}: liveness false positive on a drained run:\n{}",
+            net.health_report()
+        );
+    }
+}
+
+/// Enabling mid-run starts a fresh window series: pre-enable history is
+/// excluded, so the windows reconcile against the *delta* of stats.
+#[test]
+fn enabling_mid_run_excludes_history() {
+    let mut b = TopologyBuilder::new();
+    let die = b.add_chiplet("die0");
+    let ring = b.add_ring(die, RingKind::Full, 8).expect("ring");
+    let src = b.add_node("src", ring, 0).expect("src");
+    let dst = b.add_node("dst", ring, 4).expect("dst");
+    let mut net = Network::new(b.build().expect("topology"), NetworkConfig::default());
+    for token in 0..4u64 {
+        net.enqueue(src, dst, FlitClass::Request, 64, token)
+            .expect("enqueue");
+        for _ in 0..20 {
+            net.tick();
+        }
+        while net.pop_delivered(dst).is_some() {}
+    }
+    let before = stats_as_counters(&net.stats());
+    assert!(before.delivered > 0, "pre-enable traffic must flow");
+    net.enable_metrics(16);
+    for token in 100..104u64 {
+        net.enqueue(src, dst, FlitClass::Request, 64, token)
+            .expect("enqueue");
+        for _ in 0..20 {
+            net.tick();
+        }
+        while net.pop_delivered(dst).is_some() {}
+    }
+    net.finish_metrics();
+    let total = stats_as_counters(&net.stats());
+    let reg = net.metrics().expect("enabled");
+    assert_eq!(
+        reg.summed(),
+        total.delta_since(&before),
+        "windows must cover exactly the post-enable delta"
+    );
+}

@@ -108,7 +108,10 @@ pub fn server_interconnect(
     cfg: &ServerCpuConfig,
 ) -> Result<(RingAdapter, ServerEndpoints), TopologyError> {
     let (topo, map) = build_topology(cfg)?;
-    let net = Network::new(topo, cfg.net.clone());
+    let mut net = Network::new(topo, cfg.net.clone());
+    if cfg.metrics_period > 0 {
+        net.enable_metrics(cfg.metrics_period);
+    }
     let mut endpoints: Vec<NodeId> = Vec::new();
     endpoints.extend(&map.clusters);
     endpoints.extend(&map.ddrs);

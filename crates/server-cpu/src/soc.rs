@@ -41,6 +41,10 @@ pub struct ServerCpuConfig {
     /// Results are bit-identical across modes; this only trades
     /// wall-clock time.
     pub exec: ExecMode,
+    /// Observatory sampling period in cycles: a metrics snapshot (and
+    /// health-watchdog pass) every this many cycles. `0` (the default)
+    /// keeps the observatory off.
+    pub metrics_period: u64,
 }
 
 impl Default for ServerCpuConfig {
@@ -60,6 +64,7 @@ impl Default for ServerCpuConfig {
             llc: LlcParams::default(),
             net: NetworkConfig::default(),
             exec: ExecMode::Sequential,
+            metrics_period: 0,
         }
     }
 }
@@ -230,7 +235,10 @@ impl ServerCpu {
     /// Propagates topology errors from degenerate configurations.
     pub fn build(cfg: ServerCpuConfig) -> Result<Self, TopologyError> {
         let (topo, map) = build_topology(&cfg)?;
-        let net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
+        let mut net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
+        if cfg.metrics_period > 0 {
+            net.enable_metrics(cfg.metrics_period);
+        }
         let sys = CoherentSystem::new(
             net,
             SystemSpec {

@@ -77,7 +77,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
             FlitEvent::Delivered { node, class } => {
                 if let Some((start, src)) = open.remove(&r.flit) {
                     let dur = (r.cycle - start).max(1);
-                    let _ = write!(
+                    write!(
                         ev,
                         "{{\"name\":\"flit {} {} n{}->n{}\",\"cat\":\"flit\",\
                          \"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
@@ -89,27 +89,30 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
                         dur,
                         PID_FLITS,
                         r.flit
-                    );
+                    )
+                    .expect("writing to a String cannot fail");
                     push(&mut out, &ev);
                 }
             }
             FlitEvent::RingUtil { occupied, .. } => {
-                let _ = write!(
+                write!(
                     ev,
                     "{{\"name\":\"ring{} occupancy\",\"ph\":\"C\",\"ts\":{},\
                      \"pid\":{},\"tid\":0,\"args\":{{\"occupied\":{}}}}}",
                     r.ring, r.cycle, PID_RINGS, occupied
-                );
+                )
+                .expect("writing to a String cannot fail");
                 push(&mut out, &ev);
             }
             _ => {
                 if let Some(name) = instant_name(&r.event) {
-                    let _ = write!(
+                    write!(
                         ev,
                         "{{\"name\":\"{} r{}s{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\
                          \"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\"}}",
                         name, r.ring, r.station, r.cycle, PID_FLITS, r.flit
-                    );
+                    )
+                    .expect("writing to a String cannot fail");
                     push(&mut out, &ev);
                 }
             }

@@ -1,0 +1,541 @@
+//! Health watchdogs: explainable, cycle-stamped verdicts over the
+//! snapshot stream.
+//!
+//! A [`HealthMonitor`] consumes [`MetricsSnapshot`]s in order and
+//! evaluates four rules, each tied to one of the paper's §4 guarantees:
+//!
+//! * **Starvation onset** — a ring's I-tag placement rate (or the
+//!   largest current injection wait) exceeds its threshold: the
+//!   starvation-relief mechanism is being leaned on hard.
+//! * **Congestion knee** — the windowed deflection rate is both high
+//!   and rising across the last few snapshots: the network is past the
+//!   non-linear degradation point of deflection routing.
+//! * **SWAP storm** — one RBRG-L2 side re-entered deadlock resolution
+//!   mode repeatedly within a single window: the inter-die dependency
+//!   cycle keeps reforming.
+//! * **Liveness stall** — no flit was delivered for K cycles while
+//!   flits are in flight: if this fires, the E-tag one-lap guarantee is
+//!   being defeated (in practice: a device stopped draining its eject
+//!   queue, or an engine bug).
+//!
+//! Rules latch on a rising edge: a verdict is emitted when a condition
+//! first becomes true and not again until it has cleared. Evaluation is
+//! a pure function of the snapshot stream, so verdicts are exactly as
+//! deterministic as the snapshots themselves.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Thresholds for the watchdog rules. Defaults are deliberately
+/// conservative: quiet on the repository's standard workloads, loud on
+/// genuine pathologies (the regression tests hold both directions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Starvation onset: I-tags placed per cycle on one ring.
+    pub starvation_itag_rate: f64,
+    /// Starvation onset: absolute current injection wait (cycles) of
+    /// any single node.
+    pub starvation_max_wait: u64,
+    /// Congestion knee: snapshots in the slope window.
+    pub knee_window: usize,
+    /// Congestion knee: minimum deflection rate before the slope is
+    /// even considered (keeps cold-start noise out).
+    pub knee_min_rate: f64,
+    /// Congestion knee: deflection-rate increase per snapshot that
+    /// counts as "rising".
+    pub knee_slope: f64,
+    /// SWAP storm: DRM entries on one bridge side within one window.
+    pub swap_storm_entries: u64,
+    /// Liveness: cycles without any delivery (while flits are in
+    /// flight) before the stall verdict fires.
+    pub liveness_cycles: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            starvation_itag_rate: 0.25,
+            starvation_max_wait: 512,
+            knee_window: 4,
+            knee_min_rate: 0.5,
+            knee_slope: 0.05,
+            swap_storm_entries: 3,
+            liveness_cycles: 512,
+        }
+    }
+}
+
+/// Which watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthRule {
+    /// Per-ring I-tag pressure above threshold.
+    StarvationOnset,
+    /// Deflection rate high and rising.
+    CongestionKnee,
+    /// Repeated DRM entries on one bridge side.
+    SwapStorm,
+    /// No deliveries for K cycles with flits in flight.
+    LivenessStall,
+}
+
+impl fmt::Display for HealthRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthRule::StarvationOnset => "starvation-onset",
+            HealthRule::CongestionKnee => "congestion-knee",
+            HealthRule::SwapStorm => "swap-storm",
+            HealthRule::LivenessStall => "liveness-stall",
+        })
+    }
+}
+
+/// How bad a verdict is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Degraded but progressing.
+    Warning,
+    /// Forward progress is in doubt.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        })
+    }
+}
+
+/// One cycle-stamped watchdog finding: which rule fired where, the
+/// observed value against its threshold, and a human-readable
+/// explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Cycle of the snapshot that triggered the rule.
+    pub cycle: u64,
+    /// The rule that fired.
+    pub rule: HealthRule,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Ring the finding is about, if ring-scoped.
+    pub ring: Option<u16>,
+    /// `(bridge, side)` the finding is about, if bridge-scoped.
+    pub bridge: Option<(u16, u8)>,
+    /// The observed value that crossed the threshold.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// Explanation of what was observed and why it matters.
+    pub message: String,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} cycle {:>8}] {}: {}",
+            self.severity, self.cycle, self.rule, self.message
+        )
+    }
+}
+
+/// Runs the watchdog rules over a snapshot stream. Feed every snapshot
+/// to [`HealthMonitor::observe`] in order; collected verdicts stay
+/// available on [`HealthMonitor::verdicts`].
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    verdicts: Vec<Verdict>,
+    /// Rings currently latched for starvation.
+    starving: BTreeSet<u16>,
+    /// Deflection rates of the most recent snapshots (≤ knee_window).
+    rate_history: VecDeque<f64>,
+    knee_latched: bool,
+    /// Previous monotonic DRM-entry reading per (bridge, side).
+    drm_prev: BTreeMap<(u16, u8), u64>,
+    /// Bridge sides currently latched for SWAP storms.
+    storming: BTreeSet<(u16, u8)>,
+    /// Cycle of the last snapshot that showed progress (deliveries, or
+    /// nothing left in flight).
+    last_progress_cycle: u64,
+    stall_latched: bool,
+}
+
+impl HealthMonitor {
+    /// Create a monitor with the given thresholds.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            verdicts: Vec::new(),
+            starving: BTreeSet::new(),
+            rate_history: VecDeque::new(),
+            knee_latched: false,
+            drm_prev: BTreeMap::new(),
+            storming: BTreeSet::new(),
+            last_progress_cycle: 0,
+            stall_latched: false,
+        }
+    }
+
+    /// The thresholds in effect.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Evaluate every rule against the next snapshot. Returns how many
+    /// new verdicts fired.
+    pub fn observe(&mut self, snap: &MetricsSnapshot) -> usize {
+        let before = self.verdicts.len();
+        self.check_starvation(snap);
+        self.check_knee(snap);
+        self.check_swap_storm(snap);
+        self.check_liveness(snap);
+        self.verdicts.len() - before
+    }
+
+    fn check_starvation(&mut self, snap: &MetricsSnapshot) {
+        for r in &snap.rings {
+            let rate = if snap.window == 0 {
+                0.0
+            } else {
+                r.counters.itags_placed as f64 / snap.window as f64
+            };
+            let wait = r.gauges.max_starve;
+            let rate_high = rate > self.cfg.starvation_itag_rate;
+            let wait_high = wait >= self.cfg.starvation_max_wait;
+            if rate_high || wait_high {
+                if self.starving.insert(r.ring) {
+                    let (value, threshold, what) = if rate_high {
+                        (
+                            rate,
+                            self.cfg.starvation_itag_rate,
+                            format!("I-tag rate {rate:.3}/cycle"),
+                        )
+                    } else {
+                        (
+                            wait as f64,
+                            self.cfg.starvation_max_wait as f64,
+                            format!("a node has waited {wait} cycles to inject"),
+                        )
+                    };
+                    self.verdicts.push(Verdict {
+                        cycle: snap.cycle,
+                        rule: HealthRule::StarvationOnset,
+                        severity: Severity::Warning,
+                        ring: Some(r.ring),
+                        bridge: None,
+                        value,
+                        threshold,
+                        message: format!(
+                            "ring {}: {what} (threshold {threshold}); injection \
+                             starvation relief is under sustained pressure",
+                            r.ring
+                        ),
+                    });
+                }
+            } else {
+                self.starving.remove(&r.ring);
+            }
+        }
+    }
+
+    fn check_knee(&mut self, snap: &MetricsSnapshot) {
+        let rate = snap.totals.deflection_rate();
+        if self.rate_history.len() == self.cfg.knee_window.max(2) {
+            self.rate_history.pop_front();
+        }
+        self.rate_history.push_back(rate);
+        if self.rate_history.len() < self.cfg.knee_window.max(2) {
+            return;
+        }
+        let first = *self.rate_history.front().expect("non-empty");
+        let slope = (rate - first) / (self.rate_history.len() - 1) as f64;
+        if rate >= self.cfg.knee_min_rate && slope >= self.cfg.knee_slope {
+            if !self.knee_latched {
+                self.knee_latched = true;
+                self.verdicts.push(Verdict {
+                    cycle: snap.cycle,
+                    rule: HealthRule::CongestionKnee,
+                    severity: Severity::Warning,
+                    ring: None,
+                    bridge: None,
+                    value: slope,
+                    threshold: self.cfg.knee_slope,
+                    message: format!(
+                        "deflection rate {rate:.3} rising {slope:+.3}/window over the \
+                         last {} windows; the network is past the congestion knee",
+                        self.rate_history.len()
+                    ),
+                });
+            }
+        } else if rate < self.cfg.knee_min_rate {
+            self.knee_latched = false;
+        }
+    }
+
+    fn check_swap_storm(&mut self, snap: &MetricsSnapshot) {
+        for b in snap.bridges() {
+            let key = (b.bridge, b.side);
+            let prev = self.drm_prev.insert(key, b.drm_entries).unwrap_or(0);
+            let delta = b.drm_entries.saturating_sub(prev);
+            if delta >= self.cfg.swap_storm_entries {
+                if self.storming.insert(key) {
+                    self.verdicts.push(Verdict {
+                        cycle: snap.cycle,
+                        rule: HealthRule::SwapStorm,
+                        severity: Severity::Warning,
+                        ring: Some(b.ring),
+                        bridge: Some(key),
+                        value: delta as f64,
+                        threshold: self.cfg.swap_storm_entries as f64,
+                        message: format!(
+                            "bridge {} side {} re-entered deadlock resolution {delta} \
+                             times in one window; the cross-die dependency cycle keeps \
+                             reforming",
+                            b.bridge, b.side
+                        ),
+                    });
+                }
+            } else {
+                self.storming.remove(&key);
+            }
+        }
+    }
+
+    fn check_liveness(&mut self, snap: &MetricsSnapshot) {
+        if snap.totals.delivered > 0 || snap.in_flight == 0 {
+            self.last_progress_cycle = snap.cycle;
+            self.stall_latched = false;
+            return;
+        }
+        let stalled_for = snap.cycle - self.last_progress_cycle;
+        if stalled_for >= self.cfg.liveness_cycles && !self.stall_latched {
+            self.stall_latched = true;
+            self.verdicts.push(Verdict {
+                cycle: snap.cycle,
+                rule: HealthRule::LivenessStall,
+                severity: Severity::Critical,
+                ring: None,
+                bridge: None,
+                value: stalled_for as f64,
+                threshold: self.cfg.liveness_cycles as f64,
+                message: format!(
+                    "no delivery for {stalled_for} cycles with {} flits in flight; \
+                     a device stopped draining its eject queue or the E-tag one-lap \
+                     guarantee is being defeated",
+                    snap.in_flight
+                ),
+            });
+        }
+    }
+
+    /// Every verdict fired so far, in firing order.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// Whether no rule has ever fired.
+    pub fn is_healthy(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Render the verdict log as a human-readable report.
+    pub fn report(&self) -> String {
+        if self.verdicts.is_empty() {
+            return "health: OK — no watchdog fired\n".to_string();
+        }
+        let mut out = format!("health: {} verdict(s)\n", self.verdicts.len());
+        for v in &self.verdicts {
+            out.push_str(&format!("  {v}\n"));
+        }
+        out
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new(HealthConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{BridgeGauges, RingGauges, RingWindow, WindowCounters};
+
+    fn snap(cycle: u64, window: u64, in_flight: u64, rings: Vec<RingWindow>) -> MetricsSnapshot {
+        let mut totals = WindowCounters::default();
+        for r in &rings {
+            totals.add(&r.counters);
+        }
+        MetricsSnapshot {
+            seq: 0,
+            cycle,
+            window,
+            in_flight,
+            totals,
+            cumulative: totals,
+            rings,
+        }
+    }
+
+    fn ring(id: u16, counters: WindowCounters) -> RingWindow {
+        RingWindow {
+            ring: id,
+            counters,
+            gauges: RingGauges::default(),
+            bridges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn starvation_latches_per_ring() {
+        let mut m = HealthMonitor::default();
+        let hot = WindowCounters {
+            itags_placed: 32,
+            delivered: 1,
+            ..WindowCounters::default()
+        };
+        let s = snap(
+            64,
+            64,
+            5,
+            vec![ring(0, hot), ring(1, WindowCounters::default())],
+        );
+        assert_eq!(m.observe(&s), 1);
+        assert_eq!(m.verdicts()[0].rule, HealthRule::StarvationOnset);
+        assert_eq!(m.verdicts()[0].ring, Some(0));
+        // Still starving: latched, no second verdict.
+        assert_eq!(m.observe(&snap(128, 64, 5, vec![ring(0, hot)])), 0);
+        // Recovers, then starves again: fires again.
+        let quiet = WindowCounters {
+            delivered: 4,
+            ..WindowCounters::default()
+        };
+        assert_eq!(m.observe(&snap(192, 64, 5, vec![ring(0, quiet)])), 0);
+        assert_eq!(m.observe(&snap(256, 64, 5, vec![ring(0, hot)])), 1);
+    }
+
+    #[test]
+    fn knee_requires_high_and_rising() {
+        let mut m = HealthMonitor::default();
+        let at = |deflections, delivered| WindowCounters {
+            deflections,
+            delivered,
+            ..WindowCounters::default()
+        };
+        // Rising from 0.0 to 0.75 over four windows: fires once at the top.
+        let mut fired = 0;
+        for (i, (d, ok)) in [(0, 10), (20, 10), (60, 10), (90, 10)].iter().enumerate() {
+            fired += m.observe(&snap(
+                (i as u64 + 1) * 64,
+                64,
+                50,
+                vec![ring(0, at(*d, *ok))],
+            ));
+        }
+        assert_eq!(fired, 1);
+        assert_eq!(m.verdicts()[0].rule, HealthRule::CongestionKnee);
+        // Stays saturated (high but flat): latched, silent.
+        assert_eq!(m.observe(&snap(320, 64, 50, vec![ring(0, at(90, 10))])), 0);
+    }
+
+    #[test]
+    fn flat_high_rate_alone_is_not_a_knee() {
+        let mut m = HealthMonitor::default();
+        let sat = WindowCounters {
+            deflections: 90,
+            delivered: 10,
+            ..WindowCounters::default()
+        };
+        // History fills already at the plateau — no slope, no verdict.
+        let mut fired = 0;
+        for i in 1..=6u64 {
+            fired += m.observe(&snap(i * 64, 64, 50, vec![ring(0, sat)]));
+        }
+        assert_eq!(fired, 0, "{:?}", m.verdicts());
+    }
+
+    #[test]
+    fn swap_storm_watches_per_side_deltas() {
+        let mut m = HealthMonitor::default();
+        let side = |drm_entries| RingWindow {
+            ring: 0,
+            counters: WindowCounters {
+                delivered: 1,
+                ..WindowCounters::default()
+            },
+            gauges: RingGauges::default(),
+            bridges: vec![BridgeGauges {
+                bridge: 2,
+                side: 1,
+                ring: 0,
+                drm_entries,
+                ..BridgeGauges::default()
+            }],
+        };
+        // First observation: the whole monotonic count is the delta.
+        assert_eq!(m.observe(&snap(64, 64, 3, vec![side(1)])), 0);
+        assert_eq!(m.observe(&snap(128, 64, 3, vec![side(2)])), 0);
+        // +3 in one window: storm.
+        assert_eq!(m.observe(&snap(192, 64, 3, vec![side(5)])), 1);
+        let v = &m.verdicts()[0];
+        assert_eq!(v.rule, HealthRule::SwapStorm);
+        assert_eq!(v.bridge, Some((2, 1)));
+    }
+
+    #[test]
+    fn liveness_fires_once_and_recovers() {
+        let cfg = HealthConfig {
+            liveness_cycles: 128,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        let idle = |cycle, in_flight| snap(cycle, 64, in_flight, vec![]);
+        assert_eq!(m.observe(&idle(64, 4)), 0); // below K
+        assert_eq!(m.observe(&idle(128, 4)), 1); // 128 cycles stalled
+        assert_eq!(m.verdicts()[0].rule, HealthRule::LivenessStall);
+        assert_eq!(m.verdicts()[0].severity, Severity::Critical);
+        assert_eq!(m.observe(&idle(192, 4)), 0); // latched
+                                                 // Delivery resumes → unlatched; a fresh stall fires again.
+        let progress = snap(
+            256,
+            64,
+            4,
+            vec![ring(
+                0,
+                WindowCounters {
+                    delivered: 1,
+                    ..WindowCounters::default()
+                },
+            )],
+        );
+        assert_eq!(m.observe(&progress), 0);
+        assert_eq!(m.observe(&idle(512, 4)), 1);
+    }
+
+    #[test]
+    fn empty_network_never_stalls() {
+        let mut m = HealthMonitor::default();
+        for i in 1..100u64 {
+            assert_eq!(m.observe(&snap(i * 64, 64, 0, vec![])), 0);
+        }
+        assert!(m.is_healthy());
+        assert!(m.report().contains("OK"));
+    }
+
+    #[test]
+    fn report_renders_verdicts() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            liveness_cycles: 64,
+            ..HealthConfig::default()
+        });
+        m.observe(&snap(64, 64, 9, vec![]));
+        let r = m.report();
+        assert!(r.contains("liveness-stall"), "{r}");
+        assert!(r.contains("CRIT"), "{r}");
+        assert!(r.contains("9 flits in flight"), "{r}");
+    }
+}

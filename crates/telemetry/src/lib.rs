@@ -38,6 +38,18 @@
 //!   deflections/tags/SWAPs, counter tracks for ring occupancy. Load
 //!   it in `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
+//! # Observatory
+//!
+//! Beyond post-hoc tracing, the crate hosts the *online* observability
+//! layer: the engine samples every ring into a [`MetricsSnapshot`]
+//! (window counter deltas + instantaneous gauges) every N cycles and
+//! commits them to a [`MetricsRegistry`] at a deterministic phase
+//! barrier, so the snapshot stream is bit-identical across sequential
+//! and parallel execution. A [`HealthMonitor`] turns the stream into
+//! cycle-stamped watchdog verdicts (starvation onset, congestion knee,
+//! SWAP storms, liveness stalls), and the exporters render it as JSONL
+//! ([`snapshots_jsonl`]) or Prometheus text ([`prometheus_text`]).
+//!
 //! # Example
 //!
 //! ```
@@ -57,10 +69,18 @@
 
 pub mod chrome;
 pub mod event;
+pub mod export;
+pub mod health;
+pub mod metrics;
 pub mod sink;
 pub mod views;
 
 pub use chrome::chrome_trace;
 pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
+pub use export::{prometheus_text, snapshots_jsonl};
+pub use health::{HealthConfig, HealthMonitor, HealthRule, Severity, Verdict};
+pub use metrics::{
+    BridgeGauges, MetricsRegistry, MetricsSnapshot, RingGauges, RingWindow, WindowCounters,
+};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceBuffer, TraceSink};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};

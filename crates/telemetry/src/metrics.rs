@@ -1,0 +1,467 @@
+//! Windowed metrics: the data model of the `noc-observatory` layer.
+//!
+//! The engine samples each ring shard every N cycles *inside* the
+//! per-ring phase — where the shard owns all of its state — and merges
+//! the per-ring samples into one [`MetricsSnapshot`] at the tick's
+//! phase barrier, in ascending ring order. Because sampling reads only
+//! shard-local state and the merge order is fixed, the snapshot stream
+//! is bit-identical across sequential and parallel execution for every
+//! thread count (the same argument that makes the trace stream
+//! deterministic; see DESIGN.md §11).
+//!
+//! A snapshot carries two kinds of data:
+//!
+//! * **window counters** ([`WindowCounters`]) — deltas of the engine's
+//!   monotonic `NetStats` counters over the sample window. Windows
+//!   partition the counter timeline exactly: summing every window of a
+//!   run (including the final partial window flushed by
+//!   `Network::finish_metrics`) reproduces the end-of-run `NetStats`
+//!   totals counter for counter. The reconciliation tests hold the
+//!   engine to this.
+//! * **gauges** ([`RingGauges`], [`BridgeGauges`]) — instantaneous
+//!   state at the sample cycle: ring occupancy, I-tag slots, queue
+//!   backlogs, the distribution of current injection-wait times, and
+//!   per-bridge-side pipeline occupancy / escape buffers / DRM state.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets in [`RingGauges::starve_buckets`]: bucket `i`
+/// counts nodes whose current injection wait is in `[2^i, 2^(i+1))`
+/// cycles, with the last bucket open-ended.
+pub const STARVE_BUCKETS: usize = 8;
+
+/// Deltas of the engine's monotonic counters over one sample window.
+///
+/// Field set and semantics mirror `noc_core::NetStats` one to one, so
+/// windows sum exactly to the run totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowCounters {
+    /// Flits accepted into inject queues.
+    pub enqueued: u64,
+    /// Flits that won a ring slot (or the zero-hop local path).
+    pub injected: u64,
+    /// Injection attempts that lost arbitration (one per head flit per
+    /// losing cycle): the denominator half of the injection success
+    /// rate, and the raw signal behind I-tag placement.
+    pub inject_losses: u64,
+    /// Flits delivered to a device eject queue.
+    pub delivered: u64,
+    /// Payload bytes delivered to devices.
+    pub delivered_bytes: u64,
+    /// Deflections (failed ejections that sent a flit onward).
+    pub deflections: u64,
+    /// I-tags placed on passing slots.
+    pub itags_placed: u64,
+    /// E-tag reservations created (each one is a forced extra lap).
+    pub etags_placed: u64,
+    /// Times an RBRG-L2 side entered deadlock resolution mode.
+    pub drm_entries: u64,
+    /// SWAP operations performed during DRM.
+    pub swaps: u64,
+    /// Flits that crossed a bridge.
+    pub bridge_crossings: u64,
+}
+
+impl WindowCounters {
+    /// Accumulate another window (or ring share) into this one.
+    pub fn add(&mut self, other: &WindowCounters) {
+        self.enqueued += other.enqueued;
+        self.injected += other.injected;
+        self.inject_losses += other.inject_losses;
+        self.delivered += other.delivered;
+        self.delivered_bytes += other.delivered_bytes;
+        self.deflections += other.deflections;
+        self.itags_placed += other.itags_placed;
+        self.etags_placed += other.etags_placed;
+        self.drm_entries += other.drm_entries;
+        self.swaps += other.swaps;
+        self.bridge_crossings += other.bridge_crossings;
+    }
+
+    /// The delta from `base` to `self`, where both are cumulative
+    /// counter readings and `base` was taken earlier.
+    pub fn delta_since(&self, base: &WindowCounters) -> WindowCounters {
+        WindowCounters {
+            enqueued: self.enqueued - base.enqueued,
+            injected: self.injected - base.injected,
+            inject_losses: self.inject_losses - base.inject_losses,
+            delivered: self.delivered - base.delivered,
+            delivered_bytes: self.delivered_bytes - base.delivered_bytes,
+            deflections: self.deflections - base.deflections,
+            itags_placed: self.itags_placed - base.itags_placed,
+            etags_placed: self.etags_placed - base.etags_placed,
+            drm_entries: self.drm_entries - base.drm_entries,
+            swaps: self.swaps - base.swaps,
+            bridge_crossings: self.bridge_crossings - base.bridge_crossings,
+        }
+    }
+
+    /// Fraction of injection attempts that won a slot this window
+    /// (`1.0` when nothing tried to inject).
+    pub fn injection_success_rate(&self) -> f64 {
+        let attempts = self.injected + self.inject_losses;
+        if attempts == 0 {
+            1.0
+        } else {
+            self.injected as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of ejection attempts that deflected this window:
+    /// `deflections / (deflections + delivered)`, the congestion signal
+    /// the knee watchdog watches. `0.0` when nothing reached an exit.
+    pub fn deflection_rate(&self) -> f64 {
+        let attempts = self.deflections + self.delivered;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.deflections as f64 / attempts as f64
+        }
+    }
+
+    /// Every field as `(name, value)` pairs, in declaration order —
+    /// shared by the exporters and reconciliation tests.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("enqueued", self.enqueued),
+            ("injected", self.injected),
+            ("inject_losses", self.inject_losses),
+            ("delivered", self.delivered),
+            ("delivered_bytes", self.delivered_bytes),
+            ("deflections", self.deflections),
+            ("itags_placed", self.itags_placed),
+            ("etags_placed", self.etags_placed),
+            ("drm_entries", self.drm_entries),
+            ("swaps", self.swaps),
+            ("bridge_crossings", self.bridge_crossings),
+        ]
+    }
+}
+
+/// Instantaneous per-ring state at a sample cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingGauges {
+    /// Flits currently riding the ring.
+    pub occupancy: u64,
+    /// Slot capacity of the ring (stations × lanes).
+    pub capacity: u64,
+    /// Slots currently reserved by circulating I-tags.
+    pub itag_slots: u64,
+    /// Flits waiting in inject queues on this ring.
+    pub inject_backlog: u64,
+    /// Flits sitting in eject queues (delivered but not yet popped, or
+    /// awaiting bridge intake).
+    pub eject_backlog: u64,
+    /// Outstanding E-tag reservations on this ring.
+    pub etag_backlog: u64,
+    /// Largest current consecutive-injection-failure count of any node.
+    pub max_starve: u64,
+    /// Nodes whose current wait reached the I-tag threshold.
+    pub starving_nodes: u64,
+    /// Log2 distribution of current injection waits over nodes with a
+    /// non-zero wait (the live I-tag wait distribution).
+    pub starve_buckets: [u64; STARVE_BUCKETS],
+}
+
+impl RingGauges {
+    /// Record one node's current injection wait into the distribution.
+    pub fn record_starve(&mut self, starve: u64) {
+        if starve == 0 {
+            return;
+        }
+        let bucket = (63 - starve.leading_zeros() as usize).min(STARVE_BUCKETS - 1);
+        self.starve_buckets[bucket] += 1;
+    }
+}
+
+/// Instantaneous state of one bridge side at a sample cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BridgeGauges {
+    /// Bridge id.
+    pub bridge: u16,
+    /// Which side (0 = a, 1 = b).
+    pub side: u8,
+    /// Ring this side sits on.
+    pub ring: u16,
+    /// Outgoing pipeline occupancy as capacity checks see it
+    /// (peer inbox backlog + staged Tx).
+    pub tx_pipe: u32,
+    /// Flits in flight toward this side's endpoint.
+    pub rx_depth: u32,
+    /// Occupied reserved escape buffers (SWAP/escape mode).
+    pub reserved: u32,
+    /// Whether this side is currently in deadlock resolution mode.
+    pub in_drm: bool,
+    /// Monotonic count of DRM entries on this side since construction —
+    /// consecutive-snapshot deltas feed the SWAP-storm watchdog.
+    pub drm_entries: u64,
+}
+
+/// One ring's contribution to a snapshot: its window counters, its
+/// gauges, and the gauges of every bridge side it owns.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingWindow {
+    /// Ring id.
+    pub ring: u16,
+    /// Counter deltas attributed to this ring over the window.
+    pub counters: WindowCounters,
+    /// Instantaneous ring state.
+    pub gauges: RingGauges,
+    /// Instantaneous state of the bridge sides on this ring, ascending
+    /// `(bridge, side)` within the ring.
+    pub bridges: Vec<BridgeGauges>,
+}
+
+/// One deterministic sample of the whole network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot sequence number (0-based, per registry).
+    pub seq: u64,
+    /// Cycle the sample was taken at (end of that tick's per-ring
+    /// phase).
+    pub cycle: u64,
+    /// Cycles covered by the window counters (the sample period, or the
+    /// remainder for the final flush).
+    pub window: u64,
+    /// Flits inside the network at the sample cycle.
+    pub in_flight: u64,
+    /// Window counter deltas summed over all rings.
+    pub totals: WindowCounters,
+    /// Cumulative counters since the registry was enabled (running sum
+    /// of all windows including this one) — the monotonic series
+    /// Prometheus `_total` metrics export.
+    pub cumulative: WindowCounters,
+    /// Per-ring windows, ascending ring id.
+    pub rings: Vec<RingWindow>,
+}
+
+impl MetricsSnapshot {
+    /// All bridge-side gauges in the snapshot, in ring order.
+    pub fn bridges(&self) -> impl Iterator<Item = &BridgeGauges> {
+        self.rings.iter().flat_map(|r| r.bridges.iter())
+    }
+
+    /// Delivered flits per cycle over the window.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.window == 0 {
+            0.0
+        } else {
+            self.totals.delivered as f64 / self.window as f64
+        }
+    }
+}
+
+/// Collects the deterministic snapshot series of one network run.
+///
+/// The registry itself is engine-agnostic: the engine samples its
+/// shards, hands the per-ring windows to [`MetricsRegistry::commit`]
+/// in ascending ring order, and the registry derives totals, the
+/// cumulative series and sequence numbers.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    period: u64,
+    cumulative: WindowCounters,
+    snapshots: Vec<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Create a registry sampling every `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "metrics period must be positive");
+        MetricsRegistry {
+            period,
+            cumulative: WindowCounters::default(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The configured sample period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Fold a set of per-ring windows (ascending ring id) into the next
+    /// snapshot and return it.
+    pub fn commit(
+        &mut self,
+        cycle: u64,
+        window: u64,
+        in_flight: u64,
+        rings: Vec<RingWindow>,
+    ) -> &MetricsSnapshot {
+        let mut totals = WindowCounters::default();
+        for r in &rings {
+            totals.add(&r.counters);
+        }
+        self.cumulative.add(&totals);
+        let snap = MetricsSnapshot {
+            seq: self.snapshots.len() as u64,
+            cycle,
+            window,
+            in_flight,
+            totals,
+            cumulative: self.cumulative,
+            rings,
+        };
+        self.snapshots.push(snap);
+        self.snapshots.last().expect("just pushed")
+    }
+
+    /// Every snapshot committed so far, in order.
+    pub fn snapshots(&self) -> &[MetricsSnapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<&MetricsSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether no snapshot has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Sum of every window committed so far — equals the cumulative
+    /// counters of the last snapshot, and (after the final flush) the
+    /// run's `NetStats` totals.
+    pub fn summed(&self) -> WindowCounters {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(enqueued: u64, delivered: u64, deflections: u64) -> WindowCounters {
+        WindowCounters {
+            enqueued,
+            delivered,
+            deflections,
+            ..WindowCounters::default()
+        }
+    }
+
+    #[test]
+    fn windows_sum_and_subtract() {
+        let a = win(10, 7, 3);
+        let b = win(4, 2, 0);
+        let mut sum = a;
+        sum.add(&b);
+        assert_eq!(sum.enqueued, 14);
+        assert_eq!(sum.delta_since(&a), b);
+    }
+
+    #[test]
+    fn rates_are_guarded_against_empty_windows() {
+        let z = WindowCounters::default();
+        assert_eq!(z.injection_success_rate(), 1.0);
+        assert_eq!(z.deflection_rate(), 0.0);
+        let w = WindowCounters {
+            injected: 3,
+            inject_losses: 1,
+            delivered: 1,
+            deflections: 3,
+            ..WindowCounters::default()
+        };
+        assert_eq!(w.injection_success_rate(), 0.75);
+        assert_eq!(w.deflection_rate(), 0.75);
+    }
+
+    #[test]
+    fn starve_distribution_buckets_log2() {
+        let mut g = RingGauges::default();
+        g.record_starve(0); // ignored
+        g.record_starve(1); // bucket 0
+        g.record_starve(3); // bucket 1
+        g.record_starve(200); // bucket 7 (open-ended)
+        assert_eq!(g.starve_buckets[0], 1);
+        assert_eq!(g.starve_buckets[1], 1);
+        assert_eq!(g.starve_buckets[7], 1);
+    }
+
+    #[test]
+    fn registry_derives_totals_and_cumulative() {
+        let mut reg = MetricsRegistry::new(16);
+        assert!(reg.is_empty());
+        let rings = vec![
+            RingWindow {
+                ring: 0,
+                counters: win(5, 2, 1),
+                ..RingWindow::default()
+            },
+            RingWindow {
+                ring: 1,
+                counters: win(1, 1, 0),
+                ..RingWindow::default()
+            },
+        ];
+        let snap = reg.commit(16, 16, 3, rings);
+        assert_eq!(snap.seq, 0);
+        assert_eq!(snap.totals, win(6, 3, 1));
+        assert_eq!(snap.cumulative, win(6, 3, 1));
+        let snap = reg.commit(
+            32,
+            16,
+            0,
+            vec![RingWindow {
+                ring: 0,
+                counters: win(0, 3, 0),
+                ..RingWindow::default()
+            }],
+        );
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.cumulative, win(6, 6, 1));
+        assert_eq!(reg.summed(), win(6, 6, 1));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.last().expect("two").cycle, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        let _ = MetricsRegistry::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut reg = MetricsRegistry::new(8);
+        reg.commit(
+            8,
+            8,
+            1,
+            vec![RingWindow {
+                ring: 0,
+                counters: win(2, 1, 0),
+                gauges: RingGauges {
+                    occupancy: 1,
+                    capacity: 16,
+                    ..RingGauges::default()
+                },
+                bridges: vec![BridgeGauges {
+                    bridge: 0,
+                    side: 1,
+                    ring: 0,
+                    tx_pipe: 2,
+                    rx_depth: 0,
+                    reserved: 0,
+                    in_drm: false,
+                    drm_entries: 0,
+                }],
+            }],
+        );
+        let text = serde_json::to_string(reg.last().expect("one")).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&text).expect("parses");
+        assert_eq!(&back, reg.last().expect("one"));
+    }
+}

@@ -3,7 +3,9 @@
 //! `noc-telemetry` crate offers — a per-class latency percentile table,
 //! a per-station deflection heatmap, per-ring utilization, and a Chrome
 //! `trace_event` file you can open in `chrome://tracing` or
-//! <https://ui.perfetto.dev>.
+//! <https://ui.perfetto.dev> — plus the online observatory: a live
+//! health report from the watchdog rules and a Prometheus scrape
+//! sample rendered from the latest metrics snapshot.
 //!
 //! ```text
 //! cargo run --example telemetry
@@ -11,7 +13,7 @@
 
 use noc_core::render::{ascii_heatmap, ascii_rings};
 use noc_core::telemetry::{chrome_trace, Heatmap, LatencyView, TraceRecord, UtilizationTimeline};
-use noc_core::telemetry::{FlitEvent, RingBufferSink};
+use noc_core::telemetry::{prometheus_text, FlitEvent, RingBufferSink};
 use noc_core::{
     BridgeConfig, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode, TopologyBuilder,
 };
@@ -44,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TickMode::Fast,
         RingBufferSink::new(1 << 16),
     );
+    // Observatory on: windowed metrics + health watchdogs every 64
+    // cycles, sampled online while the simulation runs.
+    net.enable_metrics(64);
 
     // Mixed workload: CPUs hammer DDR, stream tensors to the NPUs over
     // the bridge, and the NPUs fetch from HBM.
@@ -88,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         spare += 1;
     }
+    // Flush the final partial metrics window so the snapshot series
+    // accounts for every event above.
+    net.finish_metrics();
 
     let sink = net.sink();
     let counts = *sink.counts();
@@ -155,7 +163,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // View 4: Chrome trace_event export.
+    // View 4: the observatory — live health verdicts and a Prometheus
+    // scrape sample from the latest snapshot. The DDR bottleneck above
+    // is exactly the kind of pressure the starvation watchdog reports.
+    let reg = net.metrics().expect("observatory enabled");
+    println!(
+        "\nobservatory: {} snapshots (period {} cycles)",
+        reg.len(),
+        reg.period()
+    );
+    print!("{}", net.health_report());
+    let last = reg.last().expect("at least one snapshot");
+    let scrape = prometheus_text(last);
+    println!("\nPrometheus scrape sample (cycle {}):", last.cycle);
+    for line in scrape.lines().take(12) {
+        println!("  {line}");
+    }
+    println!(
+        "  … {} more lines; full series: snapshots_jsonl(reg.snapshots())",
+        scrape.lines().count().saturating_sub(12)
+    );
+
+    // View 5: Chrome trace_event export.
     let json = chrome_trace(&records);
     let path = "target/telemetry_trace.json";
     std::fs::create_dir_all("target")?;
