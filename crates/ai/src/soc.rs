@@ -3,7 +3,7 @@
 //! rings, RBRG-L1 bridges at every intersection. Any core↔memory route
 //! takes at most one ring change (X-Y/Y-X routing).
 
-use noc_core::telemetry::NullSink;
+use noc_core::telemetry::{HealthConfig, NullSink, RecorderConfig};
 use noc_core::{
     BridgeConfig, ExecMode, Network, NetworkConfig, NocDiagnostics, NodeId, RingId, RingKind,
     TickMode, Topology, TopologyBuilder, TopologyError,
@@ -43,6 +43,11 @@ pub struct AiConfig {
     /// health-watchdog pass) every this many cycles. `0` (the default)
     /// keeps the observatory off.
     pub metrics_period: u64,
+    /// Flight-recorder sizing. `Some` (with `metrics_period > 0`)
+    /// additionally enables per-flow attribution, bounded history
+    /// retention, and watchdog-triggered postmortem bundles; `None`
+    /// (the default) keeps the observatory metrics-only.
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl Default for AiConfig {
@@ -67,6 +72,7 @@ impl Default for AiConfig {
             },
             exec: ExecMode::Sequential,
             metrics_period: 0,
+            recorder: None,
         }
     }
 }
@@ -265,7 +271,14 @@ impl AiProcessor {
         let (topo, map) = build_topology(&cfg)?;
         let mut net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
         if cfg.metrics_period > 0 {
-            net.enable_metrics(cfg.metrics_period);
+            match &cfg.recorder {
+                Some(rec) => net.enable_flight_recorder(
+                    cfg.metrics_period,
+                    HealthConfig::default(),
+                    rec.clone(),
+                ),
+                None => net.enable_metrics(cfg.metrics_period),
+            }
         }
         Ok(AiProcessor { net, map, cfg })
     }

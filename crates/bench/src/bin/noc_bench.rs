@@ -6,9 +6,10 @@
 //!
 //! `trajectory` runs the performance-trajectory benchmark
 //! ([`noc_experiments::trajectory`]) and writes the JSON report
-//! (default `BENCH_PR4.json`). With `--check-overhead PCT` the process
-//! exits non-zero when the observatory's measured tick-loop overhead
-//! exceeds `PCT` percent — the CI regression gate.
+//! (default `BENCH_PR5.json`). With `--check-overhead PCT` the process
+//! exits non-zero when either the observatory's measured tick-loop
+//! overhead or the flight recorder's overhead on top of it exceeds
+//! `PCT` percent — the CI regression gate.
 
 use noc_experiments::trajectory;
 use std::process::ExitCode;
@@ -24,7 +25,7 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut quick = false;
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = "BENCH_PR5.json".to_string();
     let mut check_overhead: Option<f64> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -71,11 +72,18 @@ fn main() -> ExitCode {
         );
     }
     eprintln!(
-        "  observatory overhead: {:.2}% ({:.0} → {:.0} ticks/sec, best of {})",
+        "  observatory overhead: {:.2}% ({:.0} → {:.0} ticks/sec, paired min of {})",
         report.overhead.overhead_pct,
         report.overhead.plain_ticks_per_sec,
         report.overhead.metrics_ticks_per_sec,
         report.overhead.repeats
+    );
+    eprintln!(
+        "  flight-recorder overhead: {:.2}% ({:.0} → {:.0} ticks/sec, paired min of {})",
+        report.recorder_overhead.overhead_pct,
+        report.recorder_overhead.metrics_ticks_per_sec,
+        report.recorder_overhead.recorder_ticks_per_sec,
+        report.recorder_overhead.repeats
     );
     eprintln!("noc-bench: wrote {out}");
 
@@ -91,9 +99,16 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if report.recorder_overhead.overhead_pct > limit {
+            eprintln!(
+                "noc-bench: FAIL — flight-recorder overhead {:.2}% exceeds the {limit}% budget",
+                report.recorder_overhead.overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
         eprintln!(
-            "noc-bench: overhead within the {limit}% budget ({:.2}%)",
-            report.overhead.overhead_pct
+            "noc-bench: overhead within the {limit}% budget (metrics {:.2}%, recorder {:.2}%)",
+            report.overhead.overhead_pct, report.recorder_overhead.overhead_pct
         );
     }
     ExitCode::SUCCESS

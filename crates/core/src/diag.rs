@@ -7,7 +7,7 @@
 
 use crate::network::Network;
 use crate::render::ascii_heatmap;
-use noc_telemetry::{NullSink, TraceSink};
+use noc_telemetry::{flow_table_ascii, NullSink, TraceSink};
 
 /// Uniform access to built-in NoC diagnostics for types embedding a
 /// [`Network`]. Only [`NocDiagnostics::noc`] is required.
@@ -63,5 +63,38 @@ pub trait NocDiagnostics<S: TraceSink = NullSink> {
     /// enabled ([`Network::enable_metrics`]); says so when it is off.
     fn health_summary(&self) -> String {
         self.noc().health_report()
+    }
+
+    /// The `k` heaviest (src, dst) flows as an ASCII attribution table
+    /// (delivered, mean latency, deflections, extra E-tag laps, I-tag
+    /// waits), with node ids resolved to device names. Reports no flows
+    /// unless [`Network::enable_flight_recorder`] is on.
+    fn flow_report(&self, k: usize) -> String {
+        let net = self.noc();
+        let topo = net.topology();
+        flow_table_ascii(&net.flow_top(k), |id| {
+            topo.nodes()
+                .get(id as usize)
+                .map_or_else(|| format!("n{id}"), |n| n.name.clone())
+        })
+    }
+
+    /// ASCII heatmap of sampled link occupancy per (ring, station) —
+    /// where the wiring actually carries traffic, accumulated from one
+    /// occupancy observation per sampling window. All zeros unless
+    /// flow accounting is on.
+    fn link_heatmap(&self) -> String {
+        let net = self.noc();
+        ascii_heatmap(net.topology(), "link flits", &net.link_cells())
+    }
+
+    /// Render the current state as a full postmortem (verdicts + flow
+    /// attribution + link heat) without waiting for a watchdog, or a
+    /// one-line notice when the observatory is off.
+    fn postmortem_summary(&self) -> String {
+        match self.noc().dump_postmortem("explicit summary") {
+            Some(bundle) => bundle.render(),
+            None => "postmortem: observatory disabled (call enable_flight_recorder)\n".to_string(),
+        }
     }
 }

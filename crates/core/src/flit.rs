@@ -85,6 +85,29 @@ pub struct Flit {
     pub ring_changes: u32,
     /// Whether an E-tag eject reservation is pending for this flit.
     pub etag: bool,
+    /// Extra laps flown *after* an E-tag reservation was already in
+    /// place: deflections beyond the single lap the E-tag mechanism is
+    /// supposed to bound (§4.1.2). Non-zero values mean the one-lap
+    /// guarantee is being leaned on repeatedly for this flit.
+    #[serde(default)]
+    pub etag_laps: u32,
+    /// Cycles this flit spent as a starving inject-queue head, summed
+    /// over every ring it injected on — the I-tag wait attributable to
+    /// this specific flit.
+    #[serde(default)]
+    pub itag_wait: u32,
+    /// Deflections already charged to per-flow accounting (flight
+    /// recorder bookkeeping). Trails `deflections` between charge
+    /// points: flows are charged lazily — at delivery and at metrics
+    /// sampling boundaries — so the deflection hot path stays free of
+    /// accounting work.
+    #[serde(default)]
+    pub charged_deflections: u32,
+    /// E-tag laps already charged to per-flow accounting; trails
+    /// `etag_laps` the same way `charged_deflections` trails
+    /// `deflections`.
+    #[serde(default)]
+    pub charged_etag_laps: u32,
 }
 
 impl Flit {
@@ -111,6 +134,10 @@ impl Flit {
             deflections: 0,
             ring_changes: 0,
             etag: false,
+            etag_laps: 0,
+            itag_wait: 0,
+            charged_deflections: 0,
+            charged_etag_laps: 0,
         }
     }
 

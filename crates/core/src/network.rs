@@ -50,8 +50,9 @@ use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Component, Cycle, PoolJob, ShardPool};
 use noc_telemetry::{
-    FlitEvent, HealthConfig, HealthMonitor, MetricsRegistry, NullSink, RingWindow, TraceRecord,
-    TraceSink, NO_FLIT, NO_LANE,
+    merge_ranked, BundleEnv, BundleMeta, FlightRecorder, FlitEvent, FlowRecord, HealthConfig,
+    HealthMonitor, MetricsRegistry, NullSink, PostmortemBundle, RecorderConfig, RingWindow,
+    TraceRecord, TraceSink, NO_FLIT, NO_LANE,
 };
 use std::sync::Arc;
 
@@ -80,11 +81,20 @@ const UTIL_SAMPLE_PERIOD: u64 = 8;
 
 /// Online observability state: the snapshot registry plus the watchdog
 /// monitor, attached by [`Network::enable_metrics`] /
-/// [`Network::enable_observatory`].
+/// [`Network::enable_observatory`], optionally extended with the
+/// flight recorder and its captured postmortem bundles by
+/// [`Network::enable_flight_recorder`].
 #[derive(Debug, Clone)]
 struct Observatory {
     registry: MetricsRegistry,
     monitor: HealthMonitor,
+    /// Bounded recent-history rings; `None` unless the flight recorder
+    /// was enabled.
+    recorder: Option<FlightRecorder>,
+    /// Watchdog-triggered bundles, capped at
+    /// [`RecorderConfig::max_bundles`]. Explicit
+    /// [`Network::dump_postmortem`] calls are not stored here.
+    bundles: Vec<PostmortemBundle>,
 }
 
 /// The bufferless multi-ring network.
@@ -251,7 +261,110 @@ impl<S: TraceSink> Network<S> {
         self.observatory = Some(Observatory {
             registry: MetricsRegistry::new(period),
             monitor: HealthMonitor::new(cfg),
+            recorder: None,
+            bundles: Vec::new(),
         });
+    }
+
+    /// [`Network::enable_observatory`] plus the flight recorder: each
+    /// shard additionally keeps a deterministic Space-Saving flow table
+    /// and per-link utilization row, snapshots and (when a tracing sink
+    /// is attached) trace events are retained in the recorder's bounded
+    /// rings, and any watchdog latching a new verdict captures a
+    /// [`PostmortemBundle`] — up to [`RecorderConfig::max_bundles`],
+    /// readable via [`Network::bundles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_flight_recorder(
+        &mut self,
+        period: u64,
+        health: HealthConfig,
+        recorder: RecorderConfig,
+    ) {
+        self.enable_observatory(period, health);
+        for shard in &mut self.shards {
+            shard.enable_flow_accounting(recorder.flow_top_k, recorder.charge_stride);
+        }
+        self.observatory.as_mut().expect("just enabled").recorder =
+            Some(FlightRecorder::new(recorder));
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.observatory.as_ref().and_then(|o| o.recorder.as_ref())
+    }
+
+    /// Watchdog-triggered postmortem bundles captured so far, in
+    /// capture order.
+    pub fn bundles(&self) -> &[PostmortemBundle] {
+        self.observatory
+            .as_ref()
+            .map_or(&[], |o| o.bundles.as_slice())
+    }
+
+    /// The heaviest (src, dst) flows across all rings: per-shard
+    /// Space-Saving tables merged and cut to `k`. Empty unless
+    /// [`Network::enable_flight_recorder`] switched flow accounting on.
+    /// Deliveries are current to the last sampling window; a still
+    /// circulating flit's deflections are attributed at charge-stride
+    /// sweeps ([`RecorderConfig::charge_stride`]) and become exact
+    /// after [`Network::finish_metrics`] or inside a watchdog bundle.
+    pub fn flow_top(&self, k: usize) -> Vec<FlowRecord> {
+        let tables: Vec<_> = self.shards.iter().map(|s| &s.flows).collect();
+        merge_ranked(&tables, k)
+    }
+
+    /// Per-(ring, station) link occupancy samples accumulated at
+    /// sampling boundaries, shaped for
+    /// [`crate::render::ascii_heatmap`]. All zeros unless flow
+    /// accounting is on.
+    pub fn link_cells(&self) -> Vec<Vec<u64>> {
+        self.shards.iter().map(|s| s.link_util.clone()).collect()
+    }
+
+    /// Freeze the current state into a [`PostmortemBundle`] without
+    /// waiting for a watchdog: recent snapshots and events from the
+    /// flight recorder (empty if it is off), merged flow top-K,
+    /// per-link heat, every verdict so far, and the config + execution
+    /// mode needed for replay. Returns `None` when the observatory is
+    /// disabled. Explicit dumps are not stored in [`Network::bundles`]
+    /// and not counted against [`RecorderConfig::max_bundles`]; unlike
+    /// watchdog captures they do not force a charge sweep, so in-flight
+    /// deflection attribution may lag by up to
+    /// [`RecorderConfig::charge_stride`] windows.
+    pub fn dump_postmortem(&self, reason: &str) -> Option<PostmortemBundle> {
+        self.observatory.as_ref()?;
+        Some(self.capture_bundle(reason))
+    }
+
+    /// Build a bundle from the current observatory state. Caller
+    /// guarantees the observatory is enabled.
+    fn capture_bundle(&self, reason: &str) -> PostmortemBundle {
+        let obs = self.observatory.as_ref().expect("caller checked");
+        let rec = obs.recorder.as_ref();
+        let flow_top_k = rec.map_or(0, |r| r.config().flow_top_k);
+        PostmortemBundle {
+            meta: BundleMeta {
+                reason: reason.to_string(),
+                cycle: self.now.raw(),
+                stations: self.shards.iter().map(|s| s.ring.stations).collect(),
+                flow_top_k,
+                snapshots_seen: rec.map_or(0, FlightRecorder::snapshots_seen),
+                events_seen: rec.map_or(0, FlightRecorder::events_seen),
+                config: serde_json::to_value(&self.shared.cfg),
+            },
+            env: BundleEnv {
+                exec_mode: format!("{:?}", self.exec),
+                tick_mode: format!("{:?}", self.mode),
+            },
+            verdicts: obs.monitor.verdicts().to_vec(),
+            flows: self.flow_top(flow_top_k),
+            links: self.link_cells(),
+            snapshots: rec.map_or_else(Vec::new, |r| r.snapshots().cloned().collect()),
+            events: rec.map_or_else(Vec::new, |r| r.events().copied().collect()),
+        }
     }
 
     /// The snapshot registry, if the observatory is enabled.
@@ -285,6 +398,7 @@ impl<S: TraceSink> Network<S> {
         let now = self.now;
         let shared = Arc::clone(&self.shared);
         for shard in &mut self.shards {
+            shard.charge_and_flush();
             shard.sample_metrics(&shared, now);
         }
         self.commit_metrics(now.raw() % period);
@@ -325,7 +439,36 @@ impl<S: TraceSink> Network<S> {
         let cycle = self.now.raw();
         let obs = self.observatory.as_mut().expect("caller checked");
         let snap = obs.registry.commit(cycle, window, in_flight, rings);
-        obs.monitor.observe(snap);
+        let new_verdicts = obs.monitor.observe(snap);
+        let mut capture_reason = None;
+        if let Some(rec) = obs.recorder.as_mut() {
+            rec.record_snapshot(snap.clone());
+            // A newly latched verdict triggers a capture, up to the
+            // configured bundle cap.
+            if new_verdicts > 0 && obs.bundles.len() < rec.config().max_bundles {
+                let vs = obs.monitor.verdicts();
+                let fired: Vec<String> = vs[vs.len() - new_verdicts..]
+                    .iter()
+                    .map(|v| format!("{}:{}", v.severity, v.rule))
+                    .collect();
+                capture_reason = Some(format!("watchdog: {}", fired.join(", ")));
+            }
+        }
+        if let Some(reason) = capture_reason {
+            // Make the flow tables exact as of this cycle before the
+            // bundle freezes them — a watchdog can latch between
+            // charge-stride sweeps, and the flow that wedged the
+            // network may never deliver (so only sweeps see it).
+            for shard in &mut self.shards {
+                shard.charge_and_flush();
+            }
+            let bundle = self.capture_bundle(&reason);
+            self.observatory
+                .as_mut()
+                .expect("checked above")
+                .bundles
+                .push(bundle);
+        }
     }
 
     /// The attached trace sink.
@@ -733,6 +876,13 @@ impl<S: TraceSink> Network<S> {
     fn drain_trace_buffers(&mut self) {
         for si in 0..self.shards.len() {
             let mut trace = std::mem::take(&mut self.shards[si].trace);
+            // Tee into the flight recorder's bounded event ring at the
+            // same deterministic point, before the sink consumes them.
+            if let Some(rec) = self.observatory.as_mut().and_then(|o| o.recorder.as_mut()) {
+                for record in trace.records() {
+                    rec.record_event(*record);
+                }
+            }
             trace.drain_into(&mut self.sink);
             self.shards[si].trace = trace;
         }

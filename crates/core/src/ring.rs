@@ -195,6 +195,25 @@ impl Lane {
     pub fn flits(&self) -> impl Iterator<Item = &Flit> {
         self.flits.iter().filter_map(|f| f.as_ref())
     }
+
+    /// Iterate mutably over all in-flight flits together with the
+    /// station each currently sits at (positional slot order — callers
+    /// needing a canonical order must impose it themselves).
+    pub fn flits_mut(&mut self) -> impl Iterator<Item = (u16, &mut Flit)> {
+        let n = self.flits.len();
+        let off = if n == 0 { 0 } else { self.offset % n };
+        let dir = self.dir;
+        self.flits.iter_mut().enumerate().filter_map(move |(i, f)| {
+            f.as_mut().map(|flit| {
+                // The inverse of `index_of_station`.
+                let s = match dir {
+                    Direction::Cw => (i + off) % n,
+                    Direction::Ccw => (i + n - off) % n,
+                };
+                (s as u16, flit)
+            })
+        })
+    }
 }
 
 /// A ring: metadata plus one or two lanes.

@@ -35,8 +35,8 @@ use crate::stats::{NetStats, TickProfile};
 use crate::topology::{NodeKind, Topology};
 use noc_sim::{BandwidthProbe, Cycle};
 use noc_telemetry::{
-    BridgeGauges, FlitEvent, RingGauges, RingWindow, TraceBuffer, TraceRecord, WindowCounters,
-    NO_FLIT, NO_LANE,
+    BridgeGauges, FlitEvent, FlowDelta, FlowTable, RingGauges, RingWindow, TraceBuffer,
+    TraceRecord, WindowCounters, NO_FLIT, NO_LANE,
 };
 use std::collections::VecDeque;
 
@@ -130,6 +130,35 @@ pub(crate) struct RingShard {
     /// Sample staged during the (possibly parallel) per-ring phase,
     /// collected by the engine in ring order at the merge barrier.
     pub pending_metrics: Option<RingWindow>,
+    /// Space-Saving capacity of the flow table; 0 disables flow
+    /// accounting (and link counting) entirely.
+    pub flow_topk: usize,
+    /// Heaviest (src, dst) flows delivering or deflecting on this ring.
+    /// Shard-local; fed from `flow_buf` at sampling boundaries in
+    /// sorted flow-key order, so its contents are identical under any
+    /// execution order.
+    pub flows: FlowTable,
+    /// Per-flow deltas staged since the last flush. Charging is lazy —
+    /// deflections accumulate on the flit itself and are converted to
+    /// deltas at delivery and at metrics sampling boundaries — so the
+    /// deflection hot path stays free of accounting work. The fast and
+    /// reference sweeps visit stations in different orders and
+    /// Space-Saving eviction is order-sensitive; sorting the staged
+    /// deltas by (src, dst) and summing per flow before applying makes
+    /// the table evolution canonical (per-flow sums commute).
+    flow_buf: Vec<(u32, u32, FlowDelta)>,
+    /// Flits observed on each station's link at sampling boundaries
+    /// (lanes summed, cumulative across windows), index = station. A
+    /// deterministic occupancy sample, not an exact traversal count —
+    /// counting every traversal would put work on every tick.
+    pub link_util: Vec<u64>,
+    /// Sampling windows between in-flight charge sweeps (see
+    /// `charge_inflight`); 1 sweeps every window.
+    flow_charge_stride: usize,
+    /// Windows left before the next in-flight charge sweep. A forced
+    /// sweep (bundle capture, `finish_metrics`) resets the countdown so
+    /// the following window boundary does not sweep again.
+    windows_until_charge: usize,
 }
 
 /// Build the shared inputs and one shard per ring from a validated
@@ -153,6 +182,12 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
             metrics_period: 0,
             metrics_base: WindowCounters::default(),
             pending_metrics: None,
+            flow_topk: 0,
+            flows: FlowTable::new(0),
+            flow_buf: Vec::new(),
+            link_util: vec![0; r.stations as usize],
+            flow_charge_stride: 1,
+            windows_until_charge: 1,
         })
         .collect();
     let mut node_loc = Vec::with_capacity(topo.nodes().len());
@@ -409,6 +444,7 @@ impl RingShard {
             if self.nodes[i].inject.is_empty() {
                 self.inject_became_empty(i);
             }
+            flit.itag_wait += self.nodes[i].starve;
             flit.injected_at = Some(now);
             self.stats.injected.inc();
             if TRACE {
@@ -590,6 +626,7 @@ impl RingShard {
         if self.nodes[ni].inject.is_empty() {
             self.inject_became_empty(ni);
         }
+        flit.itag_wait += self.nodes[ni].starve;
         if flit.injected_at.is_none() {
             flit.injected_at = Some(now);
             self.stats.injected.inc();
@@ -700,6 +737,7 @@ impl RingShard {
         }
 
         // Deflect: place an E-tag reservation (once) and circle on.
+        let had_etag = flit.etag;
         if !flit.etag {
             flit.etag = true;
             self.nodes[t].etag_list.push_back(flit.id);
@@ -717,6 +755,13 @@ impl RingShard {
             }
         }
         flit.deflections += 1;
+        if had_etag {
+            // A deflection of an already-tagged flit defeats the
+            // one-lap guarantee once more (§4.1.2).
+            flit.etag_laps += 1;
+        }
+        // Flow accounting charges these counters lazily (at delivery
+        // and at sampling boundaries) — nothing to do here.
         self.stats.deflections.inc();
         self.nodes[t].deflected_here += 1;
         if TRACE {
@@ -746,6 +791,21 @@ impl RingShard {
         let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
         if is_device {
             self.stats.record_delivery(&flit, now);
+            if self.flow_topk != 0 {
+                // Charge the delivery plus whatever deflections and
+                // E-tag laps the window sweeps have not yet seen.
+                self.flow_buf.push((
+                    flit.src.0,
+                    flit.dst.0,
+                    FlowDelta {
+                        delivered: 1,
+                        latency_sum: flit.total_latency(now),
+                        itag_waits: u64::from(flit.itag_wait),
+                        deflections: u64::from(flit.deflections - flit.charged_deflections),
+                        etag_laps: u64::from(flit.etag_laps - flit.charged_etag_laps),
+                    },
+                ));
+            }
             if let Some(p) = &mut self.nodes[t].probe {
                 p.record(now, flit.payload_bytes as u64);
             }
@@ -871,6 +931,113 @@ impl RingShard {
     }
 
     // ------------------------------------------------------------------
+    // Flow attribution (shard-local, deterministic)
+    // ------------------------------------------------------------------
+
+    /// Switch flow accounting on with a Space-Saving capacity of `k`
+    /// per ring (or off with 0), discarding any prior table. In-flight
+    /// charge sweeps run every `stride` sampling windows (clamped to at
+    /// least 1).
+    pub(crate) fn enable_flow_accounting(&mut self, k: usize, stride: usize) {
+        self.flow_topk = k;
+        self.flows = FlowTable::new(k);
+        self.flow_buf.clear();
+        self.link_util = vec![0; self.ring.stations as usize];
+        self.flow_charge_stride = stride.max(1);
+        self.windows_until_charge = self.flow_charge_stride;
+    }
+
+    /// Force the flow table exact *now*: sweep in-flight flits, then
+    /// flush everything staged. Called before a postmortem bundle
+    /// freezes the table and at `finish_metrics`, so captured flow
+    /// rankings never lag behind the charge stride. Resets the stride
+    /// countdown — the next window boundary will not sweep again.
+    pub(crate) fn charge_and_flush(&mut self) {
+        if self.flow_topk == 0 {
+            return;
+        }
+        self.charge_inflight();
+        self.flush_flow_events();
+        // +1 because a window boundary in the same cycle (finish's
+        // final sample) will decrement before checking.
+        self.windows_until_charge = self.flow_charge_stride + 1;
+    }
+
+    /// Apply the staged flow deltas in sorted (src, dst) order, one
+    /// batched table update per distinct flow. Eviction in the
+    /// Space-Saving table depends on the sequence of keys it sees; the
+    /// sort erases the sweep-order differences between the fast and
+    /// reference ticks (see `flow_buf`), and summing a flow's run of
+    /// deltas keeps a deflection storm from paying one table lookup
+    /// per event.
+    fn flush_flow_events(&mut self) {
+        if self.flow_buf.is_empty() {
+            return;
+        }
+        let mut buf = core::mem::take(&mut self.flow_buf);
+        buf.sort_unstable_by_key(|&(src, dst, _)| (src, dst));
+        let mut run = buf.iter();
+        let &(mut src, mut dst, mut delta) = run.next().expect("buffer is non-empty");
+        for &(s, d, next) in run {
+            if (s, d) != (src, dst) {
+                self.flows.apply(src, dst, &delta);
+                (src, dst, delta) = (s, d, FlowDelta::default());
+            }
+            delta.merge(&next);
+        }
+        self.flows.apply(src, dst, &delta);
+        buf.clear();
+        self.flow_buf = buf;
+    }
+
+    /// Credit every station whose ring slot holds a flit with one link
+    /// occupancy sample, straight from the occupancy bitsets — no flit
+    /// memory touched. Runs at every sampling boundary; the sum over
+    /// windows approximates relative link load without per-tick cost.
+    fn sample_links(&mut self) {
+        let link_util = &mut self.link_util;
+        for lane in &self.ring.lanes {
+            for (wi, &word) in lane.flit_bits().words().iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    link_util[wi * 64 + w.trailing_zeros() as usize] += 1;
+                    w &= w - 1;
+                }
+            }
+        }
+    }
+
+    /// Sweep the in-flight flits: charge each one's as-yet-uncharged
+    /// deflections and E-tag laps to its flow. Runs every
+    /// `flow_charge_stride`-th metrics window plus whenever the table
+    /// is frozen (bundle capture, finish), so a wedged flow
+    /// (circulating forever, delivering nothing) still climbs the
+    /// table while the deflection hot path itself carries no
+    /// accounting work.
+    fn charge_inflight(&mut self) {
+        let flow_buf = &mut self.flow_buf;
+        for lane in &mut self.ring.lanes {
+            for (_s, flit) in lane.flits_mut() {
+                let deflections = flit.deflections - flit.charged_deflections;
+                if deflections != 0 {
+                    let etag_laps = flit.etag_laps - flit.charged_etag_laps;
+                    flit.charged_deflections = flit.deflections;
+                    flit.charged_etag_laps = flit.etag_laps;
+                    flow_buf.push((
+                        flit.src.0,
+                        flit.dst.0,
+                        FlowDelta {
+                            deflections: u64::from(deflections),
+                            etag_laps: u64::from(etag_laps),
+                            ..FlowDelta::default()
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Observatory sampling (shard-local, deterministic)
     // ------------------------------------------------------------------
 
@@ -942,11 +1109,31 @@ impl RingShard {
             })
             .collect();
 
+        let (flows, links) = if self.flow_topk == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            // Link occupancy and delivery flushes run every window;
+            // the in-flight charge sweep only every
+            // `flow_charge_stride`-th, to keep steady-state cost down.
+            // Forced sweeps (bundle capture, finish) make the table
+            // exact whenever it is actually frozen.
+            self.sample_links();
+            self.windows_until_charge -= 1;
+            if self.windows_until_charge == 0 {
+                self.charge_inflight();
+                self.windows_until_charge = self.flow_charge_stride;
+            }
+            self.flush_flow_events();
+            (self.flows.ranked(), self.link_util.clone())
+        };
+
         self.pending_metrics = Some(RingWindow {
             ring: self.ring.id.0,
             counters,
             gauges,
             bridges,
+            flows,
+            links,
         });
     }
 

@@ -35,6 +35,13 @@ pub struct NetStats {
     pub swaps: Counter,
     /// Flits that crossed a bridge.
     pub bridge_crossings: Counter,
+    /// Extra laps flown by delivered flits after an E-tag reservation
+    /// was already in place — the one-lap guarantee of §4.1.2 bounds
+    /// the *wait for a buffer*, not the laps a saturated exit forces.
+    pub etag_laps: Counter,
+    /// Cycles delivered flits spent as starving inject-queue heads,
+    /// summed over every ring they injected on.
+    pub itag_wait_cycles: Counter,
     /// End-to-end latency (enqueue → device delivery) per flit class.
     pub total_latency: [Histogram; 4],
     /// In-network latency (injection → device delivery) per flit class.
@@ -61,6 +68,8 @@ impl NetStats {
             drm_entries: Counter::new("drm_entries"),
             swaps: Counter::new("swaps"),
             bridge_crossings: Counter::new("bridge_crossings"),
+            etag_laps: Counter::new("etag_laps"),
+            itag_wait_cycles: Counter::new("itag_wait_cycles"),
             total_latency: [
                 h("total_latency.req"),
                 h("total_latency.rsp"),
@@ -82,6 +91,8 @@ impl NetStats {
     pub fn record_delivery(&mut self, flit: &Flit, now: Cycle) {
         self.delivered.inc();
         self.delivered_bytes.add(flit.payload_bytes as u64);
+        self.etag_laps.add(flit.etag_laps as u64);
+        self.itag_wait_cycles.add(flit.itag_wait as u64);
         let i = flit.class.index();
         self.total_latency[i].record(flit.total_latency(now));
         self.network_latency[i].record(flit.network_latency(now));
@@ -138,6 +149,8 @@ impl NetStats {
         self.drm_entries.add(other.drm_entries.get());
         self.swaps.add(other.swaps.get());
         self.bridge_crossings.add(other.bridge_crossings.get());
+        self.etag_laps.add(other.etag_laps.get());
+        self.itag_wait_cycles.add(other.itag_wait_cycles.get());
         for (mine, theirs) in self.total_latency.iter_mut().zip(&other.total_latency) {
             mine.merge(theirs);
         }
@@ -170,6 +183,8 @@ impl NetStats {
             self.drm_entries.get(),
             self.swaps.get(),
             self.bridge_crossings.get(),
+            self.etag_laps.get(),
+            self.itag_wait_cycles.get(),
         ];
         let hists = self
             .total_latency

@@ -1,0 +1,318 @@
+//! Flight-recorder correctness: flow attribution and postmortem
+//! bundles must be byte-identical across every execution mode — the
+//! evidence a postmortem presents cannot depend on how the simulation
+//! happened to be scheduled — and a watchdog latching on a wedged
+//! network must yield exactly one bundle that names the stalled flow.
+//!
+//! The single sanctioned exception is the bundle's `"kind":"env"` JSONL
+//! line, which records the execution/tick mode for replay;
+//! `comparable_jsonl()` excludes it and everything else is compared
+//! byte for byte.
+
+use noc_core::telemetry::{HealthConfig, PostmortemBundle, RecorderConfig, Severity};
+use noc_core::{
+    BridgeConfig, ExecMode, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode,
+    Topology, TopologyBuilder,
+};
+
+/// splitmix64: deterministic per-seed stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Random 2–4 ring topology over two chiplets, rings chained by
+/// bridges, devices scattered (same generator as `tick_equivalence`).
+fn random_topology(rng: &mut Rng) -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let dies = [b.add_chiplet("die0"), b.add_chiplet("die1")];
+    let nrings = 2 + rng.below(3) as usize;
+    let mut rings = Vec::new();
+    let mut stations = Vec::new();
+    for i in 0..nrings {
+        let kind = if rng.below(2) == 0 {
+            RingKind::Full
+        } else {
+            RingKind::Half
+        };
+        let n = 4 + rng.below(29) as u16;
+        let die = dies[(rng.below(2) as usize + i) % 2];
+        rings.push(b.add_ring(die, kind, n).expect("ring"));
+        stations.push(n);
+    }
+    let mut devices = Vec::new();
+    for i in 0..rings.len() {
+        let ndev = 2 + rng.below(4);
+        for d in 0..ndev {
+            for _ in 0..8 {
+                let s = rng.below(stations[i] as u64) as u16;
+                if let Ok(id) = b.add_node(format!("dev{i}_{d}"), rings[i], s) {
+                    devices.push(id);
+                    break;
+                }
+            }
+        }
+    }
+    for w in 0..nrings - 1 {
+        let cfg = BridgeConfig::l2()
+            .with_latency(1 + rng.below(4) as u32)
+            .with_deadlock_threshold(32 + rng.below(64) as u32);
+        let mut bridged = false;
+        for _ in 0..16 {
+            let sa = rng.below(stations[w] as u64) as u16;
+            let sb = rng.below(stations[w + 1] as u64) as u16;
+            if b.add_bridge(cfg.clone(), rings[w], sa, rings[w + 1], sb)
+                .is_ok()
+            {
+                bridged = true;
+                break;
+            }
+        }
+        assert!(bridged, "could not place bridge between rings {w}..");
+    }
+    (b.build().expect("valid random topology"), devices)
+}
+
+const SAMPLE_PERIOD: u64 = 32;
+
+/// Drive one flight-recorded network to full drain with a
+/// deterministic traffic pattern, finishing the metrics series.
+fn run_recorded(
+    topo: Topology,
+    cfg: NetworkConfig,
+    mode: TickMode,
+    exec: ExecMode,
+    devices: &[NodeId],
+    traffic_seed: u64,
+) -> Network {
+    let mut net = Network::with_exec(topo, cfg, mode, exec, noc_core::telemetry::NullSink);
+    net.enable_flight_recorder(
+        SAMPLE_PERIOD,
+        HealthConfig::default(),
+        RecorderConfig {
+            snapshot_window: 8,
+            flow_top_k: 8,
+            ..RecorderConfig::default()
+        },
+    );
+    let mut rng = Rng(traffic_seed);
+    let cycles = 200 + rng.below(100);
+    let drain_period = 1 + rng.below(4);
+    let send_die = 1 + rng.below(3);
+    let mut token = 0u64;
+    for cycle in 0..cycles + 10_000 {
+        if cycle < cycles {
+            for si in 0..devices.len() {
+                if rng.below(1 + send_die) != 0 {
+                    continue;
+                }
+                let di = (si + 1 + rng.below(devices.len() as u64 - 1) as usize) % devices.len();
+                let class = match rng.below(4) {
+                    0 => FlitClass::Request,
+                    1 => FlitClass::Response,
+                    2 => FlitClass::Snoop,
+                    _ => FlitClass::Data,
+                };
+                let bytes = [32u32, 64][rng.below(2) as usize];
+                token += 1;
+                let _ = net.enqueue(devices[si], devices[di], class, bytes, token);
+            }
+        }
+        net.tick();
+        if cycle % drain_period == 0 || cycle >= cycles {
+            for &d in devices {
+                while net.pop_delivered(d).is_some() {}
+            }
+        }
+        if cycle >= cycles && net.in_flight() == 0 {
+            break;
+        }
+    }
+    net.finish_metrics();
+    net
+}
+
+/// Flow tables, link matrices and full postmortem bundles must be
+/// byte-identical across Sequential/Parallel(2/4/8) × Fast/Reference —
+/// modulo the bundle's env line, the one place the mode may appear.
+#[test]
+fn flow_tables_and_bundles_byte_identical_across_modes_on_20_seeds() {
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xa076_1d64_78bd_642f);
+        let (topo, devices) = random_topology(&mut rng);
+        assert!(devices.len() >= 2, "seed {seed}: too few devices");
+        let cfg = NetworkConfig {
+            inject_queue_cap: 2 + rng.below(7) as usize,
+            eject_queue_cap: 1 + rng.below(4) as usize,
+            itag_threshold: 4 + rng.below(12) as u32,
+            ..NetworkConfig::default()
+        };
+        let traffic_seed = rng.next();
+
+        let variants: [(TickMode, ExecMode); 5] = [
+            (TickMode::Fast, ExecMode::Sequential),
+            (TickMode::Fast, ExecMode::Parallel(2)),
+            (TickMode::Fast, ExecMode::Parallel(4)),
+            (TickMode::Fast, ExecMode::Parallel(8)),
+            (TickMode::Reference, ExecMode::Sequential),
+        ];
+        let mut baseline: Option<(String, String, Vec<Vec<u64>>)> = None;
+        for (mode, exec) in variants {
+            let ctx = format!("seed {seed} {mode:?} {exec:?}");
+            let net = run_recorded(
+                topo.clone(),
+                cfg.clone(),
+                mode,
+                exec,
+                &devices,
+                traffic_seed,
+            );
+            assert!(
+                net.stats().delivered.get() > 0,
+                "{ctx}: nothing was delivered"
+            );
+            let flows = net.flow_top(8);
+            assert!(!flows.is_empty(), "{ctx}: flow accounting recorded nothing");
+            let flows_json = serde_json::to_string(&flows).expect("flows serialize");
+            let bundle = net
+                .dump_postmortem("determinism probe")
+                .expect("observatory enabled");
+            // The bundle round-trips through its own JSONL.
+            let back =
+                PostmortemBundle::from_jsonl(&bundle.to_jsonl()).expect("bundle parses back");
+            assert_eq!(bundle, back, "{ctx}: bundle JSONL round trip");
+            // The env line carries this run's modes and nothing else
+            // mode-dependent survives comparable_jsonl().
+            assert!(
+                bundle.to_jsonl().contains(&format!("{exec:?}")),
+                "{ctx}: env line must record the exec mode"
+            );
+            let comparable = bundle.comparable_jsonl();
+            let links = net.link_cells();
+            assert!(
+                links.iter().flatten().any(|&v| v > 0),
+                "{ctx}: link matrix recorded no traversals"
+            );
+            match &baseline {
+                None => baseline = Some((flows_json, comparable, links)),
+                Some((base_flows, base_bundle, base_links)) => {
+                    assert_eq!(
+                        base_flows, &flows_json,
+                        "{ctx}: flow top-K diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_bundle, &comparable,
+                        "{ctx}: postmortem bundle diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_links, &links,
+                        "{ctx}: link heat matrix diverged from sequential fast"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Two devices on one small ring; the destination never drains its
+/// eject queue, so every arrival past the cap deflects forever. The
+/// liveness watchdog latches CRIT, and the recorder must capture
+/// exactly one bundle whose heaviest flow is the wedged src→dst pair.
+#[test]
+fn wedged_ejection_crit_captures_one_bundle_naming_the_stalled_flow() {
+    let mut b = TopologyBuilder::new();
+    let die = b.add_chiplet("die0");
+    let ring = b.add_ring(die, RingKind::Full, 8).expect("ring");
+    let src = b.add_node("src", ring, 0).expect("src");
+    let dst = b.add_node("dst", ring, 4).expect("dst");
+    let mut net = Network::new(
+        b.build().expect("topology"),
+        NetworkConfig {
+            eject_queue_cap: 2,
+            ..NetworkConfig::default()
+        },
+    );
+    net.enable_flight_recorder(
+        32,
+        HealthConfig::default(),
+        RecorderConfig {
+            max_bundles: 1,
+            ..RecorderConfig::default()
+        },
+    );
+    // More flits than the eject queue holds; never pop a single one.
+    for token in 0..8u64 {
+        while net
+            .enqueue(src, dst, FlitClass::Request, 64, token)
+            .is_err()
+        {
+            net.tick();
+        }
+    }
+    for _ in 0..2_000 {
+        net.tick();
+    }
+    net.finish_metrics();
+    assert!(net.in_flight() > 0, "flits must still be circulating");
+
+    let bundles = net.bundles();
+    assert_eq!(
+        bundles.len(),
+        1,
+        "exactly one watchdog bundle expected (cap 1):\n{}",
+        net.health_report()
+    );
+    let bundle = &bundles[0];
+    assert!(
+        bundle.meta.reason.starts_with("watchdog:"),
+        "capture must credit the watchdog: {}",
+        bundle.meta.reason
+    );
+    assert!(
+        bundle
+            .verdicts
+            .iter()
+            .any(|v| v.severity == Severity::Critical),
+        "wedged run must carry a CRIT verdict:\n{}",
+        bundle.render()
+    );
+    // The stalled flow tops the attribution table even though it
+    // delivers (almost) nothing: deflections keep its weight climbing.
+    let top = bundle.flows.first().expect("flow table must not be empty");
+    assert_eq!(
+        (top.src, top.dst),
+        (src.0, dst.0),
+        "heaviest flow must be the wedged pair:\n{}",
+        bundle.render()
+    );
+    assert!(
+        top.deflections > 0,
+        "the wedged flow must be charged its deflections"
+    );
+    assert!(
+        top.deflections > top.delivered,
+        "deflections must dominate a wedged flow"
+    );
+    // The rendered postmortem names the pair for humans too.
+    let rendered = bundle.render();
+    assert!(
+        rendered.contains(&format!("n{} -> n{}", src.0, dst.0)),
+        "render must name the stalled flow:\n{rendered}"
+    );
+
+    // Explicit dumps still work and are not stored against the cap.
+    let explicit = net.dump_postmortem("operator request").expect("enabled");
+    assert_eq!(explicit.meta.reason, "operator request");
+    assert_eq!(net.bundles().len(), 1, "explicit dumps are not retained");
+}

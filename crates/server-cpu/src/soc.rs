@@ -5,7 +5,7 @@
 //! (via PA/SerDes) between packages.
 
 use noc_chi::{CoherentSystem, LlcParams, MemoryParams, SystemSpec};
-use noc_core::telemetry::NullSink;
+use noc_core::telemetry::{HealthConfig, NullSink, RecorderConfig};
 use noc_core::{
     BridgeConfig, ExecMode, Network, NetworkConfig, NocDiagnostics, NodeId, RingKind, TickMode,
     Topology, TopologyBuilder, TopologyError,
@@ -45,6 +45,11 @@ pub struct ServerCpuConfig {
     /// health-watchdog pass) every this many cycles. `0` (the default)
     /// keeps the observatory off.
     pub metrics_period: u64,
+    /// Flight-recorder sizing. `Some` (with `metrics_period > 0`)
+    /// additionally enables per-flow attribution, bounded history
+    /// retention, and watchdog-triggered postmortem bundles; `None`
+    /// (the default) keeps the observatory metrics-only.
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl Default for ServerCpuConfig {
@@ -65,6 +70,7 @@ impl Default for ServerCpuConfig {
             net: NetworkConfig::default(),
             exec: ExecMode::Sequential,
             metrics_period: 0,
+            recorder: None,
         }
     }
 }
@@ -237,7 +243,14 @@ impl ServerCpu {
         let (topo, map) = build_topology(&cfg)?;
         let mut net = Network::with_exec(topo, cfg.net.clone(), TickMode::Fast, cfg.exec, NullSink);
         if cfg.metrics_period > 0 {
-            net.enable_metrics(cfg.metrics_period);
+            match &cfg.recorder {
+                Some(rec) => net.enable_flight_recorder(
+                    cfg.metrics_period,
+                    HealthConfig::default(),
+                    rec.clone(),
+                ),
+                None => net.enable_metrics(cfg.metrics_period),
+            }
         }
         let sys = CoherentSystem::new(
             net,

@@ -10,6 +10,7 @@
 //!   current state of the network as `noc_*` metrics with ring/bridge
 //!   labels, ready for a scrape endpoint or `promtool` ingestion.
 
+use crate::flowstats::FlowRecord;
 use crate::metrics::MetricsSnapshot;
 use std::fmt::Write as _;
 
@@ -19,6 +20,76 @@ macro_rules! line {
     ($out:expr, $($arg:tt)*) => {
         writeln!($out, $($arg)*).expect("writing to a String cannot fail")
     };
+}
+
+/// Escape a string for use inside a Prometheus label value, per the
+/// text exposition format (version 0.0.4): backslash, double quote and
+/// line feed must be written as `\\`, `\"` and `\n`. Everything the
+/// exporters interpolate into `{label="..."}` positions goes through
+/// this — ring and workload names come from user configs and may
+/// contain anything.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a merged flow top-K as Prometheus text exposition, one series
+/// per (src, dst) pair per metric. `name_of` maps node ids to label
+/// values (device names, typically); the result is escaped with
+/// [`escape_label_value`], so hostile names cannot break the format.
+pub fn prometheus_flows(flows: &[FlowRecord], name_of: impl Fn(u32) -> String) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    type FlowMetric = (&'static str, &'static str, fn(&FlowRecord) -> u64);
+    let metrics: [FlowMetric; 5] = [
+        (
+            "flow_delivered_total",
+            "Flits delivered on the flow.",
+            |f| f.delivered,
+        ),
+        (
+            "flow_latency_cycles_total",
+            "Cumulative end-to-end latency of delivered flits.",
+            |f| f.latency_sum,
+        ),
+        (
+            "flow_deflections_total",
+            "Deflections suffered by the flow.",
+            |f| f.deflections,
+        ),
+        (
+            "flow_etag_laps_total",
+            "Extra laps flown after an E-tag reservation.",
+            |f| f.etag_laps,
+        ),
+        (
+            "flow_itag_wait_cycles_total",
+            "Cycles spent starving at inject-queue heads.",
+            |f| f.itag_waits,
+        ),
+    ];
+    for (name, help, get) in metrics {
+        line!(w, "# HELP noc_{name} {help}");
+        line!(w, "# TYPE noc_{name} counter");
+        for f in flows {
+            line!(
+                w,
+                "noc_{name}{{src=\"{}\",dst=\"{}\"}} {}",
+                escape_label_value(&name_of(f.src)),
+                escape_label_value(&name_of(f.dst)),
+                get(f)
+            );
+        }
+    }
+    out
 }
 
 /// Render a snapshot series as JSON Lines: one snapshot object per
@@ -196,6 +267,7 @@ mod tests {
                         tx_pipe: 1,
                         ..BridgeGauges::default()
                     }],
+                    ..RingWindow::default()
                 }],
             );
         }
@@ -237,6 +309,43 @@ mod tests {
             "# TYPE noc_deflection_rate gauge",
         ] {
             assert!(text.contains(needed), "{needed} missing:\n{text}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+
+        // A hostile workload/ring name survives the flow exporter
+        // without breaking the line structure.
+        let flows = vec![FlowRecord {
+            src: 0,
+            dst: 1,
+            delivered: 7,
+            latency_sum: 21,
+            ..FlowRecord::default()
+        }];
+        let hostile = |id: u32| {
+            if id == 0 {
+                "evil\"ring\\one\nx".to_string()
+            } else {
+                "dst".to_string()
+            }
+        };
+        let text = prometheus_flows(&flows, hostile);
+        assert!(
+            text.contains(
+                "noc_flow_delivered_total{src=\"evil\\\"ring\\\\one\\nx\",dst=\"dst\"} 7"
+            ),
+            "{text}"
+        );
+        // No raw newline or quote leaked into a label: every
+        // non-comment line still splits into exactly two fields, and
+        // the line count is 5 metrics × (2 headers + 1 series).
+        assert_eq!(text.lines().count(), 15, "{text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "{line}");
         }
     }
 }

@@ -24,6 +24,7 @@
 //! deterministic as the snapshots themselves.
 
 use crate::metrics::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
@@ -67,7 +68,7 @@ impl Default for HealthConfig {
 }
 
 /// Which watchdog fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum HealthRule {
     /// Per-ring I-tag pressure above threshold.
     StarvationOnset,
@@ -91,7 +92,7 @@ impl fmt::Display for HealthRule {
 }
 
 /// How bad a verdict is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
     /// Degraded but progressing.
     Warning,
@@ -111,7 +112,7 @@ impl fmt::Display for Severity {
 /// One cycle-stamped watchdog finding: which rule fired where, the
 /// observed value against its threshold, and a human-readable
 /// explanation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Verdict {
     /// Cycle of the snapshot that triggered the rule.
     pub cycle: u64,
@@ -385,8 +386,7 @@ mod tests {
         RingWindow {
             ring: id,
             counters,
-            gauges: RingGauges::default(),
-            bridges: Vec::new(),
+            ..RingWindow::default()
         }
     }
 
@@ -475,6 +475,7 @@ mod tests {
                 drm_entries,
                 ..BridgeGauges::default()
             }],
+            ..RingWindow::default()
         };
         // First observation: the whole monotonic count is the delta.
         assert_eq!(m.observe(&snap(64, 64, 3, vec![side(1)])), 0);

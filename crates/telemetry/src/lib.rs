@@ -50,6 +50,19 @@
 //! SWAP storms, liveness stalls), and the exporters render it as JSONL
 //! ([`snapshots_jsonl`]) or Prometheus text ([`prometheus_text`]).
 //!
+//! # Flight recorder and postmortems
+//!
+//! The attribution layer turns verdicts into evidence. Each ring shard
+//! keeps a deterministic Space-Saving [`FlowTable`] of its heaviest
+//! (src, dst) flows — delivered flits, cumulative latency, deflections,
+//! extra E-tag laps, I-tag wait cycles — plus a per-link utilization
+//! row. A bounded [`FlightRecorder`] retains the last R snapshots and
+//! last T trace events, and when a watchdog latches (or on an explicit
+//! dump) the engine freezes everything into a [`PostmortemBundle`]:
+//! recent history, flow top-K, link heat, fired rules, and the config +
+//! seed + execution mode needed for deterministic replay, serialized as
+//! kind-tagged JSONL.
+//!
 //! # Example
 //!
 //! ```
@@ -70,17 +83,23 @@
 pub mod chrome;
 pub mod event;
 pub mod export;
+pub mod flowstats;
 pub mod health;
 pub mod metrics;
+pub mod postmortem;
+pub mod recorder;
 pub mod sink;
 pub mod views;
 
 pub use chrome::chrome_trace;
 pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
-pub use export::{prometheus_text, snapshots_jsonl};
+pub use export::{escape_label_value, prometheus_flows, prometheus_text, snapshots_jsonl};
+pub use flowstats::{flow_table_ascii, merge_ranked, FlowDelta, FlowEvent, FlowRecord, FlowTable};
 pub use health::{HealthConfig, HealthMonitor, HealthRule, Severity, Verdict};
 pub use metrics::{
     BridgeGauges, MetricsRegistry, MetricsSnapshot, RingGauges, RingWindow, WindowCounters,
 };
+pub use postmortem::{link_heat_ascii, BundleEnv, BundleMeta, PostmortemBundle};
+pub use recorder::{FlightRecorder, RecorderConfig};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceBuffer, TraceSink};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};

@@ -23,6 +23,7 @@
 //!   backlogs, the distribution of current injection-wait times, and
 //!   per-bridge-side pipeline occupancy / escape buffers / DRM state.
 
+use crate::flowstats::FlowRecord;
 use serde::{Deserialize, Serialize};
 
 /// Number of log2 buckets in [`RingGauges::starve_buckets`]: bucket `i`
@@ -210,6 +211,20 @@ pub struct RingWindow {
     /// Instantaneous state of the bridge sides on this ring, ascending
     /// `(bridge, side)` within the ring.
     pub bridges: Vec<BridgeGauges>,
+    /// Heaviest flows delivering or deflecting on this ring, ranked
+    /// (cumulative since flow accounting was enabled, not per-window —
+    /// a Space-Saving table has no meaningful window delta). Empty
+    /// unless the flight recorder's flow accounting is on.
+    #[serde(default)]
+    pub flows: Vec<FlowRecord>,
+    /// Flits observed sitting on each station's ring slot at sampling
+    /// boundaries (lanes summed, cumulative across windows), index =
+    /// station. An occupancy *sample*, not an exact traversal count —
+    /// the sum over windows approximates relative link load without
+    /// putting accounting work on every tick. Empty unless flow
+    /// accounting is on.
+    #[serde(default)]
+    pub links: Vec<u64>,
 }
 
 /// One deterministic sample of the whole network.
@@ -458,6 +473,7 @@ mod tests {
                     in_drm: false,
                     drm_entries: 0,
                 }],
+                ..RingWindow::default()
             }],
         );
         let text = serde_json::to_string(reg.last().expect("one")).expect("serializes");

@@ -1,0 +1,186 @@
+//! The flight recorder: bounded retention of the recent past.
+//!
+//! A [`FlightRecorder`] keeps two fixed-size rings — the last R
+//! committed [`MetricsSnapshot`]s and the last T flit-lifecycle
+//! [`TraceRecord`]s — so that when a health watchdog latches, the
+//! postmortem bundle can include what the network looked like in the
+//! windows *leading up to* the verdict, not just at the moment of it.
+//! Memory is bounded by construction; a recorder attached to a
+//! year-long run costs the same as one attached to a test.
+//!
+//! The event ring only fills when the network runs with a real
+//! [`TraceSink`](crate::TraceSink) (the engine tees the per-shard trace
+//! buffers into the recorder at the same deterministic ring-order drain
+//! that feeds the sink). Under `NullSink` the ring stays empty and the
+//! tee is compiled away with the rest of the telemetry path.
+
+use crate::event::TraceRecord;
+use crate::metrics::MetricsSnapshot;
+use std::collections::VecDeque;
+
+/// Sizing for the flight recorder and the flow-attribution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Snapshots retained (R): the visible history of a bundle.
+    pub snapshot_window: usize,
+    /// Trace events retained (T) when a tracing sink is attached.
+    pub event_window: usize,
+    /// Flows tracked per ring shard (Space-Saving capacity), and the
+    /// cut applied when tables are merged for a bundle.
+    pub flow_top_k: usize,
+    /// Sampling windows between in-flight charge sweeps (1 = every
+    /// window). Deliveries are always accounted exactly at the next
+    /// window; the sweep that attributes a *circulating* flit's
+    /// deflections and samples link occupancy only runs every
+    /// `charge_stride`-th window — plus, forced, right before any
+    /// watchdog bundle capture and at `finish_metrics`, so frozen
+    /// tables never lag.
+    pub charge_stride: usize,
+    /// Watchdog-triggered bundles kept per run. Explicit
+    /// `dump_postmortem` calls are not counted against this.
+    pub max_bundles: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            snapshot_window: 32,
+            event_window: 4096,
+            flow_top_k: 16,
+            charge_stride: 8,
+            max_bundles: 4,
+        }
+    }
+}
+
+/// Fixed-size recent-history rings for snapshots and trace events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    snapshots: VecDeque<MetricsSnapshot>,
+    events: VecDeque<TraceRecord>,
+    /// Totals pushed (not retained) — tells a bundle reader how much
+    /// history scrolled past the window.
+    snapshots_seen: u64,
+    events_seen: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given retention limits.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        FlightRecorder {
+            snapshots: VecDeque::with_capacity(cfg.snapshot_window.min(1024)),
+            events: VecDeque::with_capacity(cfg.event_window.min(4096)),
+            cfg,
+            snapshots_seen: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// The retention limits in effect.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    /// Retain a committed snapshot, evicting the oldest past R.
+    pub fn record_snapshot(&mut self, snap: MetricsSnapshot) {
+        self.snapshots_seen += 1;
+        if self.cfg.snapshot_window == 0 {
+            return;
+        }
+        if self.snapshots.len() == self.cfg.snapshot_window {
+            self.snapshots.pop_front();
+        }
+        self.snapshots.push_back(snap);
+    }
+
+    /// Retain a trace event, evicting the oldest past T.
+    pub fn record_event(&mut self, record: TraceRecord) {
+        self.events_seen += 1;
+        if self.cfg.event_window == 0 {
+            return;
+        }
+        if self.events.len() == self.cfg.event_window {
+            self.events.pop_front();
+        }
+        self.events.push_back(record);
+    }
+
+    /// Retained snapshots, oldest first.
+    pub fn snapshots(&self) -> impl Iterator<Item = &MetricsSnapshot> {
+        self.snapshots.iter()
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.events.iter()
+    }
+
+    /// Snapshots ever pushed (retained or scrolled off).
+    pub fn snapshots_seen(&self) -> u64 {
+        self.snapshots_seen
+    }
+
+    /// Events ever pushed (retained or scrolled off).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlitEvent, NO_LANE};
+
+    fn snap(seq: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq,
+            cycle: seq * 32,
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    fn event(cycle: u64) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            flit: 0,
+            ring: 0,
+            station: 0,
+            lane: NO_LANE,
+            event: FlitEvent::Injected { node: 0 },
+        }
+    }
+
+    #[test]
+    fn rings_retain_the_most_recent() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            snapshot_window: 3,
+            event_window: 2,
+            ..RecorderConfig::default()
+        });
+        for i in 0..10 {
+            r.record_snapshot(snap(i));
+            r.record_event(event(i));
+        }
+        let seqs: Vec<u64> = r.snapshots().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        let cycles: Vec<u64> = r.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![8, 9]);
+        assert_eq!(r.snapshots_seen(), 10);
+        assert_eq!(r.events_seen(), 10);
+    }
+
+    #[test]
+    fn zero_windows_retain_nothing_but_count() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            snapshot_window: 0,
+            event_window: 0,
+            ..RecorderConfig::default()
+        });
+        r.record_snapshot(snap(0));
+        r.record_event(event(0));
+        assert_eq!(r.snapshots().count(), 0);
+        assert_eq!(r.events().count(), 0);
+        assert_eq!(r.snapshots_seen(), 1);
+    }
+}

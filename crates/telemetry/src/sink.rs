@@ -79,6 +79,12 @@ impl TraceBuffer {
         }
     }
 
+    /// The buffered records in push order, without draining — lets the
+    /// flight recorder tee the buffer before it drains into the sink.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
     /// Number of buffered records.
     pub fn len(&self) -> usize {
         self.records.len()

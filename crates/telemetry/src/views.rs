@@ -188,6 +188,21 @@ impl Heatmap {
         &self.cells
     }
 
+    /// Cells scaled to `[0, 1]` by the hottest cell. An all-zero map
+    /// (idle network, empty trace window) normalizes to all zeros
+    /// instead of dividing by zero.
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        let max = self.max();
+        self.cells
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| if max == 0 { 0.0 } else { v as f64 / max as f64 })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Largest cell value (0 when empty).
     pub fn max(&self) -> u64 {
         self.cells
@@ -344,6 +359,30 @@ mod tests {
         assert_eq!(h.cells()[0].len(), 4);
         assert_eq!(h.cells()[1].len(), 8);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn idle_heatmap_normalizes_without_dividing_by_zero() {
+        // An idle network produces an all-zero map; normalization must
+        // stay finite and zero, not NaN.
+        let idle = Heatmap::with_shape(&[4, 8]);
+        let norm = idle.normalized();
+        assert_eq!(norm.len(), 2);
+        for row in &norm {
+            for &v in row {
+                assert!(v.is_finite());
+                assert_eq!(v, 0.0);
+            }
+        }
+        // A hot map scales to the max.
+        let mut hot = Heatmap::with_shape(&[4]);
+        hot.record(0, 1);
+        hot.record(0, 1);
+        hot.record(0, 3);
+        let n = hot.normalized();
+        assert_eq!(n[0][1], 1.0);
+        assert_eq!(n[0][3], 0.5);
+        assert_eq!(n[0][0], 0.0);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! a per-station deflection heatmap, per-ring utilization, and a Chrome
 //! `trace_event` file you can open in `chrome://tracing` or
 //! <https://ui.perfetto.dev> — plus the online observatory: a live
-//! health report from the watchdog rules and a Prometheus scrape
-//! sample rendered from the latest metrics snapshot.
+//! health report from the watchdog rules, a Prometheus scrape sample
+//! rendered from the latest metrics snapshot, the flight recorder's
+//! top-flow attribution table, and a self-contained postmortem bundle
+//! dumped to JSONL.
 //!
 //! ```text
 //! cargo run --example telemetry
@@ -13,6 +15,7 @@
 
 use noc_core::render::{ascii_heatmap, ascii_rings};
 use noc_core::telemetry::{chrome_trace, Heatmap, LatencyView, TraceRecord, UtilizationTimeline};
+use noc_core::telemetry::{flow_table_ascii, HealthConfig, RecorderConfig};
 use noc_core::telemetry::{prometheus_text, FlitEvent, RingBufferSink};
 use noc_core::{
     BridgeConfig, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode, TopologyBuilder,
@@ -46,9 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TickMode::Fast,
         RingBufferSink::new(1 << 16),
     );
-    // Observatory on: windowed metrics + health watchdogs every 64
-    // cycles, sampled online while the simulation runs.
-    net.enable_metrics(64);
+    // Flight recorder on: windowed metrics + health watchdogs every 64
+    // cycles, plus per-flow attribution, link occupancy sampling and
+    // bounded snapshot/event retention for postmortem bundles.
+    net.enable_flight_recorder(64, HealthConfig::default(), RecorderConfig::default());
 
     // Mixed workload: CPUs hammer DDR, stream tensors to the NPUs over
     // the bridge, and the NPUs fetch from HBM.
@@ -184,7 +188,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scrape.lines().count().saturating_sub(12)
     );
 
-    // View 5: Chrome trace_event export.
+    // View 5: who is actually using the network — the five heaviest
+    // (src, dst) flows from the recorder's Space-Saving tables, with
+    // node ids resolved to device names.
+    let names = |id: u32| {
+        net.topology()
+            .nodes()
+            .get(id as usize)
+            .map_or_else(|| format!("n{id}"), |n| n.name.clone())
+    };
+    println!();
+    print!("{}", flow_table_ascii(&net.flow_top(5), names));
+
+    // View 6: a postmortem bundle on demand. Watchdog latches capture
+    // these automatically (`net.bundles()`); an explicit dump freezes
+    // the same self-contained JSONL — history, verdicts, flow top-K,
+    // link heat, config — for offline reading.
+    let bundle = net
+        .dump_postmortem("telemetry example walkthrough")
+        .expect("recorder enabled");
+    let jsonl = bundle.to_jsonl();
+    let bundle_path = "target/telemetry_postmortem.jsonl";
+    std::fs::create_dir_all("target")?;
+    std::fs::write(bundle_path, &jsonl)?;
+    println!(
+        "\nwrote {} ({} lines) — rendered summary:",
+        bundle_path,
+        jsonl.lines().count()
+    );
+    for line in bundle.render().lines().take(10) {
+        println!("  {line}");
+    }
+
+    // View 7: Chrome trace_event export.
     let json = chrome_trace(&records);
     let path = "target/telemetry_trace.json";
     std::fs::create_dir_all("target")?;

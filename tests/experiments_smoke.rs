@@ -1,8 +1,17 @@
 //! Smoke-run the fast experiments end-to-end and assert every shape
 //! check passes (the slow figures are covered by their own module tests
-//! and the `repro` binary).
+//! and the `repro` binary), plus a postmortem smoke on both SoC models
+//! that leaves real bundles under `target/postmortem/` for CI to
+//! archive.
 
+use noc_ai::{AiConfig, AiEngine, AiProcessor, AiTraffic};
+use noc_chi::{LineAddr, ReadKind};
+use noc_core::telemetry::{PostmortemBundle, RecorderConfig};
+use noc_core::NocDiagnostics;
 use noc_experiments::{ExperimentResult, Scale};
+use noc_server_cpu::{ServerCpu, ServerCpuConfig};
+use noc_sim::SimRng;
+use std::path::PathBuf;
 
 fn assert_no_fail(r: &ExperimentResult) {
     let fails: Vec<_> = r.notes.iter().filter(|n| n.ends_with("FAIL")).collect();
@@ -46,4 +55,85 @@ fn results_serialize_to_json() {
     let r = noc_experiments::table09::run(Scale::Quick);
     let json = serde_json::to_string(&r).expect("serializable");
     assert!(json.contains("table09"));
+}
+
+/// Sanity-check one SoC's explicit postmortem dump and persist the
+/// bundle where CI picks it up as an artifact.
+fn check_and_archive(bundle: PostmortemBundle, file: &str) {
+    assert!(!bundle.flows.is_empty(), "{file}: no flows attributed");
+    assert!(
+        !bundle.snapshots.is_empty(),
+        "{file}: no snapshots retained"
+    );
+    let jsonl = bundle.to_jsonl();
+    let back = PostmortemBundle::from_jsonl(&jsonl).expect("bundle parses back");
+    assert_eq!(bundle, back, "{file}: JSONL round trip");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/postmortem");
+    std::fs::create_dir_all(&dir).expect("create target/postmortem");
+    std::fs::write(dir.join(file), jsonl).expect("write bundle");
+}
+
+#[test]
+fn server_cpu_postmortem_smoke() {
+    let mut s = ServerCpu::build(ServerCpuConfig {
+        clusters_per_ccd: 4,
+        hn_per_ccd: 2,
+        ddr_per_ccd: 2,
+        metrics_period: 32,
+        recorder: Some(RecorderConfig::default()),
+        ..Default::default()
+    })
+    .expect("builds");
+    let clusters = s.map.clusters.clone();
+    let mut rng = SimRng::seed_from(7);
+    for step in 0..200 {
+        let rn = clusters[rng.gen_index(clusters.len())];
+        let addr = LineAddr(rng.gen_range(0..32));
+        if step % 3 == 0 {
+            s.sys.write(rn, addr);
+        } else {
+            s.sys.read(rn, addr, ReadKind::Shared);
+        }
+        for _ in 0..4 {
+            s.sys.tick();
+        }
+    }
+    let report = s.flow_report(5);
+    assert!(
+        !report.contains("(no flows observed)"),
+        "server CPU saw traffic but attributed no flows:\n{report}"
+    );
+    let bundle = s
+        .sys
+        .network()
+        .dump_postmortem("server-cpu smoke")
+        .expect("recorder enabled");
+    check_and_archive(bundle, "server_cpu_smoke.jsonl");
+}
+
+#[test]
+fn ai_processor_postmortem_smoke() {
+    let proc = AiProcessor::build(AiConfig {
+        v_rings: 4,
+        cores_per_vring: 4,
+        h_rings: 3,
+        l2_per_hring: 4,
+        hbm_count: 3,
+        dma_count: 3,
+        llc_count: 3,
+        metrics_period: 32,
+        recorder: Some(RecorderConfig::default()),
+        ..Default::default()
+    })
+    .expect("builds");
+    let mut e = AiEngine::new(proc, AiTraffic::from_ratio(1, 1));
+    e.run(200, 2_000).expect("runs");
+    let p = e.processor();
+    let report = p.flow_report(5);
+    assert!(
+        !report.contains("(no flows observed)"),
+        "AI processor saw traffic but attributed no flows:\n{report}"
+    );
+    let bundle = p.net.dump_postmortem("ai smoke").expect("recorder enabled");
+    check_and_archive(bundle, "ai_smoke.jsonl");
 }
