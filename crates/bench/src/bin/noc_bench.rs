@@ -50,8 +50,26 @@ fn main() -> ExitCode {
     let report = trajectory::run(quick);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
-        eprintln!("noc-bench: cannot write {out}: {e}");
+        eprintln!("noc-bench: FAIL — cannot write {out}: {e}");
         return ExitCode::FAILURE;
+    }
+    // Read the artifact back: a silently empty or truncated report is a
+    // trajectory job that *looks* green while the perf record rots.
+    match std::fs::read_to_string(&out) {
+        Ok(written) if written.trim().is_empty() => {
+            eprintln!("noc-bench: FAIL — {out} was written empty");
+            return ExitCode::FAILURE;
+        }
+        Ok(written) => {
+            if let Err(e) = serde_json::from_str::<serde::Value>(&written) {
+                eprintln!("noc-bench: FAIL — {out} is not valid JSON after write: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("noc-bench: FAIL — {out} unreadable after write: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     for w in &report.workloads {
         eprintln!(
@@ -69,6 +87,17 @@ fn main() -> ExitCode {
             e.exec,
             e.ticks_per_sec,
             if e.fingerprint_ok { "ok" } else { "DIVERGED" }
+        );
+    }
+    for t in &report.topo_scaling {
+        eprintln!(
+            "  {:>12}: {} chiplets / {} stations, {:.0} ticks/sec, {:.3} flits/cycle (fingerprint {})",
+            t.fabric,
+            t.chiplets,
+            t.stations,
+            t.ticks_per_sec,
+            t.throughput_flits_per_cycle,
+            if t.fingerprint_ok { "ok" } else { "DIVERGED" }
         );
     }
     eprintln!(
@@ -89,6 +118,10 @@ fn main() -> ExitCode {
 
     if report.exec_sweep.iter().any(|e| !e.fingerprint_ok) {
         eprintln!("noc-bench: FAIL — execution modes disagree on the simulation");
+        return ExitCode::FAILURE;
+    }
+    if report.topo_scaling.iter().any(|t| !t.fingerprint_ok) {
+        eprintln!("noc-bench: FAIL — generated-topology runs disagree across exec modes");
         return ExitCode::FAILURE;
     }
     if let Some(limit) = check_overhead {

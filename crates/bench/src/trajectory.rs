@@ -25,6 +25,7 @@
 //! document is deterministic.
 
 use noc_core::telemetry::{HealthConfig, NullSink, RecorderConfig};
+use noc_core::topogen::GridParams;
 use noc_core::{
     BridgeConfig, ExecMode, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode,
     Topology, TopologyBuilder,
@@ -126,6 +127,31 @@ pub struct RecorderOverheadPoint {
     pub repeats: u32,
 }
 
+/// One generated-topology scaling point: engine throughput on a K×K
+/// torus built by [`GridParams`], with a sequential-vs-parallel
+/// fingerprint cross-check.
+#[derive(Debug, Clone, Serialize)]
+pub struct TopoPoint {
+    /// Fabric label (`torus-2x2`, `torus-4x4`, `torus-8x8`).
+    pub fabric: String,
+    /// Chiplets in the fabric.
+    pub chiplets: usize,
+    /// Total cross stations.
+    pub stations: u64,
+    /// Engine throughput in simulated cycles per wall-clock second
+    /// (sequential fast tick).
+    pub ticks_per_sec: f64,
+    /// Flits delivered over the run.
+    pub delivered: u64,
+    /// Delivered flits per cycle.
+    pub throughput_flits_per_cycle: f64,
+    /// Deflections / (deflections + deliveries).
+    pub deflection_rate: f64,
+    /// Whether `Parallel(4)` reproduced the sequential fingerprint on
+    /// the same schedule.
+    pub fingerprint_ok: bool,
+}
+
 /// The whole `BENCH_PR5.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryReport {
@@ -137,6 +163,8 @@ pub struct TrajectoryReport {
     pub workloads: Vec<WorkloadPoint>,
     /// Ticks/second per execution mode.
     pub exec_sweep: Vec<ExecPoint>,
+    /// Generated-topology scaling sweep (2×2 → 8×8 torus).
+    pub topo_scaling: Vec<TopoPoint>,
     /// Observatory cost measurement.
     pub overhead: OverheadPoint,
     /// Flight-recorder cost measurement (relative to plain metrics).
@@ -303,6 +331,58 @@ fn timed_run(cycles: u64, exec: ExecMode, instrument: Instrument) -> (f64, Vec<u
     (net.now().raw() as f64 / secs, net.stats().fingerprint())
 }
 
+/// Measure one generated-topology scaling point: a K×K torus from
+/// [`GridParams`] driven with uniform traffic, timed sequentially, then
+/// re-run under `Parallel(4)` to cross-check the fingerprint.
+fn topo_point(k: u16, cycles: u64) -> TopoPoint {
+    let params = GridParams::torus(k, k)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(0x7261_6a65);
+    let spec = params.generate().expect("torus generates");
+    let run = |exec: ExecMode| -> (f64, u64, Network) {
+        let (topo, names) = spec.compile().expect("torus compiles");
+        let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+        named.sort();
+        let devices: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+        let mut net = Network::with_exec(
+            topo,
+            NetworkConfig::default(),
+            TickMode::Fast,
+            exec,
+            NullSink,
+        );
+        let start = Instant::now();
+        drive(&mut net, &devices, cycles, 0.1, &Pattern::Uniform);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let elapsed = net.now().raw();
+        (elapsed as f64 / secs, elapsed, net)
+    };
+    let (tps, elapsed, net) = run(ExecMode::Sequential);
+    let (_, _, par) = run(ExecMode::Parallel(4));
+    let stats = net.stats();
+    let delivered = stats.delivered.get();
+    let deflections = stats.deflections.get();
+    TopoPoint {
+        fabric: format!("torus-{k}x{k}"),
+        chiplets: (k as usize) * (k as usize),
+        stations: net.topology().total_stations(),
+        ticks_per_sec: tps,
+        delivered,
+        throughput_flits_per_cycle: if elapsed == 0 {
+            0.0
+        } else {
+            delivered as f64 / elapsed as f64
+        },
+        deflection_rate: if deflections + delivered == 0 {
+            0.0
+        } else {
+            deflections as f64 / (deflections + delivered) as f64
+        },
+        fingerprint_ok: net.fingerprint() == par.fingerprint(),
+    }
+}
+
 /// Best-of-N: the max ticks/second observed. Scheduling noise only ever
 /// slows a run down, so the fastest repeat is the least contaminated —
 /// comparing best against best is far more stable than medians on the
@@ -385,11 +465,22 @@ pub fn run(quick: bool) -> TrajectoryReport {
         repeats,
     };
 
+    // Generated-topology scaling: the same engine, on fabrics the
+    // topogen layer emits, from a toy 2×2 torus up to the 64-chiplet,
+    // 1024-station acceptance fabric. The injection cycle count shrinks
+    // with fabric size so each point does comparable total work.
+    let topo_cycles: u64 = if quick { 400 } else { 2_000 };
+    let topo_scaling = [2u16, 4, 8]
+        .into_iter()
+        .map(|k| topo_point(k, topo_cycles))
+        .collect();
+
     TrajectoryReport {
         bench: "noc-bench trajectory".to_string(),
         quick,
         workloads,
         exec_sweep,
+        topo_scaling,
         overhead,
         recorder_overhead,
     }
@@ -428,6 +519,19 @@ mod tests {
         for e in &report.exec_sweep {
             assert!(e.fingerprint_ok, "{}: fingerprint diverged", e.exec);
             assert!(e.ticks_per_sec > 0.0);
+        }
+        assert_eq!(report.topo_scaling.len(), 3);
+        let expected = [(4usize, 64u64), (16, 256), (64, 1024)];
+        for (t, (chiplets, stations)) in report.topo_scaling.iter().zip(expected) {
+            assert_eq!(t.chiplets, chiplets, "{}: chiplet census", t.fabric);
+            assert_eq!(t.stations, stations, "{}: station census", t.fabric);
+            assert!(t.delivered > 0, "{}: no traffic", t.fabric);
+            assert!(t.ticks_per_sec > 0.0, "{}: no throughput", t.fabric);
+            assert!(
+                t.fingerprint_ok,
+                "{}: parallel fingerprint diverged",
+                t.fabric
+            );
         }
         assert!(report.overhead.plain_ticks_per_sec > 0.0);
         assert!(report.recorder_overhead.metrics_ticks_per_sec > 0.0);

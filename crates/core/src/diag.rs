@@ -88,6 +88,22 @@ pub trait NocDiagnostics<S: TraceSink = NullSink> {
         ascii_heatmap(net.topology(), "link flits", &net.link_cells())
     }
 
+    /// One-line fabric census — chiplets / rings / stations / devices /
+    /// bridges. Scales to generated fabrics (64 chiplets and up) where
+    /// the per-ring [`summary`](crate::render::summary) view is pages
+    /// long.
+    fn fabric_card(&self) -> String {
+        let topo = self.noc().topology();
+        format!(
+            "fabric: {} chiplets, {} rings, {} stations, {} devices, {} bridges",
+            topo.chiplets().len(),
+            topo.rings().len(),
+            topo.total_stations(),
+            topo.devices().count(),
+            topo.bridges().len()
+        )
+    }
+
     /// Render the current state as a full postmortem (verdicts + flow
     /// attribution + link heat) without waiting for a watchdog, or a
     /// one-line notice when the observatory is off.

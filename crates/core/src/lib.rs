@@ -60,6 +60,7 @@ pub mod route;
 mod shard;
 pub mod spec;
 pub mod stats;
+pub mod topogen;
 pub mod topology;
 
 /// Flit-lifecycle tracing (re-exported [`noc_telemetry`]): sinks for
@@ -78,4 +79,5 @@ pub use network::{Network, TickMode};
 pub use route::RouteTable;
 pub use spec::{SocSpec, SpecError};
 pub use stats::{NetStats, TickProfile};
+pub use topogen::{GridParams, HierRingParams, LinkClass, TopoGenError};
 pub use topology::{NodeKind, Topology, TopologyBuilder};

@@ -530,6 +530,12 @@ impl<S: TraceSink> Network<S> {
         total
     }
 
+    /// The merged [`NetStats::fingerprint`] — the canonical value for
+    /// differential (tick-mode / exec-mode) identity checks.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        self.stats().fingerprint()
+    }
+
     /// Engine instrumentation: how much station-visiting work the tick
     /// loop has done (independent of what the network simulated),
     /// merged across shards.

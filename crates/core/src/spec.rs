@@ -43,7 +43,7 @@ use crate::config::{BridgeConfig, BridgeLevel, NetworkConfig};
 use crate::error::TopologyError;
 use crate::ids::{NodeId, RingKind};
 use crate::network::Network;
-use crate::topology::TopologyBuilder;
+use crate::topology::{Topology, TopologyBuilder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
@@ -192,14 +192,46 @@ impl SocSpec {
         serde_json::to_string_pretty(self)
     }
 
-    /// Compile the spec into a live [`Network`] plus a device-name →
-    /// [`NodeId`] map.
+    /// Total cross stations across every ring of the spec (before
+    /// compilation — the sum of the declared `stations` fields).
+    pub fn total_stations(&self) -> u64 {
+        self.chiplets
+            .iter()
+            .flat_map(|c| c.rings.iter())
+            .map(|r| r.stations as u64)
+            .sum()
+    }
+
+    /// Total devices declared across every ring of the spec.
+    pub fn total_devices(&self) -> usize {
+        self.chiplets
+            .iter()
+            .flat_map(|c| c.rings.iter())
+            .map(|r| r.devices.len())
+            .sum()
+    }
+
+    /// Compile and validate the topology only — every check
+    /// [`SocSpec::build`] performs (dangling bridge references,
+    /// duplicate device names, port occupancy, reachability) without
+    /// instantiating the runtime network. This is what generators call
+    /// to certify a spec before handing it out.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SocSpec::build`].
+    pub fn validate(&self) -> Result<Topology, SpecError> {
+        self.compile().map(|(topo, _)| topo)
+    }
+
+    /// Compile the spec into a validated [`Topology`] plus a
+    /// device-name → [`NodeId`] map.
     ///
     /// # Errors
     ///
     /// Fails on dangling bridge references, duplicate device names, or
     /// any topology-level violation (occupied ports, unreachable rings).
-    pub fn build(&self) -> Result<(Network, HashMap<String, NodeId>), SpecError> {
+    pub fn compile(&self) -> Result<(Topology, HashMap<String, NodeId>), SpecError> {
         let mut b = TopologyBuilder::new();
         let mut names = HashMap::new();
         // chiplet name -> ring handles
@@ -244,6 +276,18 @@ impl SocSpec {
             b.add_bridge(cfg, ra, bridge.a.station, rb, bridge.b.station)?;
         }
         let topo = b.build()?;
+        Ok((topo, names))
+    }
+
+    /// Compile the spec into a live [`Network`] plus a device-name →
+    /// [`NodeId`] map.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling bridge references, duplicate device names, or
+    /// any topology-level violation (occupied ports, unreachable rings).
+    pub fn build(&self) -> Result<(Network, HashMap<String, NodeId>), SpecError> {
+        let (topo, names) = self.compile()?;
         Ok((Network::new(topo, self.network.clone()), names))
     }
 }

@@ -105,6 +105,20 @@ impl Topology {
             .filter(|n| matches!(n.kind, NodeKind::Device))
     }
 
+    /// Total cross stations across all rings.
+    pub fn total_stations(&self) -> u64 {
+        self.rings.iter().map(|r| r.stations as u64).sum()
+    }
+
+    /// Number of bridge endpoints attached to `ring` — the ring's
+    /// degree in the inter-ring graph (parallel bridges counted).
+    pub fn ring_degree(&self, ring: RingId) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.ring == ring && matches!(n.kind, NodeKind::BridgeEndpoint { .. }))
+            .count()
+    }
+
     /// Look up a device node by name.
     pub fn device_by_name(&self, name: &str) -> Option<NodeId> {
         self.nodes

@@ -8,7 +8,8 @@
 //! networks that differ only in tick mode through the same enqueue and
 //! drain schedule, comparing every popped flit and the final stats.
 
-use noc_core::telemetry::RingBufferSink;
+use noc_core::telemetry::{NullSink, RingBufferSink};
+use noc_core::topogen::GridParams;
 use noc_core::{
     BridgeConfig, ExecMode, FlitClass, Network, NetworkConfig, NodeId, RingKind, TickMode,
     Topology, TopologyBuilder,
@@ -399,6 +400,141 @@ fn parallel_engine_is_bit_identical_at_every_thread_count() {
         let (fp, trace) = run(ExecMode::Parallel(n));
         assert_eq!(fp, base_fp, "{n}-thread fingerprint diverged");
         assert!(trace == base_trace, "{n}-thread telemetry diverged");
+    }
+}
+
+/// Generated-topology differential fuzz: one seed samples grid/torus
+/// generator parameters, builds the fabric through [`GridParams`], and
+/// drives the full {Reference, Fast} × {Sequential, Parallel(2),
+/// Parallel(4)} engine matrix through one schedule. All six
+/// fingerprints must be byte-identical.
+fn run_generated_seed(seed: u64) {
+    let mut rng = Rng(seed.wrapping_mul(0x9e6c_63d0_876a_68ee) ^ 0x53a9_1d6c_40f1_72b3);
+    let rows = 1 + rng.below(4) as u16;
+    let cols = 1 + rng.below(4) as u16;
+    let stations = 6 + rng.below(6) as u16;
+    let devices_per_chiplet = 1 + rng.below(3) as u16;
+    let base = if rng.below(2) == 1 {
+        GridParams::torus(rows, cols)
+    } else {
+        GridParams::grid(rows, cols)
+    };
+    let params = base
+        .with_stations(stations)
+        .with_devices(devices_per_chiplet)
+        .with_kind(if rng.below(2) == 1 {
+            RingKind::Half
+        } else {
+            RingKind::Full
+        })
+        .with_seed(seed);
+    let spec = params.generate().expect("sampled params are valid");
+    let (topo, names) = spec.compile().expect("generated spec compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devices: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    if devices.len() < 2 {
+        return; // single-device 1×1 sample: nothing to send
+    }
+    let cfg = NetworkConfig {
+        inject_queue_cap: 2 + rng.below(7) as usize,
+        eject_queue_cap: 1 + rng.below(4) as usize,
+        itag_threshold: 4 + rng.below(12) as u32,
+        ..NetworkConfig::default()
+    };
+    let mut nets: Vec<Network> = [TickMode::Reference, TickMode::Fast]
+        .into_iter()
+        .flat_map(|mode| {
+            [
+                ExecMode::Sequential,
+                ExecMode::Parallel(2),
+                ExecMode::Parallel(4),
+            ]
+            .into_iter()
+            .map(move |exec| (mode, exec))
+        })
+        .map(|(mode, exec)| Network::with_exec(topo.clone(), cfg.clone(), mode, exec, NullSink))
+        .collect();
+
+    let cycles = 120 + rng.below(80);
+    let send_die = 1 + rng.below(3);
+    let mut token = 0u64;
+    for cycle in 0..cycles + 20_000 {
+        if cycle < cycles {
+            for si in 0..devices.len() {
+                if rng.below(1 + send_die) != 0 {
+                    continue;
+                }
+                let di = (si + 1 + rng.below(devices.len() as u64 - 1) as usize) % devices.len();
+                token += 1;
+                let first = nets[0]
+                    .enqueue(devices[si], devices[di], FlitClass::Data, 64, token)
+                    .is_ok();
+                for n in nets.iter_mut().skip(1) {
+                    let ok = n
+                        .enqueue(devices[si], devices[di], FlitClass::Data, 64, token)
+                        .is_ok();
+                    assert_eq!(ok, first, "seed {seed} cycle {cycle}: enqueue diverged");
+                }
+            }
+        }
+        for n in nets.iter_mut() {
+            n.tick();
+        }
+        for &d in &devices {
+            loop {
+                let mut pops = nets.iter_mut().map(|n| n.pop_delivered(d));
+                let first = pops.next().unwrap();
+                let rest: Vec<_> = pops.collect();
+                match first {
+                    None => {
+                        assert!(
+                            rest.iter().all(|p| p.is_none()),
+                            "seed {seed} cycle {cycle}: delivery presence diverged at {d:?}"
+                        );
+                        break;
+                    }
+                    Some(f0) => {
+                        for f in &rest {
+                            let f = f.as_ref().unwrap_or_else(|| {
+                                panic!("seed {seed} cycle {cycle}: missed delivery at {d:?}")
+                            });
+                            assert_eq!(
+                                digest(&f0),
+                                digest(f),
+                                "seed {seed} cycle {cycle}: delivery stream diverged at {d:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if cycle >= cycles && nets.iter().all(|n| n.in_flight() == 0) {
+            break;
+        }
+    }
+    assert!(
+        nets.iter().all(|n| n.in_flight() == 0),
+        "seed {seed}: generated fabric failed to drain"
+    );
+    let base_fp = nets[0].fingerprint();
+    for (i, n) in nets.iter().enumerate().skip(1) {
+        assert_eq!(
+            n.fingerprint(),
+            base_fp,
+            "seed {seed}: fingerprint diverged for engine {i} on {rows}x{cols} fabric"
+        );
+    }
+    assert!(
+        nets[0].stats().delivered.get() > 0,
+        "seed {seed}: nothing was delivered"
+    );
+}
+
+#[test]
+fn generated_fabrics_fingerprint_identical_across_engine_matrix_24_seeds() {
+    for seed in 0..24 {
+        run_generated_seed(seed);
     }
 }
 

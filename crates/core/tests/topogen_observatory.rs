@@ -1,0 +1,194 @@
+//! Observatory and flight-recorder determinism on *generated* fabrics:
+//! a 64-chiplet torus built by [`GridParams`] must produce
+//! byte-identical snapshot streams, flow tables, link matrices and
+//! postmortem bundles across every execution mode — the same guarantee
+//! `flow_postmortem.rs` pins on hand-rolled random topologies, now on
+//! the generative frontier where ring counts reach the tick engine's
+//! sharding limits.
+//!
+//! As there, the bundle's `"kind":"env"` JSONL line is the one
+//! sanctioned difference; `comparable_jsonl()` excludes it.
+
+use noc_core::telemetry::{snapshots_jsonl, HealthConfig, PostmortemBundle, RecorderConfig};
+use noc_core::topogen::GridParams;
+use noc_core::{
+    ExecMode, FlitClass, Network, NetworkConfig, NocDiagnostics, NodeId, TickMode, Topology,
+};
+use noc_sim::fuzz::TrafficPattern;
+use noc_sim::SimRng;
+
+const SAMPLE_PERIOD: u64 = 32;
+
+/// Build the acceptance-scale fabric: an 8×8 torus, 64 chiplets,
+/// 16 stations per ring (1024 total), 2 devices per die.
+fn torus_64(seed: u64) -> (Topology, Vec<NodeId>) {
+    let spec = GridParams::torus(8, 8)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(seed)
+        .generate()
+        .expect("8x8 torus generates");
+    assert_eq!(spec.total_stations(), 1024);
+    let (topo, names) = spec.compile().expect("generated spec compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    (topo, named.into_iter().map(|(_, id)| id).collect())
+}
+
+/// Drive one flight-recorded network over the generated torus to full
+/// drain with a seeded uniform schedule, finishing the metrics series.
+fn run_recorded(
+    topo: Topology,
+    mode: TickMode,
+    exec: ExecMode,
+    devices: &[NodeId],
+    traffic_seed: u64,
+) -> Network {
+    let mut net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        mode,
+        exec,
+        noc_core::telemetry::NullSink,
+    );
+    net.enable_flight_recorder(
+        SAMPLE_PERIOD,
+        HealthConfig::default(),
+        RecorderConfig {
+            snapshot_window: 8,
+            flow_top_k: 8,
+            ..RecorderConfig::default()
+        },
+    );
+    let mut rng = SimRng::seed_from(traffic_seed);
+    let cycles = 220u64;
+    let mut token = 0u64;
+    for cycle in 0..cycles + 10_000 {
+        if cycle < cycles {
+            for si in 0..devices.len() {
+                if !rng.gen_bool(0.12) {
+                    continue;
+                }
+                let di = TrafficPattern::Uniform.pick_dest(&mut rng, devices.len(), si);
+                token += 1;
+                let _ = net.enqueue(devices[si], devices[di], FlitClass::Data, 64, token);
+            }
+        }
+        net.tick();
+        if cycle % 2 == 0 || cycle >= cycles {
+            for &d in devices {
+                while net.pop_delivered(d).is_some() {}
+            }
+        }
+        if cycle >= cycles && net.in_flight() == 0 {
+            break;
+        }
+    }
+    net.finish_metrics();
+    net
+}
+
+/// Snapshot stream, flow top-K, link heat matrix and postmortem bundle
+/// must be byte-identical across Sequential/Parallel(2/4/8) × Fast and
+/// the Reference sweep, on the generated 64-chiplet torus.
+#[test]
+fn observatory_byte_identical_across_modes_on_generated_torus() {
+    for seed in [0x0Bu64, 0x5EED] {
+        let (topo, devices) = torus_64(seed);
+        assert_eq!(topo.chiplets().len(), 64);
+        let traffic_seed = seed ^ 0x0B5E_11AE;
+
+        let variants: [(TickMode, ExecMode); 5] = [
+            (TickMode::Fast, ExecMode::Sequential),
+            (TickMode::Fast, ExecMode::Parallel(2)),
+            (TickMode::Fast, ExecMode::Parallel(4)),
+            (TickMode::Fast, ExecMode::Parallel(8)),
+            (TickMode::Reference, ExecMode::Sequential),
+        ];
+        type Baseline = (String, String, String, Vec<Vec<u64>>, Vec<u64>);
+        let mut baseline: Option<Baseline> = None;
+        for (mode, exec) in variants {
+            let ctx = format!("seed {seed:#x} {mode:?} {exec:?}");
+            let net = run_recorded(topo.clone(), mode, exec, &devices, traffic_seed);
+            assert!(
+                net.stats().delivered.get() > 0,
+                "{ctx}: nothing was delivered"
+            );
+            assert_eq!(net.in_flight(), 0, "{ctx}: torus failed to drain");
+
+            let snapshots = snapshots_jsonl(net.metrics().expect("enabled").snapshots());
+            assert!(!snapshots.is_empty(), "{ctx}: no snapshots sampled");
+            let flows = net.flow_top(8);
+            assert!(!flows.is_empty(), "{ctx}: flow accounting recorded nothing");
+            let flows_json = serde_json::to_string(&flows).expect("flows serialize");
+            let bundle = net
+                .dump_postmortem("generated-torus determinism probe")
+                .expect("observatory enabled");
+            let back = PostmortemBundle::from_jsonl(&bundle.to_jsonl()).expect("bundle parses");
+            assert_eq!(bundle, back, "{ctx}: bundle JSONL round trip");
+            assert!(
+                bundle.to_jsonl().contains(&format!("{exec:?}")),
+                "{ctx}: env line must record the exec mode"
+            );
+            let comparable = bundle.comparable_jsonl();
+            let links = net.link_cells();
+            assert!(
+                links.iter().flatten().any(|&v| v > 0),
+                "{ctx}: link matrix recorded no traversals"
+            );
+            let fp = net.fingerprint();
+
+            match &baseline {
+                None => baseline = Some((snapshots, flows_json, comparable, links, fp)),
+                Some((base_snaps, base_flows, base_bundle, base_links, base_fp)) => {
+                    assert_eq!(
+                        base_snaps, &snapshots,
+                        "{ctx}: snapshot stream diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_flows, &flows_json,
+                        "{ctx}: flow top-K diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_bundle, &comparable,
+                        "{ctx}: postmortem bundle diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_links, &links,
+                        "{ctx}: link heat matrix diverged from sequential fast"
+                    );
+                    assert_eq!(
+                        base_fp, &fp,
+                        "{ctx}: stats fingerprint diverged from sequential fast"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The recorder's flow table on a generated torus attributes real
+/// cross-fabric work: flows exist, they crossed bridges, and the
+/// fabric census reflects the generated scale.
+#[test]
+fn generated_torus_flow_attribution_sees_bridge_crossings() {
+    let (topo, devices) = torus_64(7);
+    let net = run_recorded(topo, TickMode::Fast, ExecMode::Sequential, &devices, 0xF10);
+    assert!(
+        net.stats().bridge_crossings.get() > 0,
+        "uniform traffic must cross dies"
+    );
+    let flows = net.flow_top(8);
+    assert!(!flows.is_empty());
+    struct Probe<'a>(&'a Network);
+    impl noc_core::NocDiagnostics for Probe<'_> {
+        fn noc(&self) -> &Network {
+            self.0
+        }
+    }
+    let card = Probe(&net).fabric_card();
+    assert!(
+        card.contains("64 chiplets") && card.contains("1024 stations"),
+        "fabric card must reflect the generated scale: {card}"
+    );
+}

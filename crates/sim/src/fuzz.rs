@@ -1,0 +1,221 @@
+//! Plumbing for seeded fuzz harnesses over generated fabrics.
+//!
+//! The generative property suites (grid/torus/hierarchy fuzz in
+//! `noc-core` and the CI `topo-fuzz` job) share three needs that live
+//! below the network layer:
+//!
+//! * a **seed matrix** configurable from the environment, so CI can
+//!   pin a reproducible sweep while developers widen it locally;
+//! * **traffic patterns** (uniform / hotspot destination choice) that
+//!   are pure functions of a [`SimRng`] stream;
+//! * an **artifact drop** for failing cases — a failing generated spec
+//!   is saved as JSON so the exact fabric can be rebuilt from the file
+//!   the CI job uploads.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_sim::fuzz::{SeedMatrix, TrafficPattern};
+//! use noc_sim::SimRng;
+//!
+//! let matrix = SeedMatrix::new(0xC0FFEE, 4);
+//! let mut rng = SimRng::seed_from(matrix.seeds().next().unwrap());
+//! let dst = TrafficPattern::Uniform.pick_dest(&mut rng, 16, 3);
+//! assert!(dst < 16 && dst != 3);
+//! ```
+
+use crate::rng::SimRng;
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the base seed of a fuzz sweep.
+pub const SEED_BASE_ENV: &str = "NOC_TOPO_FUZZ_SEED_BASE";
+/// Environment variable overriding the number of seeds in a sweep.
+pub const SEED_COUNT_ENV: &str = "NOC_TOPO_FUZZ_SEEDS";
+/// Environment variable overriding where failing specs are dropped.
+pub const ARTIFACT_DIR_ENV: &str = "NOC_TOPO_FUZZ_ARTIFACT_DIR";
+
+/// A deterministic sweep of fuzz seeds: `base, base+1, …`.
+///
+/// CI pins `{base, count}` through [`SeedMatrix::from_env`] so every
+/// run replays the same matrix; a failure message quoting the seed is
+/// enough to reproduce locally with
+/// `NOC_TOPO_FUZZ_SEED_BASE=<seed> NOC_TOPO_FUZZ_SEEDS=1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedMatrix {
+    /// First seed of the sweep.
+    pub base: u64,
+    /// Number of consecutive seeds.
+    pub count: u32,
+}
+
+impl SeedMatrix {
+    /// A fixed matrix.
+    pub fn new(base: u64, count: u32) -> Self {
+        SeedMatrix { base, count }
+    }
+
+    /// Read the matrix from [`SEED_BASE_ENV`]/[`SEED_COUNT_ENV`],
+    /// falling back to the given defaults for unset or unparsable
+    /// values (a fuzz sweep must never panic on a bad environment).
+    pub fn from_env(default_base: u64, default_count: u32) -> Self {
+        fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        SeedMatrix {
+            base: parse(SEED_BASE_ENV).unwrap_or(default_base),
+            count: parse(SEED_COUNT_ENV).unwrap_or(default_count),
+        }
+    }
+
+    /// The seeds of the sweep, in order.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count as u64).map(move |i| self.base.wrapping_add(i))
+    }
+}
+
+/// Destination choice for seeded fuzz traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform random destination among all other devices.
+    Uniform,
+    /// With probability `bias`, send to device `target`; otherwise
+    /// uniform — concentrates ejection pressure on one station.
+    Hotspot {
+        /// Index of the hot device.
+        target: usize,
+        /// Probability of picking the hot device.
+        bias: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Pick a destination index in `[0, devices)` different from
+    /// `src`. Requires at least two devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices < 2` (there is no legal destination).
+    pub fn pick_dest(&self, rng: &mut SimRng, devices: usize, src: usize) -> usize {
+        assert!(devices >= 2, "need two devices for traffic");
+        if let TrafficPattern::Hotspot { target, bias } = *self {
+            if target < devices && target != src && rng.gen_bool(bias) {
+                return target;
+            }
+        }
+        // Uniform over the other devices: draw from [0, n-1) and skip src.
+        let pick = rng.gen_index(devices - 1);
+        if pick >= src {
+            pick + 1
+        } else {
+            pick
+        }
+    }
+}
+
+/// Directory failing fuzz artifacts are written to:
+/// [`ARTIFACT_DIR_ENV`] if set, else `target/topo-fuzz` relative to
+/// the current working directory.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var(ARTIFACT_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new("target").join("topo-fuzz"))
+}
+
+/// Save a failing case's JSON (typically a generated `SocSpec`) as
+/// `<artifact_dir>/<tag>.json` and return the path. Creates the
+/// directory on demand.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn save_failing_artifact(tag: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{tag}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_matrix_enumerates_in_order() {
+        let m = SeedMatrix::new(100, 3);
+        assert_eq!(m.seeds().collect::<Vec<_>>(), vec![100, 101, 102]);
+        assert_eq!(SeedMatrix::new(5, 0).seeds().count(), 0);
+    }
+
+    #[test]
+    fn from_env_defaults_without_vars() {
+        // The vars are not set in the test environment unless a fuzz
+        // sweep exported them; defaults must hold then.
+        if std::env::var(SEED_BASE_ENV).is_err() && std::env::var(SEED_COUNT_ENV).is_err() {
+            let m = SeedMatrix::from_env(7, 21);
+            assert_eq!(m, SeedMatrix::new(7, 21));
+        }
+    }
+
+    #[test]
+    fn uniform_never_hits_source() {
+        let mut rng = SimRng::seed_from(1);
+        for src in 0..8 {
+            for _ in 0..200 {
+                let d = TrafficPattern::Uniform.pick_dest(&mut rng, 8, src);
+                assert!(d < 8 && d != src);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut rng = SimRng::seed_from(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[TrafficPattern::Uniform.pick_dest(&mut rng, 6, 2)] = true;
+        }
+        let hit = seen.iter().filter(|&&s| s).count();
+        assert_eq!(hit, 5, "all but the source must be reachable");
+        assert!(!seen[2]);
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates() {
+        let mut rng = SimRng::seed_from(3);
+        let hot = TrafficPattern::Hotspot {
+            target: 0,
+            bias: 0.8,
+        };
+        let hits = (0..10_000)
+            .filter(|_| hot.pick_dest(&mut rng, 16, 5) == 0)
+            .count();
+        // 0.8 + 0.2/15 uniform share ≈ 0.81.
+        assert!(hits > 7_500, "hotspot share too low: {hits}");
+    }
+
+    #[test]
+    fn hotspot_from_its_own_source_stays_legal() {
+        let mut rng = SimRng::seed_from(4);
+        let hot = TrafficPattern::Hotspot {
+            target: 3,
+            bias: 1.0,
+        };
+        for _ in 0..200 {
+            let d = hot.pick_dest(&mut rng, 8, 3);
+            assert_ne!(d, 3);
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip() {
+        let dir = std::env::temp_dir().join("noc-fuzz-test-artifacts");
+        // Scope the env override to this test's write via the path API
+        // instead: write directly against a temp artifact dir.
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.json");
+        std::fs::write(&path, "{\"seed\":42}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"seed\":42}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

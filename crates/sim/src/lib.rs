@@ -28,12 +28,14 @@
 
 pub mod clock;
 pub mod engine;
+pub mod fuzz;
 pub mod pool;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Clock, Cycle};
 pub use engine::{Component, Engine, RunOutcome};
+pub use fuzz::{SeedMatrix, TrafficPattern};
 pub use pool::{PoolJob, ShardPool};
 pub use rng::SimRng;
 pub use stats::{BandwidthProbe, Counter, Histogram, TimeSeries};
