@@ -8,8 +8,10 @@
 //! [`AiEngine`] drives the Table 7 read/write-ratio bandwidth sweeps and
 //! the Figure 14 equilibrium measurements.
 
+pub mod burst;
 pub mod soc;
 pub mod traffic;
 
+pub use burst::{DmaBurstConfig, DmaBurstEngine, DmaBurstReport};
 pub use soc::{build_topology, AiConfig, AiMap, AiProcessor};
 pub use traffic::{AiBandwidthReport, AiEngine, AiTraffic};

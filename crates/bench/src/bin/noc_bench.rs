@@ -6,7 +6,7 @@
 //!
 //! `trajectory` runs the performance-trajectory benchmark
 //! ([`noc_experiments::trajectory`]) and writes the JSON report
-//! (default `BENCH_PR5.json`). With `--check-overhead PCT` the process
+//! (default `BENCH_PR7.json`). With `--check-overhead PCT` the process
 //! exits non-zero when either the observatory's measured tick-loop
 //! overhead or the flight recorder's overhead on top of it exceeds
 //! `PCT` percent — the CI regression gate.
@@ -25,7 +25,7 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut quick = false;
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR7.json".to_string();
     let mut check_overhead: Option<f64> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -100,6 +100,20 @@ fn main() -> ExitCode {
             if t.fingerprint_ok { "ok" } else { "DIVERGED" }
         );
     }
+    for t in &report.txn_workloads {
+        eprintln!(
+            "  {:>12}: {} txns in {} cycles on {}, p50 {} p99 {} cycles, {:.1} B/cycle, window peak {} (fingerprint {})",
+            t.workload,
+            t.transactions,
+            t.cycles,
+            t.fabric,
+            t.p50_latency,
+            t.p99_latency,
+            t.bytes_per_cycle,
+            t.window_peak,
+            if t.fingerprint_ok { "ok" } else { "DIVERGED" }
+        );
+    }
     eprintln!(
         "  observatory overhead: {:.2}% ({:.0} → {:.0} ticks/sec, paired min of {})",
         report.overhead.overhead_pct,
@@ -122,6 +136,14 @@ fn main() -> ExitCode {
     }
     if report.topo_scaling.iter().any(|t| !t.fingerprint_ok) {
         eprintln!("noc-bench: FAIL — generated-topology runs disagree across exec modes");
+        return ExitCode::FAILURE;
+    }
+    if report.txn_workloads.iter().any(|t| !t.fingerprint_ok) {
+        eprintln!("noc-bench: FAIL — transaction runs disagree across exec modes");
+        return ExitCode::FAILURE;
+    }
+    if report.txn_workloads.iter().any(|t| t.transactions == 0) {
+        eprintln!("noc-bench: FAIL — a transaction point completed nothing");
         return ExitCode::FAILURE;
     }
     if let Some(limit) = check_overhead {

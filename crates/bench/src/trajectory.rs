@@ -1,6 +1,6 @@
 //! `noc-bench trajectory`: the machine-readable performance trajectory.
 //!
-//! One run produces `BENCH_PR5.json` — a single JSON document a CI job
+//! One run produces `BENCH_PR7.json` — a single JSON document a CI job
 //! (or the next PR) can diff without parsing human tables:
 //!
 //! * **Workload points** — throughput, p50/p99 end-to-end latency and
@@ -20,6 +20,11 @@
 //!   accounting, link counting, bounded snapshot/event retention). The
 //!   flow hooks ride the hot station logic, so this point carries its
 //!   own regression gate.
+//! * **Transaction workloads** — the `noc-txn` layer on the 4×4 torus:
+//!   a 4 KiB DMA-burst point and a rectangle-broadcast point, with
+//!   per-transaction p50/p99 latency, payload throughput, the peak
+//!   in-flight-window gauge from the transaction observatory, and a
+//!   `Sequential` vs `Parallel(4)` fingerprint cross-check.
 //!
 //! Timings are wall-clock and machine-dependent; everything else in the
 //! document is deterministic.
@@ -31,6 +36,7 @@ use noc_core::{
     Topology, TopologyBuilder,
 };
 use noc_sim::Histogram;
+use noc_txn::{TxnConfig, TxnFabric, TxnOp};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -152,7 +158,36 @@ pub struct TopoPoint {
     pub fingerprint_ok: bool,
 }
 
-/// The whole `BENCH_PR5.json` document.
+/// One transaction-layer measured point: a `noc-txn` workload driven
+/// to quiescence on a generated 4×4 torus, with the transaction
+/// observatory sampling and a sequential-vs-parallel fingerprint
+/// cross-check.
+#[derive(Debug, Clone, Serialize)]
+pub struct TxnPoint {
+    /// Workload name (`dma_burst` / `broadcast`).
+    pub workload: String,
+    /// Fabric label (`torus-4x4`).
+    pub fabric: String,
+    /// Transactions completed (each broadcast counts once).
+    pub transactions: u64,
+    /// Cycles to quiescence.
+    pub cycles: u64,
+    /// Median per-transaction latency (submit → completion), cycles.
+    pub p50_latency: u64,
+    /// Tail per-transaction latency, cycles.
+    pub p99_latency: u64,
+    /// Payload bytes pushed into the network per cycle.
+    pub bytes_per_cycle: f64,
+    /// Peak summed request-window occupancy seen by the observatory.
+    pub window_peak: u64,
+    /// Transaction-observatory snapshots committed.
+    pub snapshots: u64,
+    /// Whether `Parallel(4)` reproduced the sequential transaction
+    /// fingerprint (network digest + counters + latency sums).
+    pub fingerprint_ok: bool,
+}
+
+/// The whole `BENCH_PR7.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryReport {
     /// Report schema tag.
@@ -165,6 +200,9 @@ pub struct TrajectoryReport {
     pub exec_sweep: Vec<ExecPoint>,
     /// Generated-topology scaling sweep (2×2 → 8×8 torus).
     pub topo_scaling: Vec<TopoPoint>,
+    /// Transaction-layer points (DMA burst + broadcast on the 4×4
+    /// torus).
+    pub txn_workloads: Vec<TxnPoint>,
     /// Observatory cost measurement.
     pub overhead: OverheadPoint,
     /// Flight-recorder cost measurement (relative to plain metrics).
@@ -383,6 +421,141 @@ fn topo_point(k: u16, cycles: u64) -> TopoPoint {
     }
 }
 
+/// Which transaction workload a [`TxnPoint`] measures.
+enum TxnShape {
+    /// 4 KiB non-posted DMA writes (acknowledged bursts) to the device
+    /// half the fabric away — non-posted so the run also exercises the
+    /// request window and its occupancy gauge.
+    DmaBurst,
+    /// 1 KiB broadcasts from rotating roots to eight spread targets.
+    Broadcast,
+}
+
+/// Everything one transaction run yields.
+struct TxnRun {
+    fingerprint: Vec<u64>,
+    cycles: u64,
+    completed: u64,
+    p50: u64,
+    p99: u64,
+    bytes_sent: u64,
+    snapshots: u64,
+    window_peak: u64,
+}
+
+/// Drive `txns` transactions of one shape to quiescence on the 4×4
+/// torus under the given exec mode, with the transaction observatory
+/// sampling every [`METRICS_PERIOD`] cycles.
+fn txn_run(shape: &TxnShape, txns: usize, exec: ExecMode) -> TxnRun {
+    let (topo, names) = GridParams::torus(4, 4)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(0x7261_6a65)
+        .generate()
+        .expect("torus generates")
+        .compile()
+        .expect("torus compiles");
+    // Sorted-by-name device order: `compile` hands back a HashMap, and
+    // its iteration order must never leak into the traffic schedule.
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        exec,
+        NullSink,
+    );
+    let cfg = TxnConfig {
+        metrics_period: METRICS_PERIOD,
+        ..TxnConfig::default()
+    };
+    let mut fab = TxnFabric::new(net, cfg);
+    let n = devs.len();
+    let mut accepted = 0usize;
+    let mut guard = 0u64;
+    while accepted < txns {
+        let src = devs[accepted % n];
+        let ok = match shape {
+            TxnShape::DmaBurst => fab
+                .submit(
+                    src,
+                    devs[(accepted + n / 2) % n],
+                    TxnOp::Write {
+                        bytes: 4096,
+                        posted: false,
+                    },
+                )
+                .expect("generated endpoints are valid")
+                .is_some(),
+            TxnShape::Broadcast => {
+                let targets: Vec<NodeId> = (0..8)
+                    .map(|t| devs[(accepted + 1 + t * (n / 8)) % n])
+                    .collect();
+                fab.submit_broadcast(src, &targets, 1024)
+                    .expect("generated broadcasts are valid")
+                    .is_some()
+            }
+        };
+        if ok {
+            accepted += 1;
+        }
+        fab.tick();
+        guard += 1;
+        assert!(guard < 2_000_000, "transaction trajectory point starved");
+    }
+    assert!(
+        fab.run_until_quiet(2_000_000),
+        "transaction trajectory point failed to quiesce"
+    );
+    // Pad to the next sampling boundary so the last window commits.
+    while fab.now().raw() % METRICS_PERIOD != 0 {
+        fab.tick();
+    }
+    let snaps = fab.txn_snapshots();
+    let snapshots = snaps.len() as u64;
+    let window_peak = snaps.iter().map(|s| s.window_occupancy).max().unwrap_or(0);
+    let c = *fab.counters();
+    TxnRun {
+        fingerprint: fab.fingerprint(),
+        cycles: fab.now().raw(),
+        completed: c.completed(),
+        p50: fab.latency().percentile(0.50),
+        p99: fab.latency().percentile(0.99),
+        bytes_sent: c.bytes_sent,
+        snapshots,
+        window_peak,
+    }
+}
+
+/// Measure one transaction point, cross-checking `Parallel(4)` against
+/// the sequential run byte-for-byte.
+fn txn_point(shape: TxnShape, txns: usize) -> TxnPoint {
+    let seq = txn_run(&shape, txns, ExecMode::Sequential);
+    let par = txn_run(&shape, txns, ExecMode::Parallel(4));
+    TxnPoint {
+        workload: match shape {
+            TxnShape::DmaBurst => "dma_burst",
+            TxnShape::Broadcast => "broadcast",
+        }
+        .to_string(),
+        fabric: "torus-4x4".to_string(),
+        transactions: seq.completed,
+        cycles: seq.cycles,
+        p50_latency: seq.p50,
+        p99_latency: seq.p99,
+        bytes_per_cycle: if seq.cycles == 0 {
+            0.0
+        } else {
+            seq.bytes_sent as f64 / seq.cycles as f64
+        },
+        window_peak: seq.window_peak,
+        snapshots: seq.snapshots,
+        fingerprint_ok: seq.fingerprint == par.fingerprint,
+    }
+}
+
 /// Best-of-N: the max ticks/second observed. Scheduling noise only ever
 /// slows a run down, so the fastest repeat is the least contaminated —
 /// comparing best against best is far more stable than medians on the
@@ -475,12 +648,22 @@ pub fn run(quick: bool) -> TrajectoryReport {
         .map(|k| topo_point(k, topo_cycles))
         .collect();
 
+    // Transaction-layer points: multi-flit DMA bursts and rectangle
+    // broadcasts over the same generated 4×4 torus the scaling sweep
+    // uses, driven through `noc-txn` rather than raw flits.
+    let txn_count = if quick { 40 } else { 150 };
+    let txn_workloads = vec![
+        txn_point(TxnShape::DmaBurst, txn_count),
+        txn_point(TxnShape::Broadcast, txn_count),
+    ];
+
     TrajectoryReport {
         bench: "noc-bench trajectory".to_string(),
         quick,
         workloads,
         exec_sweep,
         topo_scaling,
+        txn_workloads,
         overhead,
         recorder_overhead,
     }
@@ -533,6 +716,30 @@ mod tests {
                 t.fabric
             );
         }
+        assert_eq!(report.txn_workloads.len(), 2);
+        for t in &report.txn_workloads {
+            assert_eq!(t.fabric, "torus-4x4", "{}: wrong fabric", t.workload);
+            assert_eq!(t.transactions, 40, "{}: transaction census", t.workload);
+            assert!(t.cycles > 0, "{}: no cycles", t.workload);
+            assert!(t.snapshots > 0, "{}: no txn snapshots", t.workload);
+            assert!(t.bytes_per_cycle > 0.0, "{}: no payload", t.workload);
+            assert!(
+                0 < t.p50_latency && t.p50_latency <= t.p99_latency,
+                "{}: percentiles out of order",
+                t.workload
+            );
+            assert!(
+                t.fingerprint_ok,
+                "{}: parallel transaction fingerprint diverged",
+                t.workload
+            );
+        }
+        // The non-posted DMA point must have exercised the request
+        // window (posted broadcasts bypass it by design).
+        assert!(
+            report.txn_workloads[0].window_peak > 0,
+            "dma_burst: window gauge never moved"
+        );
         assert!(report.overhead.plain_ticks_per_sec > 0.0);
         assert!(report.recorder_overhead.metrics_ticks_per_sec > 0.0);
         assert!(report.recorder_overhead.recorder_ticks_per_sec > 0.0);

@@ -23,6 +23,7 @@ pub mod directory;
 pub mod memory;
 pub mod message;
 pub mod system;
+pub mod txn_transport;
 pub mod types;
 
 pub use cache::{Inserted, SetAssocCache};

@@ -110,6 +110,77 @@ pub struct Flit {
     pub charged_etag_laps: u32,
 }
 
+/// Position of one flit inside a multi-flit packet, encoded into the
+/// flit's `token` field.
+///
+/// The paper's base fabric moves single-flit transactions, but the
+/// transaction layer (`noc-txn`) packetizes larger transfers the way
+/// the Tenstorrent Blackhole NoC does: one header flit followed by up
+/// to 256 data flits. The fabric itself stays oblivious — every flit
+/// still routes independently and may deflect, reorder or take a
+/// different ring path — so the packet structure must travel *in* the
+/// flit. `PacketToken` is that encoding: the low [`PacketToken::SEQ_BITS`]
+/// bits carry the flit's sequence number inside its packet (0 = header
+/// flit, 1..=256 = data flits), the remaining high bits carry the
+/// packet id.
+///
+/// # Example
+///
+/// ```
+/// use noc_core::flit::PacketToken;
+/// let tok = PacketToken { packet: 71, seq: 3 }.encode();
+/// assert_eq!(PacketToken::decode(tok), PacketToken { packet: 71, seq: 3 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketToken {
+    /// Packet id (allocation order at the transaction layer).
+    pub packet: u64,
+    /// Flit index within the packet: 0 is the header flit, data flits
+    /// count from 1.
+    pub seq: u16,
+}
+
+impl PacketToken {
+    /// Bits of the token reserved for the in-packet sequence number.
+    /// 12 bits cover the header plus the Blackhole-style maximum of
+    /// 256 data flits with room to spare.
+    pub const SEQ_BITS: u32 = 12;
+
+    /// Largest encodable sequence number.
+    pub const MAX_SEQ: u16 = (1 << Self::SEQ_BITS) - 1;
+
+    /// Pack into a flit `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds [`PacketToken::MAX_SEQ`] or the packet
+    /// id would overflow the remaining bits (2^52 packets).
+    #[inline]
+    pub fn encode(self) -> u64 {
+        assert!(self.seq <= Self::MAX_SEQ, "flit seq {} overflows", self.seq);
+        assert!(
+            self.packet < (1 << (64 - Self::SEQ_BITS)),
+            "packet id overflows token"
+        );
+        (self.packet << Self::SEQ_BITS) | u64::from(self.seq)
+    }
+
+    /// Unpack from a flit `token`.
+    #[inline]
+    pub fn decode(token: u64) -> Self {
+        PacketToken {
+            packet: token >> Self::SEQ_BITS,
+            seq: (token & u64::from(Self::MAX_SEQ)) as u16,
+        }
+    }
+
+    /// Whether this flit is its packet's header flit.
+    #[inline]
+    pub fn is_header(self) -> bool {
+        self.seq == 0
+    }
+}
+
 impl Flit {
     /// Create a fresh flit at time `now`.
     pub fn new(
@@ -164,6 +235,31 @@ mod tests {
             assert!(!seen[c.index()]);
             seen[c.index()] = true;
         }
+    }
+
+    #[test]
+    fn packet_token_round_trips() {
+        for (packet, seq) in [
+            (0u64, 0u16),
+            (1, 1),
+            (99, 256),
+            (1 << 40, PacketToken::MAX_SEQ),
+        ] {
+            let t = PacketToken { packet, seq };
+            assert_eq!(PacketToken::decode(t.encode()), t);
+        }
+        assert!(PacketToken { packet: 0, seq: 0 }.is_header());
+        assert!(!PacketToken { packet: 0, seq: 1 }.is_header());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn packet_token_rejects_oversized_seq() {
+        let _ = PacketToken {
+            packet: 0,
+            seq: PacketToken::MAX_SEQ + 1,
+        }
+        .encode();
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
 pub use diag::NocDiagnostics;
 pub use error::{EnqueueError, TopologyError};
 pub use exec::ExecMode;
-pub use flit::{Flit, FlitClass};
+pub use flit::{Flit, FlitClass, PacketToken};
 pub use ids::{BridgeId, ChipletId, Direction, NodeId, Port, RingId, RingKind};
 pub use network::{Network, TickMode};
 pub use route::RouteTable;

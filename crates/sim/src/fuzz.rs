@@ -112,6 +112,39 @@ impl TrafficPattern {
     }
 }
 
+/// Sample a transaction payload size in bytes for burst-shaped fuzz
+/// traffic: log-uniform over packet lengths from a single data flit up
+/// to `max_data_flits`, so short control-sized bursts and maximum-length
+/// DMA packets are both exercised instead of everything clustering at
+/// the mean. The result is always a positive multiple of one byte and
+/// at most `flit_bytes * max_data_flits`.
+///
+/// # Panics
+///
+/// Panics if `flit_bytes` or `max_data_flits` is zero.
+pub fn sample_burst_bytes(rng: &mut SimRng, flit_bytes: u32, max_data_flits: u32) -> u32 {
+    assert!(
+        flit_bytes > 0 && max_data_flits > 0,
+        "degenerate burst shape"
+    );
+    // Log-uniform over the flit-count range: draw an exponent bucket,
+    // then a flit count inside it.
+    let max_exp = 32 - max_data_flits.leading_zeros(); // ceil(log2)+1 buckets
+    let exp = rng.gen_index(max_exp as usize) as u32;
+    let lo = 1u32 << exp;
+    let hi = (1u32 << (exp + 1)).min(max_data_flits + 1).max(lo + 1);
+    let flits = lo + rng.gen_range(0..u64::from(hi - lo)) as u32;
+    let flits = flits.min(max_data_flits);
+    // Not always flit-aligned: shave a deterministic remainder off the
+    // last flit some of the time so partial tail flits get coverage.
+    let bytes = flits * flit_bytes;
+    if flits > 1 && rng.gen_bool(0.25) {
+        bytes - rng.gen_range(1..u64::from(flit_bytes)) as u32
+    } else {
+        bytes
+    }
+}
+
 /// Directory failing fuzz artifacts are written to:
 /// [`ARTIFACT_DIR_ENV`] if set, else `target/topo-fuzz` relative to
 /// the current working directory.
@@ -205,6 +238,40 @@ mod tests {
             let d = hot.pick_dest(&mut rng, 8, 3);
             assert_ne!(d, 3);
         }
+    }
+
+    #[test]
+    fn burst_sizes_stay_in_range_and_cover_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        let (mut small, mut full, mut unaligned) = (false, false, false);
+        for _ in 0..5_000 {
+            let b = sample_burst_bytes(&mut rng, 64, 256);
+            assert!((1..=64 * 256).contains(&b), "burst {b} out of range");
+            small |= b <= 64;
+            full |= b > 64 * 128;
+            unaligned |= !b.is_multiple_of(64);
+        }
+        assert!(small, "single-flit bursts never sampled");
+        assert!(full, "long DMA bursts never sampled");
+        assert!(unaligned, "partial tail flits never sampled");
+    }
+
+    #[test]
+    fn burst_sampling_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut rng = SimRng::seed_from(11);
+            (0..50)
+                .map(|_| sample_burst_bytes(&mut rng, 32, 16))
+                .collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = SimRng::seed_from(11);
+            (0..50)
+                .map(|_| sample_burst_bytes(&mut rng, 32, 16))
+                .collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (1..=32 * 16).contains(&v)));
     }
 
     #[test]

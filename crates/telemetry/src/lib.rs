@@ -89,6 +89,7 @@ pub mod metrics;
 pub mod postmortem;
 pub mod recorder;
 pub mod sink;
+pub mod txnstats;
 pub mod views;
 
 pub use chrome::chrome_trace;
@@ -102,4 +103,5 @@ pub use metrics::{
 pub use postmortem::{link_heat_ascii, BundleEnv, BundleMeta, PostmortemBundle};
 pub use recorder::{FlightRecorder, RecorderConfig};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceBuffer, TraceSink};
+pub use txnstats::{txn_snapshots_jsonl, TxnRegistry, TxnSnapshot};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};

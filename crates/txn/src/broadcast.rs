@@ -1,0 +1,200 @@
+//! Broadcast fan-out trees over the multi-ring fabric.
+//!
+//! A rectangle broadcast in the Blackhole NoC replicates one packet to
+//! a set of stations. On a multi-ring fabric the natural shape is a
+//! two-level tree derived from the [`Topology`]: the root first reaches
+//! one *relay* per ring that holds targets (paying each ring-to-ring
+//! bridge crossing once instead of once per target), and every relay
+//! then fans out to its ring-local siblings. Both levels bound the
+//! out-degree with a configurable fanout by chaining extra children
+//! through earlier ones (d-ary heap order), so no single inject queue
+//! absorbs the whole replication burst.
+//!
+//! Tree construction is a pure function of the topology, the root and
+//! the sorted target set — identical on every engine, which is what the
+//! lockstep guarantees need.
+
+use noc_core::{NodeId, Topology};
+use std::collections::BTreeMap;
+
+/// A deterministic fan-out tree: each sender's children, in send order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BroadcastTree {
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    targets: usize,
+}
+
+impl BroadcastTree {
+    /// Build the tree for `root` reaching `targets` (the root itself is
+    /// ignored if listed; duplicates collapse). `fanout` bounds every
+    /// node's out-degree and must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout == 0` or a target id is out of range for the
+    /// topology.
+    pub fn build(topo: &Topology, root: NodeId, targets: &[NodeId], fanout: usize) -> Self {
+        assert!(fanout >= 1, "broadcast fanout must be at least 1");
+        let mut sorted: Vec<NodeId> = targets.iter().copied().filter(|&t| t != root).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        // Group targets by ring, in ring order (BTreeMap), members sorted.
+        let mut by_ring: BTreeMap<u16, Vec<NodeId>> = BTreeMap::new();
+        for &t in &sorted {
+            let spec = &topo.nodes()[t.index()];
+            by_ring.entry(spec.ring.0).or_default().push(t);
+        }
+
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let root_ring = topo.nodes()[root.index()].ring.0;
+
+        // Level 1: the root reaches one relay per foreign ring; on its
+        // own ring the root itself is the relay.
+        let mut relays: Vec<NodeId> = Vec::new();
+        for (&ring, members) in &by_ring {
+            if ring != root_ring {
+                relays.push(members[0]);
+            }
+        }
+        link_dary(&mut children, root, &relays, fanout);
+
+        // Level 2: each relay chains through its ring-local siblings.
+        for (&ring, members) in &by_ring {
+            let (relay, rest) = if ring == root_ring {
+                (root, &members[..])
+            } else {
+                (members[0], &members[1..])
+            };
+            link_dary(&mut children, relay, rest, fanout);
+        }
+
+        BroadcastTree {
+            children,
+            targets: sorted.len(),
+        }
+    }
+
+    /// Children of `node`, in send order (empty for leaves).
+    pub fn children_of(&self, node: NodeId) -> &[NodeId] {
+        self.children.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct targets the tree reaches.
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// Every `(sender, child)` edge, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.children
+            .iter()
+            .flat_map(|(&s, cs)| cs.iter().map(move |&c| (s, c)))
+    }
+}
+
+/// Wire `nodes` under `root` as a d-ary heap: `root` sends to the
+/// first `fanout` nodes, node `i` of the list sends to nodes
+/// `i*fanout+1 ..= i*fanout+fanout`.
+fn link_dary(
+    children: &mut BTreeMap<NodeId, Vec<NodeId>>,
+    root: NodeId,
+    nodes: &[NodeId],
+    fanout: usize,
+) {
+    if nodes.is_empty() {
+        return;
+    }
+    children
+        .entry(root)
+        .or_default()
+        .extend(nodes.iter().take(fanout));
+    for (i, &parent) in nodes.iter().enumerate() {
+        let lo = i * fanout + fanout;
+        if lo >= nodes.len() {
+            break;
+        }
+        let hi = (lo + fanout).min(nodes.len());
+        children.entry(parent).or_default().extend(&nodes[lo..hi]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::{RingKind, TopologyBuilder};
+
+    /// Two rings bridged, four devices each.
+    fn two_ring_topo() -> (Topology, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let r0 = b.add_ring(die, RingKind::Full, 8).unwrap();
+        let r1 = b.add_ring(die, RingKind::Full, 8).unwrap();
+        let mut devs = Vec::new();
+        for i in 0..4u16 {
+            devs.push(b.add_node(format!("a{i}"), r0, i * 2).unwrap());
+        }
+        for i in 0..4u16 {
+            devs.push(b.add_node(format!("b{i}"), r1, i * 2).unwrap());
+        }
+        b.add_bridge(noc_core::BridgeConfig::l1(), r0, 1, r1, 1)
+            .unwrap();
+        (b.build().unwrap(), devs)
+    }
+
+    #[test]
+    fn tree_reaches_every_target_exactly_once() {
+        let (topo, devs) = two_ring_topo();
+        let root = devs[0];
+        let targets: Vec<NodeId> = devs[1..].to_vec();
+        let tree = BroadcastTree::build(&topo, root, &targets, 2);
+        assert_eq!(tree.targets(), 7);
+        let mut reached: Vec<NodeId> = tree.edges().map(|(_, c)| c).collect();
+        reached.sort_unstable();
+        let mut expect = targets.clone();
+        expect.sort_unstable();
+        assert_eq!(reached, expect, "each target exactly one incoming edge");
+    }
+
+    #[test]
+    fn fanout_bounds_out_degree() {
+        let (topo, devs) = two_ring_topo();
+        let tree = BroadcastTree::build(&topo, devs[0], &devs[1..], 2);
+        for cs in tree.children.values() {
+            assert!(cs.len() <= 2 * 2, "root joins two d-ary levels at most");
+        }
+        // Leaves exist: not everything hangs off the root.
+        assert!(tree.children_of(devs[0]).len() < 7);
+    }
+
+    #[test]
+    fn one_relay_crosses_each_foreign_ring() {
+        let (topo, devs) = two_ring_topo();
+        let tree = BroadcastTree::build(&topo, devs[0], &devs[1..], 4);
+        // Exactly one edge crosses from ring 0 to ring 1.
+        let crossings = tree
+            .edges()
+            .filter(|&(s, c)| topo.nodes()[s.index()].ring != topo.nodes()[c.index()].ring)
+            .count();
+        assert_eq!(crossings, 1, "bridge paid once, not per target");
+    }
+
+    #[test]
+    fn root_in_target_list_and_duplicates_collapse() {
+        let (topo, devs) = two_ring_topo();
+        let mut targets = devs.clone();
+        targets.push(devs[1]); // duplicate
+        let tree = BroadcastTree::build(&topo, devs[0], &targets, 3);
+        assert_eq!(tree.targets(), 7, "root and duplicate dropped");
+    }
+
+    #[test]
+    fn trees_are_deterministic_under_target_order() {
+        let (topo, devs) = two_ring_topo();
+        let fwd = BroadcastTree::build(&topo, devs[0], &devs[1..], 2);
+        let mut rev: Vec<NodeId> = devs[1..].to_vec();
+        rev.reverse();
+        let bwd = BroadcastTree::build(&topo, devs[0], &rev, 2);
+        assert_eq!(fwd, bwd);
+    }
+}

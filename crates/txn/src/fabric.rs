@@ -1,0 +1,872 @@
+//! The transaction fabric: packetization, injection pumping,
+//! reassembly, windows, responses, atomics and broadcast relaying,
+//! layered over a [`Network`].
+//!
+//! # Determinism
+//!
+//! [`TxnFabric`] owns all transaction state and mutates it only in
+//! [`TxnFabric::tick`], single-threadedly, *around* the network's own
+//! tick: staged flits are pumped into inject queues in ascending
+//! endpoint order before the tick, and deliveries are drained in
+//! ascending endpoint order after it. The engine below guarantees
+//! byte-identical delivery streams across `TickMode::{Fast,Reference}`
+//! and `ExecMode::{Sequential,Parallel(n)}`, so every transaction-layer
+//! decision — reassembly completions, window releases, broadcast
+//! forwards, atomic results — replays identically on every engine.
+//! Hash maps are keyed-lookup only (never iterated), endpoints live in
+//! a `BTreeMap`, so no iteration order leaks into behavior.
+//!
+//! # Backpressure
+//!
+//! `submit*` returns `Ok(None)` (or `false` for messages) when the
+//! endpoint's non-posted window or staging queue is full — retry next
+//! cycle. Inside `tick`, a full inject queue pauses that endpoint's
+//! pump until the network drains; staged flits are never dropped.
+
+use crate::broadcast::BroadcastTree;
+use crate::packet::{data_flits, split_packets, PacketDesc, PacketKind, StagedFlit};
+use crate::reassembly::{Accept, ReassemblyBuffer};
+use crate::types::{
+    AtomicKind, TxnCompletion, TxnConfig, TxnCounters, TxnError, TxnId, TxnKind, TxnOp,
+};
+use crate::window::InFlightWindow;
+use noc_core::telemetry::{NullSink, TraceSink, TxnRegistry, TxnSnapshot};
+use noc_core::{EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketToken, Topology};
+use noc_sim::{Cycle, Histogram};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Per-endpoint transaction state.
+#[derive(Debug)]
+struct Endpoint {
+    reassembly: ReassemblyBuffer,
+    window: InFlightWindow,
+    staged: VecDeque<StagedFlit>,
+    msg_inbox: VecDeque<u64>,
+    atomic_cell: u64,
+}
+
+impl Endpoint {
+    fn new(window: usize) -> Self {
+        Endpoint {
+            reassembly: ReassemblyBuffer::new(),
+            window: InFlightWindow::new(window),
+            staged: VecDeque::new(),
+            msg_inbox: VecDeque::new(),
+            atomic_cell: 0,
+        }
+    }
+}
+
+/// Broadcast progress of one transaction.
+#[derive(Debug)]
+struct BcastState {
+    tree: BroadcastTree,
+    remaining: usize,
+}
+
+/// Fabric-side record of one live transaction.
+#[derive(Debug)]
+struct TxnState {
+    kind: TxnKind,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u32,
+    issued_at: Cycle,
+    /// Request-direction packets not yet reassembled at the destination.
+    req_remaining: u32,
+    /// Response-direction packets not yet reassembled at the source
+    /// (0 for posted operations).
+    resp_remaining: u32,
+    atomic: Option<AtomicKind>,
+    atomic_result: Option<u64>,
+    bcast: Option<BcastState>,
+}
+
+/// The transaction layer over a deflection-routed [`Network`].
+///
+/// # Example
+///
+/// ```
+/// use noc_core::{Network, NetworkConfig, RingKind, TopologyBuilder};
+/// use noc_txn::{TxnConfig, TxnFabric, TxnOp};
+///
+/// let mut b = TopologyBuilder::new();
+/// let die = b.add_chiplet("die");
+/// let r = b.add_ring(die, RingKind::Full, 8)?;
+/// let a = b.add_node("a", r, 0)?;
+/// let c = b.add_node("c", r, 4)?;
+/// let net = Network::new(b.build()?, NetworkConfig::default());
+///
+/// let mut fab = TxnFabric::new(net, TxnConfig::default());
+/// let txn = fab.submit(a, c, TxnOp::Write { bytes: 256, posted: false })?
+///     .expect("empty window accepts");
+/// assert!(fab.run_until_quiet(10_000));
+/// let done = fab.drain_completions();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].txn, txn);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TxnFabric<S: TraceSink = NullSink> {
+    net: Network<S>,
+    cfg: TxnConfig,
+    endpoints: BTreeMap<NodeId, Endpoint>,
+    /// Live packet descriptors by packet id. Keyed lookups only.
+    packets: HashMap<u64, PacketDesc>,
+    /// Live transactions by id. Keyed lookups only.
+    txns: HashMap<u64, TxnState>,
+    next_packet: u64,
+    next_txn: u64,
+    completions: VecDeque<TxnCompletion>,
+    counters: TxnCounters,
+    latency: Histogram,
+    registry: Option<TxnRegistry>,
+    /// Flits pumped into the network and not yet delivered back.
+    outstanding: u64,
+    /// Admission cap on `outstanding` (see
+    /// [`TxnConfig::max_outstanding_flits`]).
+    outstanding_cap: u64,
+}
+
+impl<S: TraceSink> TxnFabric<S> {
+    /// Layer a transaction fabric over `net`. Every device node of the
+    /// topology becomes a transaction endpoint.
+    pub fn new(net: Network<S>, cfg: TxnConfig) -> Self {
+        assert!(cfg.flit_bytes > 0, "flit_bytes must be positive");
+        assert!(
+            cfg.max_data_flits >= 1 && cfg.max_data_flits <= 256,
+            "max_data_flits must be in 1..=256 (token seq space)"
+        );
+        let endpoints = net
+            .topology()
+            .devices()
+            .map(|d| (d.id, Endpoint::new(cfg.window)))
+            .collect();
+        let registry = (cfg.metrics_period > 0).then(|| TxnRegistry::new(cfg.metrics_period));
+        let outstanding_cap = if cfg.max_outstanding_flits > 0 {
+            cfg.max_outstanding_flits as u64
+        } else {
+            // Auto: half the fabric's ring slots. Saturation-induced
+            // bridge deadlock needs at least one ring full plus full
+            // escape buffers, so staying below half the slot count
+            // keeps the fabric out of that regime while still letting
+            // throughput scale with fabric size.
+            let slots: u64 = net
+                .topology()
+                .rings()
+                .iter()
+                .map(|r| u64::from(r.stations) * r.kind.lanes() as u64)
+                .sum();
+            (slots / 2).max(8)
+        };
+        TxnFabric {
+            net,
+            cfg,
+            endpoints,
+            packets: HashMap::new(),
+            txns: HashMap::new(),
+            next_packet: 0,
+            next_txn: 0,
+            completions: VecDeque::new(),
+            counters: TxnCounters::default(),
+            latency: Histogram::new("txn-latency"),
+            registry,
+            outstanding: 0,
+            outstanding_cap,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TxnConfig {
+        &self.cfg
+    }
+
+    /// The underlying network (read-only).
+    pub fn network(&self) -> &Network<S> {
+        &self.net
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        self.net.topology()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.net.now()
+    }
+
+    /// Transaction endpoints, in ascending id order.
+    pub fn endpoints(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.endpoints.keys().copied()
+    }
+
+    /// Transactions currently in flight.
+    pub fn in_flight_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Non-posted window slots occupied, summed over all endpoints —
+    /// the observatory's window gauge.
+    pub fn window_occupancy(&self) -> u64 {
+        self.endpoints
+            .values()
+            .map(|e| e.window.occupancy() as u64)
+            .sum()
+    }
+
+    /// Flits currently in the network (pumped, not yet delivered).
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// The fabric-wide admission cap the pump enforces.
+    pub fn outstanding_cap(&self) -> u64 {
+        self.outstanding_cap
+    }
+
+    /// Window occupancy of one endpoint (`None` for non-endpoints).
+    pub fn window_of(&self, node: NodeId) -> Option<usize> {
+        self.endpoints.get(&node).map(|e| e.window.occupancy())
+    }
+
+    /// The destination-side 64-bit atomic cell of `node`.
+    pub fn atomic_cell(&self, node: NodeId) -> Option<u64> {
+        self.endpoints.get(&node).map(|e| e.atomic_cell)
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &TxnCounters {
+        &self.counters
+    }
+
+    /// Whole-run per-transaction latency histogram.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Observatory snapshots (empty when `metrics_period == 0`).
+    pub fn txn_snapshots(&self) -> &[TxnSnapshot] {
+        self.registry.as_ref().map_or(&[], |r| r.snapshots())
+    }
+
+    /// The transaction observatory registry, if enabled.
+    pub fn registry(&self) -> Option<&TxnRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// Network fingerprint extended with the transaction layer's
+    /// counter digest: byte-identical across engines iff both the
+    /// fabric below *and* every transaction-layer decision agree.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = self.net.fingerprint();
+        fp.extend(self.counters.digest());
+        fp.push(self.latency.sum());
+        fp.push(self.latency.count());
+        fp
+    }
+
+    fn check_endpoint(&self, n: NodeId) -> Result<(), TxnError> {
+        let nodes = self.net.topology().nodes();
+        match nodes.get(n.index()) {
+            Some(spec) if spec.kind == NodeKind::Device => Ok(()),
+            _ => Err(TxnError::BadEndpoint(n)),
+        }
+    }
+
+    fn staging_full(&self, src: NodeId) -> bool {
+        self.endpoints[&src].staged.len() >= self.cfg.max_staged_flits
+    }
+
+    /// Allocate a packet, record its descriptor, and stage its flits at
+    /// `from`'s endpoint. `urgent` bypasses the staging bound (used for
+    /// responses and broadcast forwards, which must never be refused —
+    /// refusing them would deadlock the windows waiting on them).
+    fn stage_packet(&mut self, from: NodeId, desc: PacketDesc, urgent: bool) {
+        debug_assert!(urgent || !self.staging_full(from));
+        let id = self.next_packet;
+        self.next_packet += 1;
+        let flits = desc.flits(id, &self.cfg);
+        self.packets.insert(id, desc);
+        self.endpoints
+            .get_mut(&from)
+            .expect("staging at a known endpoint")
+            .staged
+            .extend(flits);
+    }
+
+    /// Submit a point-to-point transaction from `src` to `dst`.
+    ///
+    /// Returns `Ok(None)` under backpressure (full non-posted window or
+    /// full staging queue) — retry on a later cycle. The transaction id
+    /// is returned once accepted; completions surface through
+    /// [`TxnFabric::drain_completions`].
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError`] for structurally invalid submissions (unknown or
+    /// non-device endpoints, self-sends).
+    pub fn submit(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        op: TxnOp,
+    ) -> Result<Option<TxnId>, TxnError> {
+        self.check_endpoint(src)?;
+        self.check_endpoint(dst)?;
+        if src == dst {
+            return Err(TxnError::SelfSend(src));
+        }
+        if self.staging_full(src) || (op.non_posted() && self.endpoints[&src].window.is_full()) {
+            self.counters.backpressured += 1;
+            return Ok(None);
+        }
+
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let now = self.net.now();
+        let (kind, atomic) = match op {
+            TxnOp::Read { .. } => (TxnKind::Read, None),
+            TxnOp::Write { posted: true, .. } => (TxnKind::WritePosted, None),
+            TxnOp::Write { posted: false, .. } => (TxnKind::WriteNonPosted, None),
+            TxnOp::Atomic(a) => (TxnKind::Atomic, Some(a)),
+        };
+
+        // Carve the request direction into packets.
+        let (req_packets, resp_packets) = match op {
+            TxnOp::Read { bytes } => (vec![0u32], split_packets(bytes, &self.cfg)),
+            TxnOp::Write { bytes, posted } => (
+                split_packets(bytes, &self.cfg),
+                if posted { vec![] } else { vec![0] },
+            ),
+            TxnOp::Atomic(_) => (vec![0], vec![0]),
+        };
+
+        let payload = match op {
+            TxnOp::Read { bytes } => bytes,
+            TxnOp::Write { bytes, .. } => bytes,
+            TxnOp::Atomic(_) => 0,
+        };
+        self.txns.insert(
+            txn,
+            TxnState {
+                kind,
+                src,
+                dst,
+                bytes: payload,
+                issued_at: now,
+                req_remaining: req_packets.len() as u32,
+                resp_remaining: resp_packets.len() as u32,
+                atomic,
+                atomic_result: None,
+                bcast: None,
+            },
+        );
+
+        for bytes in req_packets {
+            let (pk, class) = match op {
+                TxnOp::Read { bytes } => (
+                    PacketKind::ReadReq { resp_bytes: bytes },
+                    FlitClass::Request,
+                ),
+                TxnOp::Write { .. } => (PacketKind::Data, FlitClass::Data),
+                TxnOp::Atomic(_) => (PacketKind::AtomicReq, FlitClass::Request),
+            };
+            self.stage_packet(
+                src,
+                PacketDesc {
+                    txn,
+                    kind: pk,
+                    src,
+                    dst,
+                    class,
+                    bytes,
+                    n_data: data_flits(bytes, self.cfg.flit_bytes),
+                },
+                false,
+            );
+        }
+
+        if op.non_posted() {
+            let ok = self
+                .endpoints
+                .get_mut(&src)
+                .expect("validated endpoint")
+                .window
+                .try_reserve(txn);
+            debug_assert!(ok, "window checked above");
+        }
+        self.counters.submitted += 1;
+        Ok(Some(TxnId(txn)))
+    }
+
+    /// Submit a posted broadcast of `bytes` from `src` to every node in
+    /// `targets` (duplicates and the root collapse). Delivery fans out
+    /// along a [`BroadcastTree`]; the transaction completes when every
+    /// target has reassembled its copy.
+    ///
+    /// Returns `Ok(None)` when `src`'s staging queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError`] for invalid endpoints, an empty target set, or a
+    /// payload larger than one packet.
+    pub fn submit_broadcast(
+        &mut self,
+        src: NodeId,
+        targets: &[NodeId],
+        bytes: u32,
+    ) -> Result<Option<TxnId>, TxnError> {
+        self.check_endpoint(src)?;
+        for &t in targets {
+            self.check_endpoint(t)?;
+        }
+        if bytes > self.cfg.packet_capacity() {
+            return Err(TxnError::BroadcastTooLarge {
+                bytes,
+                max: self.cfg.packet_capacity(),
+            });
+        }
+        let tree =
+            BroadcastTree::build(self.net.topology(), src, targets, self.cfg.broadcast_fanout);
+        if tree.targets() == 0 {
+            return Err(TxnError::EmptyBroadcast);
+        }
+        if self.staging_full(src) {
+            self.counters.backpressured += 1;
+            return Ok(None);
+        }
+
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let now = self.net.now();
+        let first_child = tree.children_of(src)[0];
+        let root_children: Vec<NodeId> = tree.children_of(src).to_vec();
+        self.txns.insert(
+            txn,
+            TxnState {
+                kind: TxnKind::Broadcast,
+                src,
+                dst: first_child,
+                bytes,
+                issued_at: now,
+                req_remaining: 0,
+                resp_remaining: 0,
+                atomic: None,
+                atomic_result: None,
+                bcast: Some(BcastState {
+                    remaining: tree.targets(),
+                    tree,
+                }),
+            },
+        );
+        for child in root_children {
+            self.stage_packet(
+                src,
+                PacketDesc {
+                    txn,
+                    kind: PacketKind::Bcast,
+                    src,
+                    dst: child,
+                    class: FlitClass::Data,
+                    bytes,
+                    n_data: data_flits(bytes, self.cfg.flit_bytes),
+                },
+                false,
+            );
+        }
+        self.counters.submitted += 1;
+        Ok(Some(TxnId(txn)))
+    }
+
+    /// Submit a one-way message datagram carrying an opaque `token`,
+    /// delivered to `dst`'s message inbox ([`TxnFabric::recv_message`]).
+    /// This is the rail the CHI transport rides: each coherence message
+    /// becomes a real header+data packet. Returns `false` under staging
+    /// backpressure or for invalid endpoints (mirroring the network's
+    /// `ChiTransport` impl, which folds all errors into `false`).
+    pub fn submit_message(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlitClass,
+        bytes: u32,
+        token: u64,
+    ) -> bool {
+        if self.check_endpoint(src).is_err() || self.check_endpoint(dst).is_err() || src == dst {
+            return false;
+        }
+        if self.staging_full(src) || bytes > self.cfg.packet_capacity() {
+            self.counters.backpressured += 1;
+            return false;
+        }
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(
+            txn,
+            TxnState {
+                kind: TxnKind::WritePosted, // placeholder; messages never complete via kind
+                src,
+                dst,
+                bytes,
+                issued_at: self.net.now(),
+                req_remaining: 1,
+                resp_remaining: 0,
+                atomic: None,
+                atomic_result: None,
+                bcast: None,
+            },
+        );
+        self.stage_packet(
+            src,
+            PacketDesc {
+                txn,
+                kind: PacketKind::Msg { token },
+                src,
+                dst,
+                class,
+                bytes,
+                n_data: data_flits(bytes, self.cfg.flit_bytes),
+            },
+            false,
+        );
+        self.counters.messages_submitted += 1;
+        true
+    }
+
+    /// Pop the token of the oldest message delivered to `node`.
+    pub fn recv_message(&mut self, node: NodeId) -> Option<u64> {
+        self.endpoints.get_mut(&node)?.msg_inbox.pop_front()
+    }
+
+    /// Fault-injection hook: enqueue a raw flit with an arbitrary token
+    /// directly onto the wrapped network, bypassing packetization. The
+    /// transaction layer must survive whatever arrives — unknown packet
+    /// ids count as stray flits, repeated sequences as duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the network's [`EnqueueError`].
+    pub fn inject_raw(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlitClass,
+        bytes: u32,
+        token: u64,
+    ) -> Result<u64, EnqueueError> {
+        let id = self.net.enqueue(src, dst, class, bytes, token)?;
+        self.outstanding += 1;
+        Ok(id)
+    }
+
+    /// Advance one cycle: pump staged flits, tick the network, drain
+    /// and process deliveries, sample the observatory.
+    pub fn tick(&mut self) {
+        // Pump staged flits into inject queues: round-robin over
+        // endpoints in ascending id order, one flit per endpoint per
+        // pass, so the admission cap is shared fairly instead of being
+        // consumed by the lowest-numbered endpoints. A full inject
+        // queue pauses an endpoint (flits stay staged); reaching the
+        // cap pauses the pump until deliveries bring the outstanding
+        // count back down.
+        let nodes: Vec<NodeId> = self.endpoints.keys().copied().collect();
+        let mut paused = vec![false; nodes.len()];
+        let mut progress = true;
+        while progress && self.outstanding < self.outstanding_cap {
+            progress = false;
+            for (i, &node) in nodes.iter().enumerate() {
+                if paused[i] || self.outstanding >= self.outstanding_cap {
+                    continue;
+                }
+                let ep = self.endpoints.get_mut(&node).expect("known endpoint");
+                let Some(&flit) = ep.staged.front() else {
+                    paused[i] = true;
+                    continue;
+                };
+                match self
+                    .net
+                    .enqueue(node, flit.dst, flit.class, flit.bytes, flit.token)
+                {
+                    Ok(_) => {
+                        self.endpoints
+                            .get_mut(&node)
+                            .expect("known endpoint")
+                            .staged
+                            .pop_front();
+                        self.counters.flits_sent += 1;
+                        self.counters.bytes_sent += u64::from(flit.bytes);
+                        self.outstanding += 1;
+                        progress = true;
+                    }
+                    Err(EnqueueError::InjectQueueFull { .. }) => paused[i] = true,
+                    Err(e) => unreachable!("staged flit rejected: {e:?}"),
+                }
+            }
+        }
+
+        self.net.tick();
+
+        // Drain deliveries, ascending endpoint order.
+        for &node in &nodes {
+            while let Some(flit) = self.net.pop_delivered(node) {
+                self.accept_flit(node, &flit);
+            }
+        }
+
+        // Observatory sample at period boundaries.
+        if let Some(reg) = &self.registry {
+            let period = reg.period();
+            let now = self.net.now().raw();
+            if now.is_multiple_of(period) {
+                let inflight = self.txns.len() as u64;
+                let occupancy = self.window_occupancy();
+                self.registry
+                    .as_mut()
+                    .expect("registry checked above")
+                    .sample(self.net.now(), inflight, occupancy);
+            }
+        }
+    }
+
+    /// Tick until the fabric is quiet (no staged flits, nothing in the
+    /// network, no live transactions) or `max_cycles` elapse. Returns
+    /// whether quiescence was reached.
+    pub fn run_until_quiet(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.quiet() {
+                return true;
+            }
+            self.tick();
+        }
+        self.quiet()
+    }
+
+    /// Whether nothing is in flight at either layer. Undrained message
+    /// inboxes and completions do not count — they are delivered.
+    pub fn quiet(&self) -> bool {
+        self.net.in_flight() == 0
+            && self.txns.is_empty()
+            && self.endpoints.values().all(|e| e.staged.is_empty())
+    }
+
+    /// Take all completions accumulated so far, in completion order.
+    pub fn drain_completions(&mut self) -> Vec<TxnCompletion> {
+        self.completions.drain(..).collect()
+    }
+
+    fn accept_flit(&mut self, node: NodeId, flit: &Flit) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let tok = PacketToken::decode(flit.token);
+        let Some(desc) = self.packets.get(&tok.packet).copied() else {
+            self.counters.stray_flits += 1;
+            return;
+        };
+        // A live packet id, but the flit may still be a counterfeit
+        // aimed at the wrong endpoint: only the descriptor's receiver
+        // reassembles it.
+        if desc.dst != node {
+            self.counters.stray_flits += 1;
+            return;
+        }
+        let ep = self.endpoints.get_mut(&node).expect("delivery at endpoint");
+        match ep.reassembly.accept(tok, desc.n_data) {
+            Accept::Partial => {}
+            Accept::Duplicate => self.counters.duplicate_flits += 1,
+            Accept::Complete => {
+                self.packets.remove(&tok.packet);
+                self.counters.packets_reassembled += 1;
+                self.packet_complete(node, desc);
+            }
+        }
+    }
+
+    /// One whole packet has reassembled at `node`.
+    fn packet_complete(&mut self, node: NodeId, desc: PacketDesc) {
+        let txn_id = desc.txn;
+        match desc.kind {
+            PacketKind::Msg { token } => {
+                self.endpoints
+                    .get_mut(&node)
+                    .expect("msg endpoint")
+                    .msg_inbox
+                    .push_back(token);
+                self.counters.messages += 1;
+                self.txns.remove(&txn_id);
+            }
+            PacketKind::Bcast => {
+                // Forward to tree children, then count the delivery.
+                let children: Vec<NodeId> = {
+                    let st = self.txns.get(&txn_id).expect("live broadcast");
+                    let bc = st.bcast.as_ref().expect("broadcast state");
+                    bc.tree.children_of(node).to_vec()
+                };
+                for child in children {
+                    self.stage_packet(
+                        node,
+                        PacketDesc {
+                            txn: txn_id,
+                            kind: PacketKind::Bcast,
+                            src: node,
+                            dst: child,
+                            class: FlitClass::Data,
+                            bytes: desc.bytes,
+                            n_data: desc.n_data,
+                        },
+                        true,
+                    );
+                }
+                let st = self.txns.get_mut(&txn_id).expect("live broadcast");
+                let bc = st.bcast.as_mut().expect("broadcast state");
+                bc.remaining -= 1;
+                if bc.remaining == 0 {
+                    self.finish_txn(txn_id);
+                }
+            }
+            PacketKind::ReadReq { .. }
+            | PacketKind::Data
+            | PacketKind::Ack
+            | PacketKind::AtomicReq
+            | PacketKind::AtomicResp => {
+                // Direction check: the same `Data` kind serves write
+                // requests (arriving at txn.dst) and read responses
+                // (arriving back at txn.src).
+                let req_side = node == self.txns.get(&txn_id).expect("live txn").dst;
+                if req_side {
+                    self.request_side_complete(node, txn_id, desc);
+                } else {
+                    self.response_side_complete(node, txn_id);
+                }
+            }
+        }
+    }
+
+    /// One response-direction packet of `txn` is in at the source.
+    fn response_side_complete(&mut self, node: NodeId, txn_id: u64) {
+        let st = self.txns.get_mut(&txn_id).expect("live txn");
+        debug_assert_eq!(node, st.src, "response landed at a third party");
+        st.resp_remaining -= 1;
+        if st.resp_remaining > 0 {
+            return;
+        }
+        let src = st.src;
+        let released = self
+            .endpoints
+            .get_mut(&src)
+            .expect("source endpoint")
+            .window
+            .complete(txn_id);
+        if !released {
+            self.counters.late_responses += 1;
+            self.txns.remove(&txn_id);
+            return;
+        }
+        self.finish_txn(txn_id);
+    }
+
+    /// All request-direction packets of `txn` are in at the
+    /// destination: generate the response (or complete, for posted).
+    fn request_side_complete(&mut self, node: NodeId, txn_id: u64, desc: PacketDesc) {
+        let (src, atomic, resp_remaining) = {
+            let st = self.txns.get_mut(&txn_id).expect("live txn");
+            st.req_remaining -= 1;
+            if st.req_remaining > 0 {
+                return;
+            }
+            (st.src, st.atomic, st.resp_remaining)
+        };
+        match desc.kind {
+            PacketKind::Data if resp_remaining == 0 => {
+                // Posted write: complete at delivery.
+                self.finish_txn(txn_id);
+            }
+            PacketKind::Data => {
+                // Non-posted write: ack back to the source.
+                self.stage_packet(
+                    node,
+                    PacketDesc {
+                        txn: txn_id,
+                        kind: PacketKind::Ack,
+                        src: node,
+                        dst: src,
+                        class: FlitClass::Response,
+                        bytes: 0,
+                        n_data: 0,
+                    },
+                    true,
+                );
+            }
+            PacketKind::ReadReq { resp_bytes } => {
+                // Stream the data back, possibly as several packets.
+                for bytes in split_packets(resp_bytes, &self.cfg) {
+                    self.stage_packet(
+                        node,
+                        PacketDesc {
+                            txn: txn_id,
+                            kind: PacketKind::Data,
+                            src: node,
+                            dst: src,
+                            class: FlitClass::Data,
+                            bytes,
+                            n_data: data_flits(bytes, self.cfg.flit_bytes),
+                        },
+                        true,
+                    );
+                }
+            }
+            PacketKind::AtomicReq => {
+                let op = atomic.expect("atomic txn carries its op");
+                let cell = &mut self
+                    .endpoints
+                    .get_mut(&node)
+                    .expect("atomic endpoint")
+                    .atomic_cell;
+                let result = op.apply(cell);
+                self.txns.get_mut(&txn_id).expect("live txn").atomic_result = Some(result);
+                self.stage_packet(
+                    node,
+                    PacketDesc {
+                        txn: txn_id,
+                        kind: PacketKind::AtomicResp,
+                        src: node,
+                        dst: src,
+                        class: FlitClass::Response,
+                        bytes: 0,
+                        n_data: 0,
+                    },
+                    true,
+                );
+            }
+            kind => unreachable!("request side saw {kind:?}"),
+        }
+    }
+
+    /// Retire `txn`: record latency, counters, observatory, completion.
+    fn finish_txn(&mut self, txn_id: u64) {
+        let st = self.txns.remove(&txn_id).expect("live txn");
+        let now = self.net.now();
+        let done = TxnCompletion {
+            txn: TxnId(txn_id),
+            kind: st.kind,
+            src: st.src,
+            dst: st.dst,
+            bytes: st.bytes,
+            issued_at: st.issued_at,
+            completed_at: now,
+            atomic_result: st.atomic_result,
+        };
+        match st.kind {
+            TxnKind::Read => self.counters.reads += 1,
+            TxnKind::WritePosted => self.counters.writes_posted += 1,
+            TxnKind::WriteNonPosted => self.counters.writes_non_posted += 1,
+            TxnKind::Atomic => self.counters.atomics += 1,
+            TxnKind::Broadcast => self.counters.broadcasts += 1,
+        }
+        let lat = done.latency();
+        self.latency.record(lat);
+        if let Some(reg) = &mut self.registry {
+            reg.record(lat);
+        }
+        self.completions.push_back(done);
+    }
+}

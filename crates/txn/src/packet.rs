@@ -1,0 +1,219 @@
+//! Packetization: carving a transaction's byte stream into packets of
+//! header + data flits, and the per-packet descriptor the fabric keeps
+//! while a packet is in flight.
+//!
+//! The layout follows the Tenstorrent Blackhole NoC exemplar: every
+//! packet is one header flit (sequence 0) followed by up to
+//! [`TxnConfig::max_data_flits`] data flits, each carrying up to
+//! [`TxnConfig::flit_bytes`] of payload. A transfer larger than one
+//! packet's capacity is split into several packets, all belonging to
+//! the same transaction.
+
+use crate::types::TxnConfig;
+use noc_core::{FlitClass, NodeId, PacketToken};
+use serde::{Deserialize, Serialize};
+
+/// Number of data flits needed for `bytes` of payload (0 for an empty
+/// payload — control packets are header-only).
+pub fn data_flits(bytes: u32, flit_bytes: u32) -> u32 {
+    assert!(flit_bytes > 0, "flit_bytes must be positive");
+    bytes.div_ceil(flit_bytes)
+}
+
+/// Split a transfer into per-packet byte counts. Always yields at
+/// least one packet, so zero-byte transfers still produce a header
+/// flit (a pure control packet).
+pub fn split_packets(bytes: u32, cfg: &TxnConfig) -> Vec<u32> {
+    let cap = cfg.packet_capacity();
+    if bytes == 0 {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity((bytes.div_ceil(cap)) as usize);
+    let mut left = bytes;
+    while left > 0 {
+        let take = left.min(cap);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+/// What a packet is doing for its transaction. The direction check in
+/// the fabric (`arrived at txn.dst` vs `arrived at txn.src`)
+/// distinguishes request data from response data, so one `Data` kind
+/// serves both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Header-only read request; `resp_bytes` is returned by the
+    /// destination as `Data` packets.
+    ReadReq {
+        /// Bytes the destination must send back.
+        resp_bytes: u32,
+    },
+    /// Bulk payload: write request data (towards `txn.dst`) or read
+    /// response data (towards `txn.src`).
+    Data,
+    /// Header-only write acknowledgement (non-posted writes).
+    Ack,
+    /// Header-only atomic request.
+    AtomicReq,
+    /// Header-only atomic response; the fetch result rides in the
+    /// transaction state.
+    AtomicResp,
+    /// One hop of a broadcast fan-out tree.
+    Bcast,
+    /// A one-way datagram carrying an opaque user token (the CHI
+    /// transport rides on these).
+    Msg {
+        /// Token handed back by `recv` on delivery.
+        token: u64,
+    },
+}
+
+/// The fabric's in-flight record of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketDesc {
+    /// Owning transaction.
+    pub txn: u64,
+    /// Role of the packet.
+    pub kind: PacketKind,
+    /// Injecting endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Flit class every flit of the packet travels in.
+    pub class: FlitClass,
+    /// Payload bytes (excluding the header flit).
+    pub bytes: u32,
+    /// Number of data flits (`data_flits(bytes, flit_bytes)`).
+    pub n_data: u32,
+}
+
+/// One flit of a packet, staged for injection: everything
+/// `Network::enqueue` needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedFlit {
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Flit class.
+    pub class: FlitClass,
+    /// Payload bytes charged to this flit.
+    pub bytes: u32,
+    /// Encoded [`PacketToken`].
+    pub token: u64,
+}
+
+impl PacketDesc {
+    /// Stage every flit of this packet (header first, then data in
+    /// sequence order) for injection at its source.
+    pub fn flits(&self, packet_id: u64, cfg: &TxnConfig) -> Vec<StagedFlit> {
+        assert!(
+            self.n_data <= u32::from(cfg.max_data_flits),
+            "packet of {} data flits exceeds the {}-flit cap",
+            self.n_data,
+            cfg.max_data_flits
+        );
+        let mut out = Vec::with_capacity(1 + self.n_data as usize);
+        out.push(StagedFlit {
+            dst: self.dst,
+            class: self.class,
+            bytes: cfg.header_bytes,
+            token: PacketToken {
+                packet: packet_id,
+                seq: 0,
+            }
+            .encode(),
+        });
+        let mut left = self.bytes;
+        for seq in 1..=self.n_data {
+            let take = left.min(cfg.flit_bytes);
+            left -= take;
+            out.push(StagedFlit {
+                dst: self.dst,
+                class: self.class,
+                bytes: take,
+                token: PacketToken {
+                    packet: packet_id,
+                    seq: seq as u16,
+                }
+                .encode(),
+            });
+        }
+        debug_assert_eq!(left, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TxnConfig {
+        TxnConfig::default()
+    }
+
+    #[test]
+    fn data_flit_counts() {
+        assert_eq!(data_flits(0, 64), 0);
+        assert_eq!(data_flits(1, 64), 1);
+        assert_eq!(data_flits(64, 64), 1);
+        assert_eq!(data_flits(65, 64), 2);
+        assert_eq!(data_flits(16 * 1024, 64), 256);
+    }
+
+    #[test]
+    fn split_respects_packet_capacity() {
+        let c = cfg();
+        assert_eq!(split_packets(0, &c), vec![0]);
+        assert_eq!(split_packets(100, &c), vec![100]);
+        assert_eq!(split_packets(16 * 1024, &c), vec![16 * 1024]);
+        assert_eq!(split_packets(16 * 1024 + 1, &c), vec![16 * 1024, 1]);
+        let big = split_packets(3 * 16 * 1024 + 7, &c);
+        assert_eq!(big, vec![16 * 1024, 16 * 1024, 16 * 1024, 7]);
+        assert_eq!(big.iter().sum::<u32>(), 3 * 16 * 1024 + 7);
+    }
+
+    #[test]
+    fn staged_flits_cover_header_and_tail() {
+        let c = cfg();
+        let desc = PacketDesc {
+            txn: 7,
+            kind: PacketKind::Data,
+            src: NodeId(0),
+            dst: NodeId(3),
+            class: FlitClass::Data,
+            bytes: 130,
+            n_data: data_flits(130, c.flit_bytes),
+        };
+        let flits = desc.flits(42, &c);
+        assert_eq!(flits.len(), 4); // header + 3 data (64+64+2)
+        let head = PacketToken::decode(flits[0].token);
+        assert!(head.is_header());
+        assert_eq!(head.packet, 42);
+        assert_eq!(flits[0].bytes, c.header_bytes);
+        assert_eq!(flits[3].bytes, 2);
+        let total: u32 = flits[1..].iter().map(|f| f.bytes).sum();
+        assert_eq!(total, 130);
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(PacketToken::decode(f.token).seq as usize, i);
+            assert_eq!(f.dst, NodeId(3));
+        }
+    }
+
+    #[test]
+    fn control_packet_is_header_only() {
+        let c = cfg();
+        let desc = PacketDesc {
+            txn: 1,
+            kind: PacketKind::Ack,
+            src: NodeId(2),
+            dst: NodeId(5),
+            class: FlitClass::Response,
+            bytes: 0,
+            n_data: 0,
+        };
+        let flits = desc.flits(9, &c);
+        assert_eq!(flits.len(), 1);
+        assert!(PacketToken::decode(flits[0].token).is_header());
+    }
+}

@@ -20,6 +20,7 @@ pub mod server_app;
 pub mod spec;
 pub mod synthetic;
 pub mod trace;
+pub mod txn;
 pub mod zipf;
 
 pub use lmbench::{lmbench_kernels, LmbenchKernel};
@@ -31,4 +32,5 @@ pub use server_app::{ServerApp, ServerAppParams, ServerOp};
 pub use spec::{geomean_ratio, specint2006, specint2017, PowerModel, SpecProfile, SpecSuite};
 pub use synthetic::{Pattern, TrafficGen, ZipfAddressStream};
 pub use trace::{Trace, TraceEvent, TraceReplayer};
+pub use txn::{TxnMix, TxnRequest, TxnWorkload};
 pub use zipf::Zipf;

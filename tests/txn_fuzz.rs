@@ -1,0 +1,201 @@
+//! Seeded transaction fuzz over generated fabrics, wired into the same
+//! `NOC_TOPO_FUZZ_*` seed-matrix plumbing the topology fuzz uses: CI
+//! pins `{SEED_BASE, SEEDS}`, and any violated invariant drops a JSON
+//! transaction trace into the artifact directory
+//! (`NOC_TOPO_FUZZ_ARTIFACT_DIR`, default `target/topo-fuzz`) for the
+//! workflow to upload — enough to replay the exact run offline.
+//!
+//! Invariants per seed:
+//! * the fabric quiesces within a generous cycle bound;
+//! * conservation — accepted transactions all complete, exactly once,
+//!   with zero stray/duplicate/late counters;
+//! * Sequential and Parallel(4) runs agree byte-for-byte (fingerprint,
+//!   counters, completion stream).
+
+use noc_core::telemetry::NullSink;
+use noc_core::{ExecMode, GridParams, Network, NetworkConfig, NodeId, TickMode};
+use noc_sim::fuzz::{save_failing_artifact, SeedMatrix, TrafficPattern};
+use noc_sim::SimRng;
+use noc_txn::{TxnConfig, TxnCounters, TxnFabric};
+use noc_workloads::{TxnMix, TxnRequest, TxnWorkload};
+use serde::Serialize;
+
+const TXNS_PER_SEED: usize = 40;
+
+/// Replayable record of one fuzz run, dumped on failure.
+#[derive(Debug, Serialize)]
+struct TxnTrace {
+    seed: u64,
+    grid: (u16, u16),
+    devices: usize,
+    window: usize,
+    max_data_flits: u16,
+    submitted: Vec<TxnRequest>,
+    counters: TxnCounters,
+    fingerprint: Vec<u64>,
+    violation: String,
+}
+
+struct RunResult {
+    fingerprint: Vec<u64>,
+    counters: TxnCounters,
+    completions: usize,
+    submitted: Vec<TxnRequest>,
+}
+
+/// Grid shape and per-chiplet device count derived from the seed.
+fn shape(seed: u64) -> (u16, u16, u16) {
+    let mut rng = SimRng::seed_from(seed ^ 0x7A57_F00D);
+    let x = 2 + rng.gen_index(2) as u16; // 2..=3
+    let y = 2 + rng.gen_index(2) as u16;
+    let devices_per_chiplet = 2 + rng.gen_index(3) as u16; // 2..=4
+    (x, y, devices_per_chiplet)
+}
+
+fn run(seed: u64, exec: ExecMode) -> Result<RunResult, String> {
+    let (x, y, devices) = shape(seed);
+    let (topo, names) = GridParams::torus(x, y)
+        .with_devices(devices)
+        .with_seed(seed)
+        .generate()
+        .map_err(|e| format!("generate: {e}"))?
+        .compile()
+        .map_err(|e| format!("compile: {e}"))?;
+    // Sorted-by-name device order — the HashMap from `compile` must not
+    // leak its iteration order into the traffic schedule.
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        exec,
+        NullSink,
+    );
+    let cfg = TxnConfig {
+        window: 4,
+        max_data_flits: 32,
+        ..TxnConfig::default()
+    };
+    let mut fab = TxnFabric::new(net, cfg);
+    let wl = TxnWorkload::new(devs, TxnMix::default(), TrafficPattern::Uniform, 64, 32);
+    let mut rng = SimRng::seed_from(seed);
+    let mut submitted = Vec::new();
+    let mut pending: Option<TxnRequest> = None;
+    let mut guard = 0u64;
+    while submitted.len() < TXNS_PER_SEED {
+        let req = pending.take().unwrap_or_else(|| wl.next(&mut rng));
+        let accepted = match &req {
+            TxnRequest::Point { src, dst, op } => fab
+                .submit(*src, *dst, *op)
+                .map_err(|e| format!("submit: {e}"))?
+                .is_some(),
+            TxnRequest::Broadcast {
+                src,
+                targets,
+                bytes,
+            } => fab
+                .submit_broadcast(*src, targets, *bytes)
+                .map_err(|e| format!("broadcast: {e}"))?
+                .is_some(),
+        };
+        if accepted {
+            submitted.push(req);
+        } else {
+            pending = Some(req);
+        }
+        fab.tick();
+        guard += 1;
+        if guard > 1_000_000 {
+            return Err("workload starved: nothing accepted for 1M cycles".into());
+        }
+    }
+    if !fab.run_until_quiet(2_000_000) {
+        return Err(format!(
+            "failed to quiesce: {} txns in flight at cycle {}",
+            fab.in_flight_txns(),
+            fab.now().raw()
+        ));
+    }
+    let completions = fab.drain_completions();
+    let c = *fab.counters();
+    if c.stray_flits != 0 || c.duplicate_flits != 0 || c.late_responses != 0 {
+        return Err(format!(
+            "anomaly counters nonzero: stray={} dup={} late={}",
+            c.stray_flits, c.duplicate_flits, c.late_responses
+        ));
+    }
+    if completions.len() != TXNS_PER_SEED {
+        return Err(format!(
+            "conservation: {} accepted, {} completed",
+            TXNS_PER_SEED,
+            completions.len()
+        ));
+    }
+    let mut ids: Vec<_> = completions.iter().map(|t| t.txn).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != TXNS_PER_SEED {
+        return Err("conservation: a transaction completed twice".into());
+    }
+    Ok(RunResult {
+        fingerprint: fab.fingerprint(),
+        counters: c,
+        completions: completions.len(),
+        submitted,
+    })
+}
+
+/// Run one seed under both exec modes, check invariants and engine
+/// agreement; on violation, drop the artifact and return its path.
+fn fuzz_seed(seed: u64) -> Result<(), String> {
+    let seq = run(seed, ExecMode::Sequential)?;
+    let par = run(seed, ExecMode::Parallel(4))?;
+    if seq.fingerprint != par.fingerprint {
+        return Err("Sequential vs Parallel(4) fingerprints diverged".into());
+    }
+    if seq.counters != par.counters {
+        return Err("Sequential vs Parallel(4) counters diverged".into());
+    }
+    if seq.completions != par.completions {
+        return Err("Sequential vs Parallel(4) completion counts diverged".into());
+    }
+    Ok(())
+}
+
+#[test]
+fn seeded_transaction_fuzz_with_artifact_drop() {
+    let matrix = SeedMatrix::from_env(0x7001_BA5E, 3);
+    for seed in matrix.seeds() {
+        if let Err(violation) = fuzz_seed(seed) {
+            // Rebuild the trace under the failing seed for the artifact;
+            // if even that run errors out, record the violation alone.
+            let (x, y, devices) = shape(seed);
+            let (submitted, counters, fingerprint) = match run(seed, ExecMode::Sequential) {
+                Ok(r) => (r.submitted, r.counters, r.fingerprint),
+                Err(_) => (Vec::new(), TxnCounters::default(), Vec::new()),
+            };
+            let trace = TxnTrace {
+                seed,
+                grid: (x, y),
+                devices: devices as usize,
+                window: 4,
+                max_data_flits: 32,
+                submitted,
+                counters,
+                fingerprint,
+                violation: violation.clone(),
+            };
+            let json = serde_json::to_string(&trace).expect("trace serializes");
+            let path = save_failing_artifact(&format!("txn-fuzz-seed-{seed}"), &json)
+                .expect("artifact dir writable");
+            panic!(
+                "transaction fuzz violation at seed {seed}: {violation}\n\
+                 trace saved to {} — replay with NOC_TOPO_FUZZ_SEED_BASE={seed} \
+                 NOC_TOPO_FUZZ_SEEDS=1",
+                path.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Differential lockstep for the transaction layer: a 20-seed
+//! transaction workload must behave byte-identically across
+//! `TickMode::{Reference,Fast}` and
+//! `ExecMode::{Sequential,Parallel(2/4/8)}`, and conserve transactions
+//! — every accepted non-posted request completes exactly once, no
+//! strays, no duplicates, no late responses.
+//!
+//! This is the transaction-level extension of the flit-level
+//! `tick_equivalence` matrix: the fabric below already fingerprints
+//! identically; here the packetization, reassembly, window and
+//! broadcast decisions layered on top must too.
+
+use noc_core::telemetry::NullSink;
+use noc_core::{ExecMode, GridParams, Network, NetworkConfig, NodeId, TickMode};
+use noc_sim::fuzz::TrafficPattern;
+use noc_sim::SimRng;
+use noc_txn::{TxnCompletion, TxnConfig, TxnCounters, TxnFabric, TxnKind};
+use noc_workloads::{TxnMix, TxnRequest, TxnWorkload};
+
+const SEEDS: u64 = 20;
+const TXNS_PER_SEED: usize = 30;
+
+/// Everything observable from one run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    fingerprint: Vec<u64>,
+    completions: Vec<TxnCompletion>,
+    counters: TxnCounters,
+    cycles: u64,
+}
+
+fn torus(seed: u64) -> (noc_core::Topology, Vec<NodeId>) {
+    let (topo, names) = GridParams::torus(2, 2)
+        .with_devices(8)
+        .with_seed(seed)
+        .generate()
+        .expect("params are valid")
+        .compile()
+        .expect("spec compiles");
+    // Sorted-by-name device order: `compile` hands back a HashMap, and
+    // its iteration order must never leak into the traffic schedule.
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    (topo, devs)
+}
+
+fn txn_cfg() -> TxnConfig {
+    TxnConfig {
+        window: 4,
+        max_data_flits: 32, // bursts up to 2 KiB keep the matrix fast
+        ..TxnConfig::default()
+    }
+}
+
+/// Drive the same seeded workload to quiescence on one engine variant.
+fn run_variant(seed: u64, mode: TickMode, exec: ExecMode) -> Outcome {
+    let (topo, devs) = torus(seed);
+    let net = Network::with_exec(topo, NetworkConfig::default(), mode, exec, NullSink);
+    let mut fab = TxnFabric::new(net, txn_cfg());
+    let wl = TxnWorkload::new(devs, TxnMix::default(), TrafficPattern::Uniform, 64, 32);
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9));
+    let mut accepted = 0usize;
+    let mut pending: Option<TxnRequest> = None;
+    let mut guard = 0u64;
+    while accepted < TXNS_PER_SEED {
+        let req = pending.take().unwrap_or_else(|| wl.next(&mut rng));
+        let outcome = match &req {
+            TxnRequest::Point { src, dst, op } => fab
+                .submit(*src, *dst, *op)
+                .expect("generated endpoints are valid")
+                .map(|_| ()),
+            TxnRequest::Broadcast {
+                src,
+                targets,
+                bytes,
+            } => fab
+                .submit_broadcast(*src, targets, *bytes)
+                .expect("generated broadcasts are valid")
+                .map(|_| ()),
+        };
+        match outcome {
+            Some(()) => accepted += 1,
+            None => pending = Some(req), // backpressured: retry the same request
+        }
+        fab.tick();
+        guard += 1;
+        assert!(guard < 1_000_000, "seed {seed}: workload never accepted");
+    }
+    assert!(
+        fab.run_until_quiet(2_000_000),
+        "seed {seed}: fabric failed to quiesce on {mode:?}/{exec:?}: \
+         {} txns live, {} net flits in flight, counters {:?}",
+        fab.in_flight_txns(),
+        fab.network().in_flight(),
+        fab.counters()
+    );
+    Outcome {
+        fingerprint: fab.fingerprint(),
+        cycles: fab.now().raw(),
+        completions: fab.drain_completions(),
+        counters: *fab.counters(),
+    }
+}
+
+#[test]
+fn twenty_seed_engine_lockstep_with_conservation() {
+    let variants: [(TickMode, ExecMode); 6] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Reference, ExecMode::Parallel(4)),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(2)),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+        (TickMode::Fast, ExecMode::Parallel(8)),
+    ];
+    for seed in 0..SEEDS {
+        let golden = run_variant(seed, variants[0].0, variants[0].1);
+
+        // Conservation on the golden run.
+        let c = &golden.counters;
+        assert_eq!(c.stray_flits, 0, "seed {seed}: stray flits");
+        assert_eq!(c.duplicate_flits, 0, "seed {seed}: duplicate flits");
+        assert_eq!(c.late_responses, 0, "seed {seed}: late responses");
+        assert_eq!(
+            golden.completions.len(),
+            TXNS_PER_SEED,
+            "seed {seed}: accepted vs completed mismatch"
+        );
+        // Every transaction id completes exactly once.
+        let mut ids: Vec<_> = golden.completions.iter().map(|t| t.txn).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            TXNS_PER_SEED,
+            "seed {seed}: duplicated completion"
+        );
+        // Every non-posted request got exactly one response (its
+        // completion); posted kinds completed at delivery.
+        let non_posted = golden
+            .completions
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.kind,
+                    TxnKind::Read | TxnKind::WriteNonPosted | TxnKind::Atomic
+                )
+            })
+            .count() as u64;
+        assert_eq!(
+            c.reads + c.writes_non_posted + c.atomics,
+            non_posted,
+            "seed {seed}: non-posted accounting"
+        );
+        assert!(
+            golden.completions.iter().all(|t| t.latency() > 0),
+            "seed {seed}: zero-latency completion"
+        );
+
+        // Byte-identity across every other engine variant.
+        for &(mode, exec) in &variants[1..] {
+            let other = run_variant(seed, mode, exec);
+            assert_eq!(
+                golden.fingerprint, other.fingerprint,
+                "seed {seed}: fingerprint diverged on {mode:?}/{exec:?}"
+            );
+            assert_eq!(
+                golden.completions, other.completions,
+                "seed {seed}: completion stream diverged on {mode:?}/{exec:?}"
+            );
+            assert_eq!(
+                golden.counters, other.counters,
+                "seed {seed}: counters diverged on {mode:?}/{exec:?}"
+            );
+            assert_eq!(
+                golden.cycles, other.cycles,
+                "seed {seed}: quiescence time diverged on {mode:?}/{exec:?}"
+            );
+        }
+    }
+}
