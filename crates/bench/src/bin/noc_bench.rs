@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]
+//! noc-bench scaling    [--quick] [--out PATH] [--gate]
 //! ```
 //!
 //! `trajectory` runs the performance-trajectory benchmark
@@ -10,19 +11,127 @@
 //! exits non-zero when either the observatory's measured tick-loop
 //! overhead or the flight recorder's overhead on top of it exceeds
 //! `PCT` percent — the CI regression gate.
+//!
+//! `scaling` runs the epoch-batched parallel-scaling sweep
+//! ([`noc_experiments::scaling`]) on the 16-ring chain and writes
+//! `BENCH_PR8.json`. Any fingerprint divergence across the exec × K
+//! grid fails the run unconditionally. With `--gate` the process also
+//! exits non-zero when `Parallel(4)` fails to beat `Sequential` by the
+//! required 1.5× — unless the host has fewer than 4 logical cores, in
+//! which case the gate skips and the artifact records the reason.
 
-use noc_experiments::trajectory;
+use noc_experiments::{scaling, trajectory};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]");
+    eprintln!(
+        "usage: noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]\n\
+         \x20      noc-bench scaling    [--quick] [--out PATH] [--gate]"
+    );
     ExitCode::from(2)
+}
+
+/// Write `json` to `out` and read it back, failing loudly on an empty
+/// or truncated artifact (a silently rotten perf record looks green).
+fn write_artifact(out: &str, json: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(out, format!("{json}\n")) {
+        eprintln!("noc-bench: FAIL — cannot write {out}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    match std::fs::read_to_string(out) {
+        Ok(written) if written.trim().is_empty() => {
+            eprintln!("noc-bench: FAIL — {out} was written empty");
+            Err(ExitCode::FAILURE)
+        }
+        Ok(written) => {
+            if let Err(e) = serde_json::from_str::<serde::Value>(&written) {
+                eprintln!("noc-bench: FAIL — {out} is not valid JSON after write: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("noc-bench: FAIL — {out} unreadable after write: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_scaling(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR8.json".to_string();
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--gate" => gate = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    eprintln!(
+        "noc-bench scaling: running ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = scaling::run(quick);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(code) = write_artifact(&out, &json) {
+        return code;
+    }
+    eprintln!(
+        "  host: {} logical core(s), {}",
+        report.host.logical_cores, report.host.cpu_model
+    );
+    for p in &report.points {
+        eprintln!(
+            "  {:>10} k={}: {:>9.0} ticks/sec ({:.2}× seq k=1, fingerprint {})",
+            p.exec,
+            p.k,
+            p.ticks_per_sec,
+            p.speedup_vs_seq_k1,
+            if p.fingerprint_ok { "ok" } else { "DIVERGED" }
+        );
+    }
+    eprintln!("noc-bench: wrote {out}");
+
+    if report.points.iter().any(|p| !p.fingerprint_ok) {
+        eprintln!("noc-bench: FAIL — exec × K grid disagrees on the simulation");
+        return ExitCode::FAILURE;
+    }
+    match (&report.gate.passed, &report.gate.skip_reason) {
+        (Some(true), _) => eprintln!(
+            "noc-bench: speedup gate PASS — parallel4 {:.2}× ≥ {:.2}× sequential",
+            report.gate.measured.unwrap_or(0.0),
+            report.gate.required
+        ),
+        (Some(false), _) => {
+            eprintln!(
+                "noc-bench: speedup gate {} — parallel4 {:.2}× < {:.2}× sequential",
+                if gate { "FAIL" } else { "MISS (not enforced)" },
+                report.gate.measured.unwrap_or(0.0),
+                report.gate.required
+            );
+            if gate {
+                return ExitCode::FAILURE;
+            }
+        }
+        (None, Some(reason)) => eprintln!("noc-bench: speedup gate SKIPPED — {reason}"),
+        (None, None) => unreachable!("gate resolves or explains itself"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("trajectory") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("scaling") => return run_scaling(&args[1..]),
+        Some("trajectory") => {}
+        _ => return usage(),
     }
     let mut quick = false;
     let mut out = "BENCH_PR7.json".to_string();
@@ -49,27 +158,8 @@ fn main() -> ExitCode {
     );
     let report = trajectory::run(quick);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
-        eprintln!("noc-bench: FAIL — cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-    // Read the artifact back: a silently empty or truncated report is a
-    // trajectory job that *looks* green while the perf record rots.
-    match std::fs::read_to_string(&out) {
-        Ok(written) if written.trim().is_empty() => {
-            eprintln!("noc-bench: FAIL — {out} was written empty");
-            return ExitCode::FAILURE;
-        }
-        Ok(written) => {
-            if let Err(e) = serde_json::from_str::<serde::Value>(&written) {
-                eprintln!("noc-bench: FAIL — {out} is not valid JSON after write: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        Err(e) => {
-            eprintln!("noc-bench: FAIL — {out} unreadable after write: {e}");
-            return ExitCode::FAILURE;
-        }
+    if let Err(code) = write_artifact(&out, &json) {
+        return code;
     }
     for w in &report.workloads {
         eprintln!(

@@ -22,6 +22,7 @@
 //! | [`engine`] | engine tick profile (fast-path skip fractions) |
 //! | [`determinism`] | parallel-engine fingerprint gate |
 //! | [`trajectory`] | `noc-bench trajectory` → `BENCH_PR4.json` perf trajectory |
+//! | [`scaling`] | `noc-bench scaling` → `BENCH_PR8.json` epoch-batched parallel scaling |
 
 pub mod ablations;
 pub mod determinism;
@@ -32,6 +33,7 @@ pub mod fig11;
 pub mod fig12_13;
 pub mod fig14;
 pub mod report;
+pub mod scaling;
 pub mod systems;
 pub mod table04;
 pub mod table05;

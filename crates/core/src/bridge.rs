@@ -22,6 +22,19 @@
 //! [`BridgeSide::peer_backlog`] before the per-ring phase, so
 //! [`BridgeSide::pipe_len`] (`peer_backlog + tx.len()`) reproduces the
 //! monolith's pipeline occupancy bit for bit.
+//!
+//! # Under epoch batching
+//!
+//! [`Network::tick_epoch`](crate::Network::tick_epoch) runs the same
+//! two exchanges *inside* the workers, once per cycle of the epoch:
+//! sides whose peer lives in the same epoch task swap inline exactly as
+//! above, and cross-task sides exchange the identical values — the
+//! post-delivery `rx` depth, then the staged `tx` batch — as messages
+//! over a dedicated SPSC ring per direction (see [`crate::epoch`]).
+//! The bridge's `latency` also bounds the epoch: `K` may not exceed
+//! the fabric's minimum bridge latency, so no flit both enters and
+//! matures in a pipeline within one epoch, which is what lets the
+//! engine defer caller-visible drains to the epoch boundary.
 
 use crate::config::BridgeConfig;
 use crate::flit::Flit;

@@ -128,6 +128,61 @@ impl fmt::Display for EnqueueError {
 
 impl Error for EnqueueError {}
 
+/// Errors raised while advancing the engine (epoch validation and
+/// worker-pool failures). [`Network::tick`](crate::Network::tick)
+/// keeps its infallible signature and panics on these;
+/// [`Network::tick_epoch`](crate::Network::tick_epoch) and
+/// [`Network::try_tick`](crate::Network::try_tick) surface them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The requested epoch length exceeds the minimum bridge traversal
+    /// latency, so a flit staged early in the epoch could mature —
+    /// and in the monolithic engine would be *delivered* — before the
+    /// epoch's single mailbox exchange. Running anyway would be
+    /// silently wrong; the engine refuses instead.
+    EpochTooLong {
+        /// The rejected epoch length.
+        requested: u64,
+        /// The largest valid epoch for this topology
+        /// ([`Network::max_epoch`](crate::Network::max_epoch)).
+        max: u64,
+    },
+    /// An epoch of zero cycles was requested.
+    EmptyEpoch,
+    /// A parallel worker died (its job panicked). The shards it held
+    /// are lost, so the network is no longer usable.
+    Pool(noc_sim::PoolError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EpochTooLong { requested, max } => write!(
+                f,
+                "epoch of {requested} cycles exceeds the minimum bridge \
+                 latency bound of {max}"
+            ),
+            EngineError::EmptyEpoch => write!(f, "epoch must span at least one cycle"),
+            EngineError::Pool(e) => write!(f, "parallel engine failed: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Pool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<noc_sim::PoolError> for EngineError {
+    fn from(e: noc_sim::PoolError) -> Self {
+        EngineError::Pool(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +203,24 @@ mod tests {
         fn takes_err<E: Error>(_: E) {}
         takes_err(TopologyError::NoDevices);
         takes_err(EnqueueError::SelfSend { node: NodeId(0) });
+        takes_err(EngineError::EmptyEpoch);
+    }
+
+    #[test]
+    fn engine_error_messages() {
+        let e = EngineError::EpochTooLong {
+            requested: 9,
+            max: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "epoch of 9 cycles exceeds the minimum bridge latency bound of 2"
+        );
+        let e = EngineError::Pool(noc_sim::PoolError {
+            worker: 3,
+            on_dispatch: false,
+        });
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.source().is_some());
     }
 }

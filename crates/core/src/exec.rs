@@ -22,8 +22,14 @@ pub enum ExecMode {
     /// Fan the per-ring phase out across `n` threads (the calling
     /// thread plus `n - 1` pooled workers). `Parallel(0)` and
     /// `Parallel(1)` degenerate to the sequential path through the
-    /// same code. Threads only pay off once rings are big enough that
-    /// a shard's phase outweighs two channel hops (~µs).
+    /// same code. Under [`Network::tick`](crate::Network::tick) the
+    /// pool rendezvous happens every phase, so threads only pay off
+    /// once a shard's phase outweighs two channel hops (~µs); under
+    /// [`Network::tick_epoch`](crate::Network::tick_epoch) the handoff
+    /// amortizes over K cycles and cross-thread bridge traffic moves
+    /// over lock-free SPSC mailboxes instead (see [`crate::epoch`]),
+    /// which is where the scaling curve comes from
+    /// (`noc-bench scaling` → `BENCH_PR8.json`).
     Parallel(usize),
 }
 

@@ -47,6 +47,7 @@ pub mod bits;
 mod bridge;
 pub mod config;
 pub mod diag;
+mod epoch;
 pub mod error;
 pub mod exec;
 pub mod flit;
@@ -71,7 +72,7 @@ pub use noc_telemetry as telemetry;
 pub use bits::BitRing;
 pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
 pub use diag::NocDiagnostics;
-pub use error::{EnqueueError, TopologyError};
+pub use error::{EngineError, EnqueueError, TopologyError};
 pub use exec::ExecMode;
 pub use flit::{Flit, FlitClass, PacketToken};
 pub use ids::{BridgeId, ChipletId, Direction, NodeId, Port, RingId, RingKind};

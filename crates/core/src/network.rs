@@ -25,6 +25,19 @@
 //!    in bridge order, per-shard telemetry is drained into the sink in
 //!    ring order, and ring utilization is sampled.
 //!
+//! # Epoch-batched tick
+//!
+//! [`Network::tick_epoch`] runs **K cycles per handoff** instead of
+//! one: the per-cycle phases execute back to back (on the calling
+//! thread, or detached on long-lived epoch workers that exchange
+//! per-cycle bridge mail over lock-free SPSC rings — see
+//! `crate::epoch`), and every engine-side drain (metrics commits,
+//! watchdog evaluation, trace emission, utilization samples) is
+//! deferred and replayed in cycle order at the epoch boundary. K is
+//! bounded by the minimum bridge traversal latency
+//! ([`Network::max_epoch`]); within that bound the deferral is
+//! invisible and every observable stream is byte-identical to K=1.
+//!
 //! # Occupancy-indexed tick
 //!
 //! A cross station is a strict no-op for a lane pass unless at least
@@ -40,7 +53,8 @@
 //! `tests/tick_equivalence.rs`.
 
 use crate::config::NetworkConfig;
-use crate::error::EnqueueError;
+use crate::epoch::{EpochCell, EpochEngine, EpochTask};
+use crate::error::{EngineError, EnqueueError};
 use crate::exec::{ExecMode, PoolCell};
 use crate::flit::{Flit, FlitClass};
 use crate::ids::{BridgeId, NodeId, RingId};
@@ -72,12 +86,6 @@ pub enum TickMode {
     /// The original exhaustive station walk, kept as the golden model.
     Reference,
 }
-
-/// When a tracing sink is attached, every ring's occupancy is sampled
-/// into the sink ([`FlitEvent::RingUtil`]) once per this many cycles.
-/// Irrelevant for [`NullSink`] networks: the sampling loop is compiled
-/// away entirely.
-const UTIL_SAMPLE_PERIOD: u64 = 8;
 
 /// Online observability state: the snapshot registry plus the watchdog
 /// monitor, attached by [`Network::enable_metrics`] /
@@ -175,6 +183,7 @@ pub struct Network<S: TraceSink = NullSink> {
     mode: TickMode,
     exec: ExecMode,
     pool: PoolCell,
+    epoch: EpochCell,
     now: Cycle,
     ticks: u64,
     next_flit_id: u64,
@@ -221,6 +230,7 @@ impl<S: TraceSink> Network<S> {
             mode,
             exec,
             pool: PoolCell::default(),
+            epoch: EpochCell::default(),
             now: Cycle::ZERO,
             ticks: 0,
             next_flit_id: 0,
@@ -336,19 +346,21 @@ impl<S: TraceSink> Network<S> {
     /// [`RecorderConfig::charge_stride`] windows.
     pub fn dump_postmortem(&self, reason: &str) -> Option<PostmortemBundle> {
         self.observatory.as_ref()?;
-        Some(self.capture_bundle(reason))
+        Some(self.capture_bundle(reason, self.now.raw()))
     }
 
-    /// Build a bundle from the current observatory state. Caller
-    /// guarantees the observatory is enabled.
-    fn capture_bundle(&self, reason: &str) -> PostmortemBundle {
+    /// Build a bundle from the current observatory state, stamped with
+    /// `cycle` (the watchdog path passes the sample cycle, which inside
+    /// an epoch epilogue can trail `self.now`). Caller guarantees the
+    /// observatory is enabled.
+    fn capture_bundle(&self, reason: &str, cycle: u64) -> PostmortemBundle {
         let obs = self.observatory.as_ref().expect("caller checked");
         let rec = obs.recorder.as_ref();
         let flow_top_k = rec.map_or(0, |r| r.config().flow_top_k);
         PostmortemBundle {
             meta: BundleMeta {
                 reason: reason.to_string(),
-                cycle: self.now.raw(),
+                cycle,
                 stations: self.shards.iter().map(|s| s.ring.stations).collect(),
                 flow_top_k,
                 snapshots_seen: rec.map_or(0, FlightRecorder::snapshots_seen),
@@ -395,48 +407,54 @@ impl<S: TraceSink> Network<S> {
         let Some(period) = self.observatory.as_ref().map(|o| o.registry.period()) else {
             return;
         };
+        self.drain_staged_metrics();
         let now = self.now;
         let shared = Arc::clone(&self.shared);
         for shard in &mut self.shards {
             shard.charge_and_flush();
             shard.sample_metrics(&shared, now);
         }
-        self.commit_metrics(now.raw() % period);
+        self.commit_staged(now.raw() % period);
     }
 
-    /// Collect the per-ring samples staged this tick (if any) into one
-    /// snapshot. Runs at the post-phase barrier with no shard active;
-    /// collection order is ascending ring id, always.
-    fn collect_metrics(&mut self) {
-        if self.observatory.is_none()
-            || self
-                .shards
-                .first()
-                .is_none_or(|s| s.pending_metrics.is_none())
-        {
+    /// Commit every staged sample row. Runs at the epoch boundary with
+    /// no shard active; shards stage samples in lockstep (same cycles
+    /// everywhere), and each commit pops one row across all shards in
+    /// ascending ring id — so the snapshot stream is identical to the
+    /// K=1 engine committing at every tick's barrier.
+    fn drain_staged_metrics(&mut self) {
+        let Some(window) = self.observatory.as_ref().map(|o| o.registry.period()) else {
             return;
+        };
+        while self
+            .shards
+            .first()
+            .is_some_and(|s| !s.pending_metrics.is_empty())
+        {
+            self.commit_staged(window);
         }
-        let window = self
-            .observatory
-            .as_ref()
-            .expect("checked above")
-            .registry
-            .period();
-        self.commit_metrics(window);
     }
 
-    fn commit_metrics(&mut self, window: u64) {
+    /// Pop one staged sample row (oldest; all shards sampled it at the
+    /// same cycle) and commit it as one snapshot.
+    fn commit_staged(&mut self, window: u64) {
+        let mut in_flight = 0u64;
+        let mut cycle = 0u64;
         let rings: Vec<RingWindow> = self
             .shards
             .iter_mut()
             .map(|s| {
-                s.pending_metrics
-                    .take()
-                    .expect("all shards sample together")
+                let staged = s
+                    .pending_metrics
+                    .pop_front()
+                    .expect("all shards sample together");
+                // Wrapping: per-shard contributions may be "negative"
+                // (see `StagedSample`); the sum is exact.
+                in_flight = in_flight.wrapping_add(staged.in_flight);
+                cycle = staged.cycle;
+                staged.window
             })
             .collect();
-        let in_flight = self.in_flight();
-        let cycle = self.now.raw();
         let obs = self.observatory.as_mut().expect("caller checked");
         let snap = obs.registry.commit(cycle, window, in_flight, rings);
         let new_verdicts = obs.monitor.observe(snap);
@@ -462,7 +480,7 @@ impl<S: TraceSink> Network<S> {
             for shard in &mut self.shards {
                 shard.charge_and_flush();
             }
-            let bundle = self.capture_bundle(&reason);
+            let bundle = self.capture_bundle(&reason, cycle);
             self.observatory
                 .as_mut()
                 .expect("checked above")
@@ -763,7 +781,22 @@ impl<S: TraceSink> Network<S> {
 
     /// Advance the network by one clock cycle (see the module docs for
     /// the phase structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parallel worker died (see [`Network::try_tick`] for
+    /// the non-panicking form).
     pub fn tick(&mut self) {
+        if let Err(e) = self.try_tick() {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Network::tick`], surfacing engine failures as a typed
+    /// [`EngineError`] instead of panicking. After an
+    /// [`EngineError::Pool`] the shards handed to the dead worker are
+    /// lost and the network must be discarded.
+    pub fn try_tick(&mut self) -> Result<(), EngineError> {
         self.now += 1;
         self.ticks += 1;
         let now = self.now;
@@ -797,18 +830,217 @@ impl<S: TraceSink> Network<S> {
                     }
                 }
             }
-            ExecMode::Parallel(_) => self.run_parallel(now),
+            ExecMode::Parallel(_) => self.run_parallel(now)?,
         }
-        // Barrier: swap bridge mailboxes, collect staged metrics
+        // Barrier: swap bridge mailboxes, commit staged metrics
         // samples, then drain telemetry in ring order so the sink sees
         // one deterministic stream.
         self.exchange_bridges();
-        self.collect_metrics();
+        self.drain_staged_metrics();
         if S::ENABLED {
             self.drain_trace_buffers();
-            if now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {
-                self.sample_ring_util();
+            self.emit_staged_util(now.raw());
+        }
+        Ok(())
+    }
+
+    /// The largest epoch [`Network::tick_epoch`] accepts: the minimum
+    /// bridge traversal latency over the topology (at least 1), or
+    /// `u64::MAX` when there are no bridges. Within this bound no flit
+    /// can enter *and* mature in a bridge pipeline inside one epoch,
+    /// which is what makes deferring all engine-side drains to the
+    /// epoch boundary invisible (see `crate::epoch`).
+    pub fn max_epoch(&self) -> u64 {
+        self.shared
+            .topo
+            .bridges()
+            .iter()
+            .map(|b| u64::from(b.config.latency.max(1)))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Advance the network by `k` cycles as one epoch: the per-cycle
+    /// phases run back to back (sequentially, or detached on the epoch
+    /// worker pool under [`ExecMode::Parallel`]), and every
+    /// caller-visible drain — metrics commits, watchdog evaluation,
+    /// trace-sink emission, ring-utilization samples — is deferred to
+    /// this epoch boundary and then replayed in cycle order. The
+    /// resulting state, statistics, snapshot stream and telemetry
+    /// stream are byte-identical to calling [`Network::tick`] `k`
+    /// times; only the synchronization structure changes.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::EmptyEpoch`] — `k == 0`.
+    /// * [`EngineError::EpochTooLong`] — `k > `[`Network::max_epoch`].
+    /// * [`EngineError::Pool`] — a parallel worker died; the network
+    ///   must be discarded.
+    pub fn tick_epoch(&mut self, k: u64) -> Result<(), EngineError> {
+        if k == 0 {
+            return Err(EngineError::EmptyEpoch);
+        }
+        let max = self.max_epoch();
+        if k > max {
+            return Err(EngineError::EpochTooLong { requested: k, max });
+        }
+        let first = self.now.raw() + 1;
+        let last = self.now.raw() + k;
+        match self.exec {
+            ExecMode::Sequential => self.epoch_sequential(first, last),
+            ExecMode::Parallel(_) => self.epoch_parallel(first, last)?,
+        }
+        self.now = Cycle(last);
+        self.ticks += k;
+        self.epoch_epilogue(first, last);
+        Ok(())
+    }
+
+    /// The epoch's cycle loop on the calling thread: per cycle, exactly
+    /// the phases of [`Network::try_tick`] minus the drains (those run
+    /// in [`Network::epoch_epilogue`]).
+    fn epoch_sequential(&mut self, first: u64, last: u64) {
+        let shared = Arc::clone(&self.shared);
+        let mode = self.mode;
+        for t in first..=last {
+            let now = Cycle(t);
+            if S::ENABLED {
+                for shard in &mut self.shards {
+                    shard.phase_deliver::<true>(now);
+                }
+            } else {
+                for shard in &mut self.shards {
+                    shard.phase_deliver::<false>(now);
+                }
             }
+            self.refresh_peer_backlogs();
+            if S::ENABLED {
+                for shard in &mut self.shards {
+                    shard.phase_cycle::<true>(&shared, now, mode);
+                }
+            } else {
+                for shard in &mut self.shards {
+                    shard.phase_cycle::<false>(&shared, now, mode);
+                }
+            }
+            self.exchange_bridges();
+        }
+    }
+
+    /// The epoch's cycle loop fanned out on the epoch pool: shards move
+    /// into per-slot [`EpochTask`]s, every task runs all K cycles
+    /// (exchanging per-cycle bridge mail over SPSC rings), and the
+    /// shards move back at the single gather.
+    fn epoch_parallel(&mut self, first: u64, last: u64) -> Result<(), EngineError> {
+        let workers = self.exec.workers();
+        let rebuild = match &self.epoch.0 {
+            Some(e) => e.pool.workers() != workers,
+            None => true,
+        };
+        if rebuild {
+            let tasks = crate::epoch::build_tasks(&self.shared, workers + 1);
+            self.epoch.0 = Some(EpochEngine {
+                pool: ShardPool::new(workers),
+                tasks,
+            });
+        }
+        let engine = self.epoch.0.as_mut().expect("just ensured");
+        let mut src: Vec<Option<RingShard>> = self.shards.drain(..).map(Some).collect();
+        let mut tasks = std::mem::take(&mut engine.tasks);
+        for task in &mut tasks {
+            task.shards = task
+                .ring_ids
+                .iter()
+                .map(|&r| src[r].take().expect("each ring owned by one task"))
+                .collect();
+        }
+        let shared = Arc::clone(&self.shared);
+        let mode = self.mode;
+        let job: PoolJob<EpochTask> = if S::ENABLED {
+            Arc::new(move |t: &mut EpochTask| t.run_epoch::<true>(&shared, mode, first, last))
+        } else {
+            Arc::new(move |t: &mut EpochTask| t.run_epoch::<false>(&shared, mode, first, last))
+        };
+        let mut done = match engine.pool.run(tasks, job) {
+            Ok(done) => done,
+            Err(e) => {
+                // Shards died with the worker; drop the stale wiring so
+                // a (doomed) retry cannot see half a network.
+                self.epoch.0 = None;
+                return Err(e.into());
+            }
+        };
+        let mut out: Vec<Option<RingShard>> = (0..src.len()).map(|_| None).collect();
+        for task in &mut done {
+            let shards = std::mem::take(&mut task.shards);
+            for (&r, sh) in task.ring_ids.iter().zip(shards) {
+                out[r] = Some(sh);
+            }
+        }
+        self.shards = out
+            .into_iter()
+            .map(|o| o.expect("every ring gathered back"))
+            .collect();
+        engine.tasks = done;
+        Ok(())
+    }
+
+    /// Replay the epoch's deferred drains in cycle order: for each
+    /// cycle, commit that cycle's staged metrics sample (if any), feed
+    /// that cycle's trace records to the recorder and sink in ring
+    /// order, then emit its staged ring-utilization samples — the exact
+    /// per-tick sequence of the K=1 engine, batched.
+    fn epoch_epilogue(&mut self, first: u64, last: u64) {
+        let window = self.observatory.as_ref().map(|o| o.registry.period());
+        let mut cursors = vec![0usize; self.shards.len()];
+        for t in first..=last {
+            if let Some(w) = window {
+                if self
+                    .shards
+                    .first()
+                    .is_some_and(|s| s.pending_metrics.front().is_some_and(|p| p.cycle == t))
+                {
+                    self.commit_staged(w);
+                }
+            }
+            if S::ENABLED {
+                self.feed_traces_for_cycle(&mut cursors, t);
+                self.emit_staged_util(t);
+            }
+        }
+        if S::ENABLED {
+            for (si, cur) in cursors.iter().enumerate() {
+                debug_assert_eq!(
+                    *cur,
+                    self.shards[si].trace.len(),
+                    "epoch epilogue consumed every staged record"
+                );
+                let mut trace = std::mem::take(&mut self.shards[si].trace);
+                trace.drain_into(&mut NullSink);
+                self.shards[si].trace = trace;
+            }
+        }
+    }
+
+    /// Feed every trace record staged for cycle `t` to the recorder and
+    /// sink, in ring order, advancing the per-shard cursors. Records
+    /// within a shard's buffer are non-decreasing in cycle, so one pass
+    /// per cycle consumes the buffer exactly once.
+    fn feed_traces_for_cycle(&mut self, cursors: &mut [usize], t: u64) {
+        for (si, cursor) in cursors.iter_mut().enumerate() {
+            let trace = std::mem::take(&mut self.shards[si].trace);
+            let records = trace.records();
+            let mut cur = *cursor;
+            while cur < records.len() && records[cur].cycle == t {
+                let record = records[cur];
+                if let Some(rec) = self.observatory.as_mut().and_then(|o| o.recorder.as_mut()) {
+                    rec.record_event(record);
+                }
+                self.sink.emit(record);
+                cur += 1;
+            }
+            *cursor = cur;
+            self.shards[si].trace = trace;
         }
     }
 
@@ -816,7 +1048,7 @@ impl<S: TraceSink> Network<S> {
     /// lazily when the requested thread count changed. Shards are moved
     /// into the pool by value and reassembled in ring order, so no
     /// state is ever shared between threads.
-    fn run_parallel(&mut self, now: Cycle) {
+    fn run_parallel(&mut self, now: Cycle) -> Result<(), EngineError> {
         let workers = self.exec.workers();
         if self.pool.0.as_ref().map(ShardPool::workers) != Some(workers) {
             self.pool.0 = Some(ShardPool::new(workers));
@@ -829,13 +1061,13 @@ impl<S: TraceSink> Network<S> {
             Arc::new(move |shard: &mut RingShard| shard.phase_cycle::<false>(&shared, now, mode))
         };
         let shards = std::mem::take(&mut self.shards);
-        let done = self
+        self.shards = self
             .pool
             .0
             .as_mut()
             .expect("pool just ensured")
-            .run(shards, job);
-        self.shards = done;
+            .run(shards, job)?;
+        Ok(())
     }
 
     /// Record each bridge side's view of its peer's inbox depth
@@ -894,21 +1126,25 @@ impl<S: TraceSink> Network<S> {
         }
     }
 
-    /// Emit one [`FlitEvent::RingUtil`] sample per ring.
-    fn sample_ring_util(&mut self) {
+    /// Emit the [`FlitEvent::RingUtil`] samples shards staged for cycle
+    /// `t` (at [`crate::shard::UTIL_SAMPLE_PERIOD`] boundaries), in
+    /// ring order.
+    fn emit_staged_util(&mut self, t: u64) {
         for si in 0..self.shards.len() {
-            let (occupied, capacity) = {
-                let r = &self.shards[si].ring;
-                (r.occupancy() as u16, r.capacity() as u16)
-            };
-            self.sink.emit(TraceRecord {
-                cycle: self.now.raw(),
-                flit: NO_FLIT,
-                ring: si as u16,
-                station: 0,
-                lane: NO_LANE,
-                event: FlitEvent::RingUtil { occupied, capacity },
-            });
+            while let Some(&(cycle, occupied, capacity)) = self.shards[si].pending_util.front() {
+                if cycle != t {
+                    break;
+                }
+                self.shards[si].pending_util.pop_front();
+                self.sink.emit(TraceRecord {
+                    cycle,
+                    flit: NO_FLIT,
+                    ring: si as u16,
+                    station: 0,
+                    lane: NO_LANE,
+                    event: FlitEvent::RingUtil { occupied, capacity },
+                });
+            }
         }
     }
 }

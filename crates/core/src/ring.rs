@@ -10,19 +10,52 @@
 //! keep two station-space [`BitRing`]s (flits, I-tags) in sync with the
 //! slot arrays. The occupancy-indexed tick reads those bitsets to visit
 //! only stations where something can happen.
+//!
+//! # Struct-of-arrays slot storage
+//!
+//! Slot state is stored as parallel dense arrays, not an
+//! array-of-`Option` structs: the flit payload array, the I-tag owner
+//! array, and the two occupancy word arrays ([`BitRing`]s) that are
+//! the *sole* authority on which entries are live. A vacant slot's
+//! payload bytes are garbage (a placeholder flit / owner id) and are
+//! never read, because every accessor consults the occupancy word
+//! first. That buys the hot loops two things: the sweep and the
+//! advance walk whole 64-station words — merging activity across
+//! flits, I-tags and injectors with three `or`s per word — without
+//! touching payload memory for idle stations; and the meta arrays
+//! carry no `Option` discriminants, so the I-tag array is a dense
+//! `u32` row and the flit array is exactly `size_of::<Flit>()` per
+//! slot.
 
 use crate::bits::BitRing;
-use crate::flit::Flit;
+use crate::flit::{Flit, FlitClass};
 use crate::ids::{ChipletId, Direction, NodeId, RingId, RingKind};
+use noc_sim::Cycle;
+
+/// Garbage filler for vacant flit slots. Never observable: the
+/// occupancy bitset gates every read.
+fn vacant_flit() -> Flit {
+    Flit::new(
+        u64::MAX,
+        NodeId(u32::MAX),
+        NodeId(u32::MAX),
+        FlitClass::Request,
+        0,
+        0,
+        Cycle(0),
+    )
+}
 
 /// One unidirectional lane of a ring.
 #[derive(Debug, Clone)]
 pub struct Lane {
     dir: Direction,
-    /// Flit per slot, indexed by slot position (not station).
-    flits: Vec<Option<Flit>>,
-    /// I-tag per slot: the node interface the slot is reserved for.
-    itags: Vec<Option<NodeId>>,
+    /// Flit payload per slot, indexed by slot position (not station).
+    /// Live iff the slot's station bit is set in `flit_bits`.
+    flits: Vec<Flit>,
+    /// I-tag owner per slot: the node interface the slot is reserved
+    /// for. Live iff the slot's station bit is set in `itag_bits`.
+    itags: Vec<NodeId>,
     /// Rotation offset: slot `i` currently sits at station
     /// `(i + offset) mod n` (Cw) or `(i - offset) mod n` (Ccw).
     offset: usize,
@@ -37,8 +70,8 @@ impl Lane {
     pub fn new(dir: Direction, stations: u16) -> Self {
         Lane {
             dir,
-            flits: vec![None; stations as usize],
-            itags: vec![None; stations as usize],
+            flits: (0..stations).map(|_| vacant_flit()).collect(),
+            itags: vec![NodeId(u32::MAX); stations as usize],
             offset: 0,
             flit_bits: BitRing::new(stations as usize),
             itag_bits: BitRing::new(stations as usize),
@@ -73,18 +106,21 @@ impl Lane {
     /// The flit in the slot currently at `station`, if any.
     #[inline]
     pub fn flit_at(&self, station: u16) -> Option<&Flit> {
-        self.flits[self.index_of_station(station)].as_ref()
+        if !self.flit_bits.test(station as usize) {
+            return None;
+        }
+        Some(&self.flits[self.index_of_station(station)])
     }
 
     /// Remove and return the flit in the slot currently at `station`.
     #[inline]
     pub fn take_flit(&mut self, station: u16) -> Option<Flit> {
-        let i = self.index_of_station(station);
-        let f = self.flits[i].take();
-        if f.is_some() {
-            self.flit_bits.clear(station as usize);
+        if !self.flit_bits.test(station as usize) {
+            return None;
         }
-        f
+        self.flit_bits.clear(station as usize);
+        let i = self.index_of_station(station);
+        Some(std::mem::replace(&mut self.flits[i], vacant_flit()))
     }
 
     /// Place `flit` into the slot currently at `station`.
@@ -93,19 +129,22 @@ impl Lane {
     /// (or have just `take_flit`-ed) first.
     #[inline]
     pub fn put_flit(&mut self, station: u16, flit: Flit) {
-        let i = self.index_of_station(station);
         assert!(
-            self.flits[i].is_none(),
+            !self.flit_bits.test(station as usize),
             "slot at station {station} occupied"
         );
-        self.flits[i] = Some(flit);
+        let i = self.index_of_station(station);
+        self.flits[i] = flit;
         self.flit_bits.set(station as usize);
     }
 
     /// The I-tag on the slot currently at `station`, if any.
     #[inline]
     pub fn itag_at(&self, station: u16) -> Option<NodeId> {
-        self.itags[self.index_of_station(station)]
+        if !self.itag_bits.test(station as usize) {
+            return None;
+        }
+        Some(self.itags[self.index_of_station(station)])
     }
 
     /// Reserve the slot currently at `station` for `owner`.
@@ -113,24 +152,23 @@ impl Lane {
     /// Panics if the slot already carries an I-tag.
     #[inline]
     pub fn set_itag(&mut self, station: u16, owner: NodeId) {
-        let i = self.index_of_station(station);
         assert!(
-            self.itags[i].is_none(),
+            !self.itag_bits.test(station as usize),
             "slot at station {station} already tagged"
         );
-        self.itags[i] = Some(owner);
+        let i = self.index_of_station(station);
+        self.itags[i] = owner;
         self.itag_bits.set(station as usize);
     }
 
     /// Remove and return the I-tag on the slot currently at `station`.
     #[inline]
     pub fn take_itag(&mut self, station: u16) -> Option<NodeId> {
-        let i = self.index_of_station(station);
-        let t = self.itags[i].take();
-        if t.is_some() {
-            self.itag_bits.clear(station as usize);
+        if !self.itag_bits.test(station as usize) {
+            return None;
         }
-        t
+        self.itag_bits.clear(station as usize);
+        Some(self.itags[self.index_of_station(station)])
     }
 
     /// Shift every slot one station in the lane's direction and charge
@@ -159,10 +197,7 @@ impl Lane {
                 let s = wi * 64 + w.trailing_zeros() as usize;
                 w &= w - 1;
                 let i = self.index_of_station(s as u16);
-                self.flits[i]
-                    .as_mut()
-                    .expect("occupancy bit set for empty slot")
-                    .hops += 1;
+                self.flits[i].hops += 1;
             }
         }
     }
@@ -193,7 +228,18 @@ impl Lane {
 
     /// Iterate over all in-flight flits (arbitrary positional order).
     pub fn flits(&self) -> impl Iterator<Item = &Flit> {
-        self.flits.iter().filter_map(|f| f.as_ref())
+        let n = self.flits.len();
+        let off = if n == 0 { 0 } else { self.offset % n };
+        let dir = self.dir;
+        let bits = &self.flit_bits;
+        self.flits.iter().enumerate().filter_map(move |(i, f)| {
+            // The inverse of `index_of_station`.
+            let s = match dir {
+                Direction::Cw => (i + off) % n,
+                Direction::Ccw => (i + n - off) % n,
+            };
+            bits.test(s).then_some(f)
+        })
     }
 
     /// Iterate mutably over all in-flight flits together with the
@@ -203,15 +249,14 @@ impl Lane {
         let n = self.flits.len();
         let off = if n == 0 { 0 } else { self.offset % n };
         let dir = self.dir;
+        let bits = self.flit_bits.clone();
         self.flits.iter_mut().enumerate().filter_map(move |(i, f)| {
-            f.as_mut().map(|flit| {
-                // The inverse of `index_of_station`.
-                let s = match dir {
-                    Direction::Cw => (i + off) % n,
-                    Direction::Ccw => (i + n - off) % n,
-                };
-                (s as u16, flit)
-            })
+            // The inverse of `index_of_station`.
+            let s = match dir {
+                Direction::Cw => (i + off) % n,
+                Direction::Ccw => (i + n - off) % n,
+            };
+            bits.test(s).then_some((s as u16, f))
         })
     }
 }

@@ -46,6 +46,24 @@ use std::collections::VecDeque;
 const SATURATION_NUM: usize = 1;
 const SATURATION_DENOM: usize = 2;
 
+/// When a tracing sink is attached, every ring's occupancy is sampled
+/// ([`noc_telemetry::FlitEvent::RingUtil`]) once per this many cycles.
+/// Irrelevant for `NullSink` networks: the sampling sites compile away.
+pub(crate) const UTIL_SAMPLE_PERIOD: u64 = 8;
+
+/// One metrics sample staged inside the per-ring phase, tagged with the
+/// cycle it was taken at so the engine can commit it at the right point
+/// of an epoch's deferred epilogue. `in_flight` is this shard's
+/// contribution to the global in-flight gauge (enqueued − delivered) at
+/// the sample cycle; summing the staged contributions reproduces
+/// exactly what `Network::in_flight()` returned at the K=1 barrier.
+#[derive(Debug, Clone)]
+pub(crate) struct StagedSample {
+    pub cycle: u64,
+    pub in_flight: u64,
+    pub window: RingWindow,
+}
+
 /// Where a global node id lives: which ring shard, at which index.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct NodeLoc {
@@ -127,9 +145,15 @@ pub(crate) struct RingShard {
     /// Counter readings at the end of the previous metrics window, so
     /// each sample reports exact per-window deltas.
     metrics_base: WindowCounters,
-    /// Sample staged during the (possibly parallel) per-ring phase,
-    /// collected by the engine in ring order at the merge barrier.
-    pub pending_metrics: Option<RingWindow>,
+    /// Samples staged during the (possibly parallel) per-ring phase,
+    /// oldest first, collected by the engine in ring order at the next
+    /// epoch boundary. Holds at most one entry per elapsed sampling
+    /// boundary; a K=1 tick drains it every cycle.
+    pub pending_metrics: VecDeque<StagedSample>,
+    /// Ring-utilization samples `(cycle, occupied, capacity)` staged at
+    /// [`UTIL_SAMPLE_PERIOD`] boundaries when tracing, emitted by the
+    /// engine in ring order at the next epoch boundary.
+    pub pending_util: VecDeque<(u64, u16, u16)>,
     /// Space-Saving capacity of the flow table; 0 disables flow
     /// accounting (and link counting) entirely.
     pub flow_topk: usize,
@@ -181,7 +205,8 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
             trace: TraceBuffer::default(),
             metrics_period: 0,
             metrics_base: WindowCounters::default(),
-            pending_metrics: None,
+            pending_metrics: VecDeque::new(),
+            pending_util: VecDeque::new(),
             flow_topk: 0,
             flows: FlowTable::new(0),
             flow_buf: Vec::new(),
@@ -349,6 +374,17 @@ impl RingShard {
         self.drm_update();
         if self.metrics_period != 0 && now.raw().is_multiple_of(self.metrics_period) {
             self.sample_metrics(shared, now);
+        }
+        // Ring occupancy no longer changes this cycle, so the sample
+        // staged here is exactly what the engine's end-of-tick probe
+        // used to read. Staging (instead of emitting) lets an epoch
+        // defer the sink traffic without changing a byte of it.
+        if TRACE && now.raw().is_multiple_of(UTIL_SAMPLE_PERIOD) {
+            self.pending_util.push_back((
+                now.raw(),
+                self.ring.occupancy() as u16,
+                self.ring.capacity() as u16,
+            ));
         }
     }
 
@@ -1070,8 +1106,9 @@ impl RingShard {
     /// sample plus instantaneous ring/bridge gauges. Runs inside the
     /// per-ring phase — it reads only shard-local state, so samples are
     /// identical under any execution order. The engine collects the
-    /// staged [`RingWindow`]s in ring order at the merge barrier.
-    pub(crate) fn sample_metrics(&mut self, shared: &EngineShared, _now: Cycle) {
+    /// staged [`StagedSample`]s in ring order at the next epoch
+    /// boundary (every cycle for a K=1 tick).
+    pub(crate) fn sample_metrics(&mut self, shared: &EngineShared, now: Cycle) {
         let now_counters = self.counters_now();
         let counters = now_counters.delta_since(&self.metrics_base);
         self.metrics_base = now_counters;
@@ -1127,13 +1164,25 @@ impl RingShard {
             (self.flows.ranked(), self.link_util.clone())
         };
 
-        self.pending_metrics = Some(RingWindow {
-            ring: self.ring.id.0,
-            counters,
-            gauges,
-            bridges,
-            flows,
-            links,
+        // Wrapping: enqueues count at the source shard but deliveries
+        // at the destination shard, so one shard's delta may be
+        // "negative". The engine's wrapping sum over all shards is the
+        // exact global gauge.
+        self.pending_metrics.push_back(StagedSample {
+            cycle: now.raw(),
+            in_flight: self
+                .stats
+                .enqueued
+                .get()
+                .wrapping_sub(self.stats.delivered.get()),
+            window: RingWindow {
+                ring: self.ring.id.0,
+                counters,
+                gauges,
+                bridges,
+                flows,
+                links,
+            },
         });
     }
 

@@ -538,6 +538,127 @@ fn generated_fabrics_fingerprint_identical_across_engine_matrix_24_seeds() {
     }
 }
 
+/// Epoch axis over the random-topology fuzz: with traffic and drains
+/// applied only at epoch-aligned cycles, `tick_epoch(k)` at the
+/// topology's largest legal K ≤ 4 must match the per-cycle tick bit
+/// for bit — delivery streams, fingerprints and the full telemetry
+/// record stream — across Sequential and Parallel(2/4) epoch engines.
+#[test]
+fn epoch_batched_engine_matches_per_cycle_tick_across_exec_modes() {
+    let mut deep_epochs = 0u32;
+    for seed in 0..8u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x6c62_272e_07bb_0142) ^ 0x27d4_eb2f_1656_67c5);
+        let (topo, devices) = random_topology(&mut rng);
+        let cfg = NetworkConfig::default();
+        let sink = || RingBufferSink::new(1 << 20);
+        let mut nets = [
+            Network::with_exec(
+                topo.clone(),
+                cfg.clone(),
+                TickMode::Fast,
+                ExecMode::Sequential,
+                sink(),
+            ),
+            Network::with_exec(
+                topo.clone(),
+                cfg.clone(),
+                TickMode::Fast,
+                ExecMode::Sequential,
+                sink(),
+            ),
+            Network::with_exec(
+                topo.clone(),
+                cfg.clone(),
+                TickMode::Fast,
+                ExecMode::Parallel(2),
+                sink(),
+            ),
+            Network::with_exec(topo, cfg, TickMode::Fast, ExecMode::Parallel(4), sink()),
+        ];
+        let k = nets[0].max_epoch().min(4);
+        deep_epochs += u32::from(k > 1);
+
+        let steps = 60 + rng.below(30);
+        let mut token = 0u64;
+        for step in 0..steps + 2_000 {
+            if step < steps {
+                for si in 0..devices.len() {
+                    if rng.below(3) != 0 {
+                        continue;
+                    }
+                    let di =
+                        (si + 1 + rng.below(devices.len() as u64 - 1) as usize) % devices.len();
+                    token += 1;
+                    let ok = nets.each_mut().map(|n| {
+                        n.enqueue(devices[si], devices[di], FlitClass::Data, 64, token)
+                            .is_ok()
+                    });
+                    assert!(
+                        ok.iter().all(|&o| o == ok[0]),
+                        "seed {seed} step {step}: enqueue outcome diverged {ok:?}"
+                    );
+                }
+            }
+            for _ in 0..k {
+                nets[0].tick();
+            }
+            for n in nets.iter_mut().skip(1) {
+                n.tick_epoch(k).expect("k bounded by max_epoch");
+            }
+            for &d in &devices {
+                loop {
+                    let pops = nets.each_mut().map(|n| n.pop_delivered(d));
+                    match &pops[0] {
+                        None => {
+                            assert!(
+                                pops.iter().all(|p| p.is_none()),
+                                "seed {seed} step {step} (k={k}): presence diverged at {d:?}"
+                            );
+                            break;
+                        }
+                        Some(f0) => {
+                            for f in &pops[1..] {
+                                let f = f.as_ref().unwrap_or_else(|| {
+                                    panic!("seed {seed} step {step} (k={k}): missed delivery")
+                                });
+                                assert_eq!(
+                                    digest(f0),
+                                    digest(f),
+                                    "seed {seed} step {step} (k={k}): stream diverged at {d:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if step >= steps && nets.iter().all(|n| n.in_flight() == 0) {
+                break;
+            }
+        }
+        let fp = nets.each_ref().map(|n| n.stats().fingerprint());
+        assert!(
+            fp.iter().all(|f| *f == fp[0]),
+            "seed {seed} (k={k}): fingerprints diverged"
+        );
+        assert!(
+            nets[0].stats().delivered.get() > 0,
+            "seed {seed}: nothing was delivered"
+        );
+        let traces = nets.map(|n| n.into_sink().to_vec());
+        assert!(!traces[0].is_empty(), "seed {seed}: no telemetry recorded");
+        for (i, t) in traces.iter().enumerate().skip(1) {
+            assert!(
+                t == &traces[0],
+                "seed {seed} (k={k}): telemetry stream diverged for net {i}"
+            );
+        }
+    }
+    assert!(
+        deep_epochs >= 4,
+        "only {deep_epochs}/8 seeds exercised K > 1 — bridge latencies too shallow"
+    );
+}
+
 #[test]
 fn fast_tick_skips_stations_at_low_occupancy() {
     // Sanity-check the index actually skips work (the whole point):

@@ -167,6 +167,122 @@ fn observatory_byte_identical_across_modes_on_generated_torus() {
     }
 }
 
+/// Like [`run_recorded`] but advancing in `k`-cycle epochs, with
+/// traffic and drains applied only at cycles aligned to `align`
+/// (a common multiple of every compared epoch length, so all runs see
+/// identical per-cycle inputs).
+fn run_recorded_epoch(
+    topo: Topology,
+    mode: TickMode,
+    exec: ExecMode,
+    devices: &[NodeId],
+    traffic_seed: u64,
+    k: u64,
+    align: u64,
+) -> Network {
+    assert!(align.is_multiple_of(k));
+    let mut net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        mode,
+        exec,
+        noc_core::telemetry::NullSink,
+    );
+    net.enable_flight_recorder(
+        SAMPLE_PERIOD,
+        HealthConfig::default(),
+        RecorderConfig {
+            snapshot_window: 8,
+            flow_top_k: 8,
+            ..RecorderConfig::default()
+        },
+    );
+    let mut rng = SimRng::seed_from(traffic_seed);
+    let cycles = 224u64;
+    let mut token = 0u64;
+    loop {
+        let now = net.now().raw();
+        if now.is_multiple_of(align) && now < cycles {
+            for si in 0..devices.len() {
+                if !rng.gen_bool(0.12) {
+                    continue;
+                }
+                let di = TrafficPattern::Uniform.pick_dest(&mut rng, devices.len(), si);
+                token += 1;
+                let _ = net.enqueue(devices[si], devices[di], FlitClass::Data, 64, token);
+            }
+        }
+        net.tick_epoch(k)
+            .expect("k bounded by the torus L2 latency");
+        if net.now().raw().is_multiple_of(align) {
+            for &d in devices {
+                while net.pop_delivered(d).is_some() {}
+            }
+            if net.now().raw() >= cycles && net.in_flight() == 0 {
+                break;
+            }
+            assert!(net.now().raw() < cycles + 20_000, "torus failed to drain");
+        }
+    }
+    net.finish_metrics();
+    net
+}
+
+/// Epoch axis over the generated torus: snapshot streams, flow tables,
+/// link matrices, postmortem bundles and fingerprints must stay
+/// byte-identical when the engine advances in K-cycle epochs — K ∈
+/// {1, 2, 4, 8 = the torus' bridge-latency bound} across sequential
+/// and parallel epoch engines — given an epoch-aligned schedule.
+#[test]
+fn observatory_byte_identical_with_epoch_batching() {
+    let seed = 0x0Bu64;
+    let (topo, devices) = torus_64(seed);
+    let traffic_seed = seed ^ 0x0B5E_11AE;
+    const ALIGN: u64 = 8;
+
+    let variants: [(u64, ExecMode); 4] = [
+        (1, ExecMode::Sequential),
+        (2, ExecMode::Sequential),
+        (4, ExecMode::Parallel(4)),
+        (8, ExecMode::Parallel(8)),
+    ];
+    type Baseline = (String, String, String, Vec<Vec<u64>>, Vec<u64>);
+    let mut baseline: Option<Baseline> = None;
+    for (k, exec) in variants {
+        let ctx = format!("seed {seed:#x} k={k} {exec:?}");
+        let net = run_recorded_epoch(
+            topo.clone(),
+            TickMode::Fast,
+            exec,
+            &devices,
+            traffic_seed,
+            k,
+            ALIGN,
+        );
+        assert_eq!(net.max_epoch(), 8, "{ctx}: torus bridge-latency bound");
+        assert!(net.stats().delivered.get() > 0, "{ctx}: nothing delivered");
+        let snapshots = snapshots_jsonl(net.metrics().expect("enabled").snapshots());
+        assert!(!snapshots.is_empty(), "{ctx}: no snapshots sampled");
+        let flows_json = serde_json::to_string(&net.flow_top(8)).expect("flows serialize");
+        let bundle = net
+            .dump_postmortem("epoch determinism probe")
+            .expect("observatory enabled")
+            .comparable_jsonl();
+        let links = net.link_cells();
+        let fp = net.fingerprint();
+        match &baseline {
+            None => baseline = Some((snapshots, flows_json, bundle, links, fp)),
+            Some((base_snaps, base_flows, base_bundle, base_links, base_fp)) => {
+                assert_eq!(base_snaps, &snapshots, "{ctx}: snapshot stream diverged");
+                assert_eq!(base_flows, &flows_json, "{ctx}: flow top-K diverged");
+                assert_eq!(base_bundle, &bundle, "{ctx}: postmortem bundle diverged");
+                assert_eq!(base_links, &links, "{ctx}: link heat matrix diverged");
+                assert_eq!(base_fp, &fp, "{ctx}: stats fingerprint diverged");
+            }
+        }
+    }
+}
+
 /// The recorder's flow table on a generated torus attributes real
 /// cross-fabric work: flows exist, they crossed bridges, and the
 /// fabric census reflects the generated scale.

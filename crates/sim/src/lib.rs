@@ -31,11 +31,13 @@ pub mod engine;
 pub mod fuzz;
 pub mod pool;
 pub mod rng;
+pub mod spsc;
 pub mod stats;
 
 pub use clock::{Clock, Cycle};
 pub use engine::{Component, Engine, RunOutcome};
 pub use fuzz::{SeedMatrix, TrafficPattern};
-pub use pool::{PoolJob, ShardPool};
+pub use pool::{PoolError, PoolJob, ShardPool};
 pub use rng::SimRng;
+pub use spsc::{SpscReceiver, SpscSender};
 pub use stats::{BandwidthProbe, Counter, Histogram, TimeSeries};

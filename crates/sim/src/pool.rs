@@ -15,6 +15,33 @@
 //! workers parked on channel receives between calls and a `run` costs
 //! two channel hops per worker.
 //!
+//! # Epoch batching and the determinism argument, re-proven
+//!
+//! The engine above no longer performs one `run` per simulated phase.
+//! Instead it scatters *epoch tasks* — each owning a disjoint set of
+//! shards plus the [`crate::spsc`] mailbox endpoints wiring it to its
+//! bridge neighbours — and every task runs **K cycles** before the
+//! single gather. The two mpsc hops per worker are thus paid once per
+//! epoch instead of once per phase; within the epoch, workers exchange
+//! per-cycle bridge mail over the lock-free SPSC rings (one pair per
+//! bridge-connected shard pair), never through this pool.
+//!
+//! The ownership argument survives the change intact, it just gains a
+//! second clause:
+//!
+//! 1. **Owned items, no shared state** — as before, each task is moved
+//!    into exactly one thread, mutated there, and gathered back by
+//!    index. Which thread ran which task cannot influence the result.
+//! 2. **Deterministic mail** — the only inter-task communication is the
+//!    SPSC traffic, and each message's *content* is a pure function of
+//!    the sending shard's state at a fixed cycle (its post-delivery
+//!    inbox depth, the flits it staged that cycle). Both ends follow
+//!    the same cycle-indexed protocol, so the sequence of messages on
+//!    every ring is identical on every run and every thread count —
+//!    timing can change *when* a message is consumed, never *what* it
+//!    says. By induction over cycles, every shard observes exactly the
+//!    inputs the sequential engine would feed it.
+//!
 //! # Example
 //!
 //! ```
@@ -23,7 +50,7 @@
 //!
 //! let mut pool = ShardPool::new(3); // 3 workers + the calling thread
 //! let items: Vec<u64> = (0..10).collect();
-//! let out = pool.run(items, Arc::new(|x: &mut u64| *x *= 2));
+//! let out = pool.run(items, Arc::new(|x: &mut u64| *x *= 2)).unwrap();
 //! assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
 //! ```
 
@@ -33,6 +60,42 @@ use std::thread::JoinHandle;
 
 /// The job applied to each item of a [`ShardPool::run`] call.
 pub type PoolJob<T> = Arc<dyn Fn(&mut T) + Send + Sync>;
+
+/// A worker thread died mid-fan-out — its job closure panicked, either
+/// during this [`ShardPool::run`] call or a previous one. The items
+/// that were scattered to the dead worker are lost, so the pool (and
+/// whatever owned the items) is no longer usable; callers should treat
+/// this as fatal for the simulation but recoverable for the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the dead worker lane (0-based; the calling thread is
+    /// not a lane).
+    pub worker: usize,
+    /// Whether the death was detected while scattering (`true`: the
+    /// worker was already dead from a previous job) or while gathering
+    /// (`false`: the job panicked during this run).
+    pub on_dispatch: bool,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.on_dispatch {
+            write!(
+                f,
+                "shard worker {} is dead (a previous job panicked in it); its items were lost",
+                self.worker
+            )
+        } else {
+            write!(
+                f,
+                "shard worker {} died (job panicked in worker); its items were lost",
+                self.worker
+            )
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 struct Job<T> {
     items: Vec<(usize, T)>,
@@ -92,10 +155,14 @@ impl<T: Send + 'static> ShardPool<T> {
     /// order. The calling thread processes its own share while the
     /// workers run theirs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread died (a previous job panicked in it).
-    pub fn run(&mut self, items: Vec<T>, job: PoolJob<T>) -> Vec<T> {
+    /// Returns [`PoolError`] if a worker thread died — because its job
+    /// closure panicked during this call, or a previous one already
+    /// killed it. The items handed to dead workers are lost; the error
+    /// is surfaced (instead of panicking mid-sweep) so the engine above
+    /// can report a typed failure and leave the process alive.
+    pub fn run(&mut self, items: Vec<T>, job: PoolJob<T>) -> Result<Vec<T>, PoolError> {
         let slots = self.lanes.len() + 1;
         let total = items.len();
         let mut chunks: Vec<Vec<(usize, T)>> = (0..slots).map(|_| Vec::new()).collect();
@@ -104,15 +171,31 @@ impl<T: Send + 'static> ShardPool<T> {
         }
         let mut chunks = chunks.into_iter();
         let mut own = chunks.next().expect("slots >= 1");
-        for (lane, chunk) in self.lanes.iter().zip(chunks) {
-            lane.tx
+        let mut dispatched = 0usize;
+        let mut error: Option<PoolError> = None;
+        for (wi, (lane, chunk)) in self.lanes.iter().zip(chunks).enumerate() {
+            let sent = lane
+                .tx
                 .as_ref()
                 .expect("sender live until drop")
                 .send(Job {
                     items: chunk,
                     job: Arc::clone(&job),
                 })
-                .expect("shard worker died (previous job panicked)");
+                .is_ok();
+            if sent {
+                dispatched += 1;
+            } else {
+                // The worker's receive loop is gone: a previous job
+                // panicked in it. Stop scattering; still gather from
+                // the workers already fed so their items are not
+                // abandoned mid-flight.
+                error = Some(PoolError {
+                    worker: wi,
+                    on_dispatch: true,
+                });
+                break;
+            }
         }
         for (_, item) in &mut own {
             job(item);
@@ -121,18 +204,28 @@ impl<T: Send + 'static> ShardPool<T> {
         for (i, item) in own {
             out[i] = Some(item);
         }
-        for lane in &self.lanes {
-            let returned = lane
-                .rx
-                .recv()
-                .expect("shard worker died (job panicked in worker)");
-            for (i, item) in returned {
-                out[i] = Some(item);
+        for (wi, lane) in self.lanes.iter().take(dispatched).enumerate() {
+            match lane.rx.recv() {
+                Ok(returned) => {
+                    for (i, item) in returned {
+                        out[i] = Some(item);
+                    }
+                }
+                Err(_) => {
+                    error.get_or_insert(PoolError {
+                        worker: wi,
+                        on_dispatch: false,
+                    });
+                }
             }
         }
-        out.into_iter()
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(out
+            .into_iter()
             .map(|o| o.expect("every index gathered exactly once"))
-            .collect()
+            .collect())
     }
 }
 
@@ -164,7 +257,9 @@ mod tests {
     #[test]
     fn zero_workers_runs_inline() {
         let mut pool = ShardPool::new(0);
-        let out = pool.run(vec![1u32, 2, 3], Arc::new(|x: &mut u32| *x += 10));
+        let out = pool
+            .run(vec![1u32, 2, 3], Arc::new(|x: &mut u32| *x += 10))
+            .unwrap();
         assert_eq!(out, vec![11, 12, 13]);
     }
 
@@ -173,7 +268,9 @@ mod tests {
         for workers in 0..5 {
             let mut pool = ShardPool::new(workers);
             let items: Vec<usize> = (0..17).collect();
-            let out = pool.run(items, Arc::new(|x: &mut usize| *x = *x * 3 + 1));
+            let out = pool
+                .run(items, Arc::new(|x: &mut usize| *x = *x * 3 + 1))
+                .unwrap();
             assert_eq!(
                 out,
                 (0..17).map(|x| x * 3 + 1).collect::<Vec<_>>(),
@@ -186,7 +283,9 @@ mod tests {
     fn pool_is_reusable_across_runs() {
         let mut pool = ShardPool::new(2);
         for round in 0..10u64 {
-            let out = pool.run(vec![round; 5], Arc::new(|x: &mut u64| *x += 1));
+            let out = pool
+                .run(vec![round; 5], Arc::new(|x: &mut u64| *x += 1))
+                .unwrap();
             assert_eq!(out, vec![round + 1; 5]);
         }
     }
@@ -194,9 +293,9 @@ mod tests {
     #[test]
     fn fewer_items_than_threads() {
         let mut pool = ShardPool::new(7);
-        let out = pool.run(vec![5u8], Arc::new(|x: &mut u8| *x *= 2));
+        let out = pool.run(vec![5u8], Arc::new(|x: &mut u8| *x *= 2)).unwrap();
         assert_eq!(out, vec![10]);
-        let out: Vec<u8> = pool.run(Vec::new(), Arc::new(|_: &mut u8| {}));
+        let out: Vec<u8> = pool.run(Vec::new(), Arc::new(|_: &mut u8| {})).unwrap();
         assert!(out.is_empty());
     }
 
@@ -212,7 +311,47 @@ mod tests {
             Arc::new(move |_: &mut ()| {
                 s.lock().unwrap().insert(std::thread::current().id());
             }),
-        );
+        )
+        .unwrap();
         assert_eq!(seen.lock().unwrap().len(), 3, "2 workers + caller");
+    }
+
+    #[test]
+    fn dead_worker_surfaces_typed_error_not_panic() {
+        // A job that panics only when run inside a pool worker thread
+        // (the caller's own chunk must survive so the error path, not
+        // an unwind, reports the failure).
+        let bomb: PoolJob<u32> = Arc::new(|_: &mut u32| {
+            if std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("noc-shard"))
+            {
+                panic!("boom");
+            }
+        });
+        let mut pool = ShardPool::new(1);
+        // First run: the panic happens during this call, detected at
+        // gather time.
+        let err = pool.run(vec![1u32, 2, 3], bomb).unwrap_err();
+        assert_eq!(
+            err,
+            PoolError {
+                worker: 0,
+                on_dispatch: false
+            }
+        );
+        assert!(err.to_string().contains("died"), "{err}");
+        // Second run: the worker is already gone, detected at dispatch.
+        let err = pool
+            .run(vec![4u32, 5], Arc::new(|x: &mut u32| *x += 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PoolError {
+                worker: 0,
+                on_dispatch: true
+            }
+        );
+        assert!(err.to_string().contains("previous job"), "{err}");
     }
 }

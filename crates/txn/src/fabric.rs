@@ -16,6 +16,15 @@
 //! Hash maps are keyed-lookup only (never iterated), endpoints live in
 //! a `BTreeMap`, so no iteration order leaks into behavior.
 //!
+//! [`TxnFabric::tick_epoch`] re-points the pump and drain at **epoch
+//! boundaries**: admission happens once per K cycles instead of every
+//! cycle, so for K > 1 the schedule legitimately differs from K = 1 —
+//! fewer pump opportunities, batched drains. What holds instead is
+//! that the K-schedule is itself a pure function of K: for any fixed
+//! epoch length the fabric replays byte-identically across
+//! `TickMode` × `ExecMode`, which is exactly what the lockstep suite
+//! checks (each K-variant against its own K-golden).
+//!
 //! # Backpressure
 //!
 //! `submit*` returns `Ok(None)` (or `false` for messages) when the
@@ -31,7 +40,9 @@ use crate::types::{
 };
 use crate::window::InFlightWindow;
 use noc_core::telemetry::{NullSink, TraceSink, TxnRegistry, TxnSnapshot};
-use noc_core::{EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketToken, Topology};
+use noc_core::{
+    EngineError, EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketToken, Topology,
+};
 use noc_sim::{Cycle, Histogram};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -560,17 +571,14 @@ impl<S: TraceSink> TxnFabric<S> {
         Ok(id)
     }
 
-    /// Advance one cycle: pump staged flits, tick the network, drain
-    /// and process deliveries, sample the observatory.
-    pub fn tick(&mut self) {
-        // Pump staged flits into inject queues: round-robin over
-        // endpoints in ascending id order, one flit per endpoint per
-        // pass, so the admission cap is shared fairly instead of being
-        // consumed by the lowest-numbered endpoints. A full inject
-        // queue pauses an endpoint (flits stay staged); reaching the
-        // cap pauses the pump until deliveries bring the outstanding
-        // count back down.
-        let nodes: Vec<NodeId> = self.endpoints.keys().copied().collect();
+    /// Pump staged flits into inject queues: round-robin over
+    /// endpoints in ascending id order, one flit per endpoint per
+    /// pass, so the admission cap is shared fairly instead of being
+    /// consumed by the lowest-numbered endpoints. A full inject
+    /// queue pauses an endpoint (flits stay staged); reaching the
+    /// cap pauses the pump until deliveries bring the outstanding
+    /// count back down.
+    fn pump_staged(&mut self, nodes: &[NodeId]) {
         let mut paused = vec![false; nodes.len()];
         let mut progress = true;
         while progress && self.outstanding < self.outstanding_cap {
@@ -604,29 +612,71 @@ impl<S: TraceSink> TxnFabric<S> {
                 }
             }
         }
+    }
 
-        self.net.tick();
-
-        // Drain deliveries, ascending endpoint order.
-        for &node in &nodes {
+    /// Drain network deliveries into the transaction layer, ascending
+    /// endpoint order.
+    fn drain_deliveries(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
             while let Some(flit) = self.net.pop_delivered(node) {
                 self.accept_flit(node, &flit);
             }
         }
+    }
 
-        // Observatory sample at period boundaries.
+    /// Observatory sample, stamped at the current cycle.
+    fn sample_observatory(&mut self) {
+        let inflight = self.txns.len() as u64;
+        let occupancy = self.window_occupancy();
+        if let Some(reg) = &mut self.registry {
+            reg.sample(self.net.now(), inflight, occupancy);
+        }
+    }
+
+    /// Advance one cycle: pump staged flits, tick the network, drain
+    /// and process deliveries, sample the observatory.
+    pub fn tick(&mut self) {
+        let nodes: Vec<NodeId> = self.endpoints.keys().copied().collect();
+        self.pump_staged(&nodes);
+        self.net.tick();
+        self.drain_deliveries(&nodes);
         if let Some(reg) = &self.registry {
-            let period = reg.period();
-            let now = self.net.now().raw();
-            if now.is_multiple_of(period) {
-                let inflight = self.txns.len() as u64;
-                let occupancy = self.window_occupancy();
-                self.registry
-                    .as_mut()
-                    .expect("registry checked above")
-                    .sample(self.net.now(), inflight, occupancy);
+            if self.net.now().raw().is_multiple_of(reg.period()) {
+                self.sample_observatory();
             }
         }
+    }
+
+    /// Advance `k` cycles as one epoch: the admission pump, delivery
+    /// drain and observatory sampling all move to the epoch boundary,
+    /// and the network below runs [`Network::tick_epoch`]. For `k = 1`
+    /// this is exactly [`TxnFabric::tick`]; for larger `k` the fabric
+    /// interacts with the network `k`× less often, so admission and
+    /// drain *cadence* differ from `k = 1` — but the result is still a
+    /// pure function of `k` alone: byte-identical across
+    /// `TickMode` × `ExecMode` for any fixed epoch length.
+    ///
+    /// The transaction observatory samples once per epoch that crosses
+    /// a period boundary, stamped at the epoch's end cycle (for `k`
+    /// dividing the period this coincides with the `k = 1` stamps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`EngineError`] (`k` validation and
+    /// worker-pool failures); see [`Network::tick_epoch`].
+    pub fn tick_epoch(&mut self, k: u64) -> Result<(), EngineError> {
+        let nodes: Vec<NodeId> = self.endpoints.keys().copied().collect();
+        self.pump_staged(&nodes);
+        let before = self.net.now().raw();
+        self.net.tick_epoch(k)?;
+        self.drain_deliveries(&nodes);
+        if let Some(reg) = &self.registry {
+            let period = reg.period();
+            if self.net.now().raw() / period > before / period {
+                self.sample_observatory();
+            }
+        }
+        Ok(())
     }
 
     /// Tick until the fabric is quiet (no staged flits, nothing in the

@@ -103,6 +103,111 @@ fn run_variant(seed: u64, mode: TickMode, exec: ExecMode) -> Outcome {
     }
 }
 
+/// Like [`run_variant`] but advancing the fabric in `k`-cycle epochs.
+/// For K > 1 the admission pump runs once per epoch, so the schedule —
+/// and therefore the outcome — legitimately differs from K = 1; what
+/// must hold is that each K's outcome is a pure function of K alone,
+/// identical across every engine variant (the "own K-golden" check).
+fn run_variant_epoch(seed: u64, mode: TickMode, exec: ExecMode, k: u64) -> Outcome {
+    let (topo, devs) = torus(seed);
+    let net = Network::with_exec(topo, NetworkConfig::default(), mode, exec, NullSink);
+    let mut fab = TxnFabric::new(net, txn_cfg());
+    assert!(k <= fab.network().max_epoch(), "k exceeds the torus bound");
+    let wl = TxnWorkload::new(devs, TxnMix::default(), TrafficPattern::Uniform, 64, 32);
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9));
+    let mut accepted = 0usize;
+    let mut pending: Option<TxnRequest> = None;
+    let mut guard = 0u64;
+    while accepted < TXNS_PER_SEED {
+        let req = pending.take().unwrap_or_else(|| wl.next(&mut rng));
+        let outcome = match &req {
+            TxnRequest::Point { src, dst, op } => fab
+                .submit(*src, *dst, *op)
+                .expect("generated endpoints are valid")
+                .map(|_| ()),
+            TxnRequest::Broadcast {
+                src,
+                targets,
+                bytes,
+            } => fab
+                .submit_broadcast(*src, targets, *bytes)
+                .expect("generated broadcasts are valid")
+                .map(|_| ()),
+        };
+        match outcome {
+            Some(()) => accepted += 1,
+            None => pending = Some(req),
+        }
+        fab.tick_epoch(k).expect("k within the torus bound");
+        guard += 1;
+        assert!(guard < 1_000_000, "seed {seed}: workload never accepted");
+    }
+    let mut spent = 0u64;
+    while !fab.quiet() && spent < 2_000_000 {
+        fab.tick_epoch(k).expect("k within the torus bound");
+        spent += k;
+    }
+    assert!(
+        fab.quiet(),
+        "seed {seed}: fabric failed to quiesce on {mode:?}/{exec:?} k={k}: \
+         {} txns live, {} net flits in flight",
+        fab.in_flight_txns(),
+        fab.network().in_flight(),
+    );
+    Outcome {
+        fingerprint: fab.fingerprint(),
+        cycles: fab.now().raw(),
+        completions: fab.drain_completions(),
+        counters: *fab.counters(),
+    }
+}
+
+/// Epoch axis: for each K > 1, every engine variant must reproduce
+/// that K's golden outcome byte for byte — completions, counters,
+/// fingerprint, quiescence time — and conserve transactions.
+#[test]
+fn epoch_batched_fabric_matches_its_own_k_golden() {
+    let variants: [(TickMode, ExecMode); 4] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(2)),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+    ];
+    for k in [2u64, 4, 8] {
+        for seed in 0..6 {
+            let golden = run_variant_epoch(seed, variants[0].0, variants[0].1, k);
+            let c = &golden.counters;
+            assert_eq!(c.stray_flits, 0, "seed {seed} k={k}: stray flits");
+            assert_eq!(c.duplicate_flits, 0, "seed {seed} k={k}: duplicate flits");
+            assert_eq!(c.late_responses, 0, "seed {seed} k={k}: late responses");
+            assert_eq!(
+                golden.completions.len(),
+                TXNS_PER_SEED,
+                "seed {seed} k={k}: accepted vs completed mismatch"
+            );
+            for &(mode, exec) in &variants[1..] {
+                let other = run_variant_epoch(seed, mode, exec, k);
+                assert_eq!(
+                    golden.fingerprint, other.fingerprint,
+                    "seed {seed} k={k}: fingerprint diverged on {mode:?}/{exec:?}"
+                );
+                assert_eq!(
+                    golden.completions, other.completions,
+                    "seed {seed} k={k}: completion stream diverged on {mode:?}/{exec:?}"
+                );
+                assert_eq!(
+                    golden.counters, other.counters,
+                    "seed {seed} k={k}: counters diverged on {mode:?}/{exec:?}"
+                );
+                assert_eq!(
+                    golden.cycles, other.cycles,
+                    "seed {seed} k={k}: quiescence time diverged on {mode:?}/{exec:?}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn twenty_seed_engine_lockstep_with_conservation() {
     let variants: [(TickMode, ExecMode); 6] = [
