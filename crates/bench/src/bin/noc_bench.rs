@@ -1,8 +1,9 @@
 //! `noc-bench` — machine-readable benchmark driver.
 //!
 //! ```text
-//! noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]
-//! noc-bench scaling    [--quick] [--out PATH] [--gate]
+//! noc-bench trajectory   [--quick] [--out PATH] [--check-overhead PCT]
+//! noc-bench scaling      [--quick] [--out PATH] [--gate]
+//! noc-bench trace-report [--quick] [--out PATH] [--trace PATH] [--gate]
 //! ```
 //!
 //! `trajectory` runs the performance-trajectory benchmark
@@ -19,14 +20,27 @@
 //! exits non-zero when `Parallel(4)` fails to beat `Sequential` by the
 //! required 1.5× — unless the host has fewer than 4 logical cores, in
 //! which case the gate skips and the artifact records the reason.
+//!
+//! `trace-report` runs the causal-span critical-path attribution
+//! ([`noc_experiments::spanreport`]) on the 4×4 torus transaction
+//! workloads, writes `BENCH_PR9.json` plus a Perfetto trace of the
+//! slowest transactions (`TRACE_PR9.json`), and prints the per-phase
+//! latency breakdown table. A workload whose phase sums fail to
+//! reconcile with the registry's completion latencies — or whose span
+//! stream diverges across engines — fails the run unconditionally.
+//! With `--gate` the process also exits non-zero when span tracing
+//! costs more than its budget: 1% with the `NullSpanSink` (which must
+//! be free — it is the same monomorphization as the untraced fabric)
+//! and 5% with a live `SpanCollector`.
 
-use noc_experiments::{scaling, trajectory};
+use noc_experiments::{scaling, spanreport, trajectory};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: noc-bench trajectory [--quick] [--out PATH] [--check-overhead PCT]\n\
-         \x20      noc-bench scaling    [--quick] [--out PATH] [--gate]"
+        "usage: noc-bench trajectory   [--quick] [--out PATH] [--check-overhead PCT]\n\
+         \x20      noc-bench scaling      [--quick] [--out PATH] [--gate]\n\
+         \x20      noc-bench trace-report [--quick] [--out PATH] [--trace PATH] [--gate]"
     );
     ExitCode::from(2)
 }
@@ -126,10 +140,123 @@ fn run_scaling(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_trace_report(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR9.json".to_string();
+    let mut trace = "TRACE_PR9.json".to_string();
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--gate" => gate = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace = path.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    eprintln!(
+        "noc-bench trace-report: running ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+    let bundle = spanreport::run(quick);
+    let report = &bundle.report;
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    if let Err(code) = write_artifact(&out, &json) {
+        return code;
+    }
+    if let Err(code) = write_artifact(&trace, &bundle.perfetto) {
+        return code;
+    }
+
+    // The headline: critical-path latency attribution, one row per
+    // workload — printed to stdout so the CI log carries the table.
+    println!("{}", bundle.table);
+    for w in &report.workloads {
+        eprintln!(
+            "  {:>12}: {} txns in {} cycles, mean {:.1} p50 {} p99 {} cycles, {} exemplars (slowest {}), reconcile {}, span stream {}",
+            w.workload,
+            w.transactions,
+            w.cycles,
+            w.mean_latency,
+            w.p50_latency,
+            w.p99_latency,
+            w.exemplars,
+            w.slowest_latency,
+            if w.reconciled { "exact" } else { "BROKEN" },
+            if w.span_stream_ok { "ok" } else { "DIVERGED" }
+        );
+    }
+    eprintln!(
+        "  null-sink overhead: {:.2}% ({:.0} → {:.0} ticks/sec, paired min of {})",
+        report.overhead.null_overhead_pct,
+        report.overhead.base_ticks_per_sec,
+        report.overhead.null_ticks_per_sec,
+        report.overhead.repeats
+    );
+    eprintln!(
+        "  enabled-span overhead: {:.2}% ({:.0} → {:.0} ticks/sec, paired min of {})",
+        report.overhead.enabled_overhead_pct,
+        report.overhead.null_ticks_per_sec,
+        report.overhead.enabled_ticks_per_sec,
+        report.overhead.repeats
+    );
+    eprintln!(
+        "noc-bench: wrote {out} and {trace} ({} trace events)",
+        report.trace_events
+    );
+
+    // Correctness invariants fail unconditionally — a trace that does
+    // not reconcile is not an observability artifact, it is a lie.
+    if report.workloads.iter().any(|w| !w.reconciled) {
+        eprintln!("noc-bench: FAIL — phase sums do not reconcile with completion latencies");
+        return ExitCode::FAILURE;
+    }
+    if report.workloads.iter().any(|w| !w.span_stream_ok) {
+        eprintln!("noc-bench: FAIL — span streams diverge across engine variants");
+        return ExitCode::FAILURE;
+    }
+    if report.workloads.iter().any(|w| w.transactions == 0) {
+        eprintln!("noc-bench: FAIL — a workload completed nothing");
+        return ExitCode::FAILURE;
+    }
+    if gate {
+        const NULL_BUDGET_PCT: f64 = 1.0;
+        const ENABLED_BUDGET_PCT: f64 = 5.0;
+        if report.overhead.null_overhead_pct > NULL_BUDGET_PCT {
+            eprintln!(
+                "noc-bench: FAIL — NullSpanSink overhead {:.2}% exceeds the {NULL_BUDGET_PCT}% budget",
+                report.overhead.null_overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.overhead.enabled_overhead_pct > ENABLED_BUDGET_PCT {
+            eprintln!(
+                "noc-bench: FAIL — enabled span overhead {:.2}% exceeds the {ENABLED_BUDGET_PCT}% budget",
+                report.overhead.enabled_overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "noc-bench: span overhead within budget (null {:.2}% ≤ {NULL_BUDGET_PCT}%, enabled {:.2}% ≤ {ENABLED_BUDGET_PCT}%)",
+            report.overhead.null_overhead_pct, report.overhead.enabled_overhead_pct
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("scaling") => return run_scaling(&args[1..]),
+        Some("trace-report") => return run_trace_report(&args[1..]),
         Some("trajectory") => {}
         _ => return usage(),
     }

@@ -23,6 +23,7 @@
 //! | [`determinism`] | parallel-engine fingerprint gate |
 //! | [`trajectory`] | `noc-bench trajectory` → `BENCH_PR4.json` perf trajectory |
 //! | [`scaling`] | `noc-bench scaling` → `BENCH_PR8.json` epoch-batched parallel scaling |
+//! | [`spanreport`] | `noc-bench trace-report` → `BENCH_PR9.json` critical-path latency attribution |
 
 pub mod ablations;
 pub mod determinism;
@@ -34,6 +35,7 @@ pub mod fig12_13;
 pub mod fig14;
 pub mod report;
 pub mod scaling;
+pub mod spanreport;
 pub mod systems;
 pub mod table04;
 pub mod table05;

@@ -1,0 +1,509 @@
+//! `noc-bench trace-report`: causal-span critical-path attribution as
+//! a machine-readable artifact (`BENCH_PR9.json`) plus a human table.
+//!
+//! One run drives three transaction workloads on the generated 4×4
+//! torus with the fabric's [`SpanCollector`] attached, reduces every
+//! finished transaction to its critical chain
+//! ([`critical_path`](noc_core::telemetry::critical_path)) and reports
+//! the per-phase latency breakdown — staging / inject / ring / recirc /
+//! bridge — whose sums reconcile *exactly* with the completion
+//! latencies the transaction registry recorded. The run fails loudly if
+//! a single cycle goes unattributed.
+//!
+//! The artifact also carries the span-tracing cost measurement the CI
+//! gate enforces:
+//!
+//! * **null overhead** — `TxnFabric::new` (the PR 8 constructor) vs
+//!   `TxnFabric::with_spans(.., NullSpanSink)`. These are the *same
+//!   monomorphization* (`new` delegates to `with_spans`), so the gate
+//!   is a tripwire for someone un-gating a bookkeeping site: budget 1%.
+//! * **enabled overhead** — `NullSpanSink` vs a live [`SpanCollector`]
+//!   on the same workload: full span trees for every transaction,
+//!   budget 5%.
+//!
+//! Both are minima over paired interleaved repeats, the workspace's
+//! standard defense against one-sided scheduler noise (see
+//! [`trajectory`](crate::trajectory)).
+//!
+//! A Perfetto/Chrome trace of the slowest transactions' span trees is
+//! emitted alongside (`TRACE_PR9.json`) — load it in
+//! <https://ui.perfetto.dev>.
+
+use crate::trajectory::METRICS_PERIOD;
+use noc_core::telemetry::{
+    breakdown_table, span_trees_jsonl, spans_chrome_trace, LatencyBreakdown, NullSink,
+    NullSpanSink, SpanCollector, SpanSink, TxnSpanTree, PHASE_NAMES,
+};
+use noc_core::topogen::GridParams;
+use noc_core::{ExecMode, Network, NetworkConfig, NodeId, TickMode};
+use noc_txn::{TxnConfig, TxnFabric, TxnOp};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Tail-exemplar reservoir depth for the report runs.
+pub const EXEMPLAR_K: usize = 8;
+
+/// Outstanding-transaction cap for every report run. The 4×4 torus has
+/// a latent saturation deadlock (recorded in the ROADMAP's open items):
+/// ≈200 concurrent 4 KiB DMA bursts, or as few as 64 outstanding
+/// 2 KiB writes on the stride-7 shuffle, wedge it permanently. The
+/// closed loops here stay well below that region — the report describes
+/// steady-state traffic, not the pathology.
+const MAX_OUTSTANDING: usize = 32;
+
+/// One phase's aggregate share of a workload's latency.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhasePoint {
+    /// Phase name (`staging` / `inject` / `ring` / `recirc` / `bridge`).
+    pub phase: String,
+    /// Critical-chain cycles attributed to this phase, summed over all
+    /// transactions.
+    pub cycles: u64,
+    /// Percentage of the summed completion latency.
+    pub share_pct: f64,
+}
+
+/// One workload's span-derived latency profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanWorkloadPoint {
+    /// Workload name (`dma_burst` / `uniform_high` / `hotspot`).
+    pub workload: String,
+    /// Fabric label.
+    pub fabric: String,
+    /// Transactions completed (= span trees recorded).
+    pub transactions: u64,
+    /// Cycles to quiescence.
+    pub cycles: u64,
+    /// Mean completion latency over the critical-path profile.
+    pub mean_latency: f64,
+    /// Median per-transaction latency from the registry histogram.
+    pub p50_latency: u64,
+    /// Tail per-transaction latency from the registry histogram.
+    pub p99_latency: u64,
+    /// Per-phase attribution, in [`PHASE_NAMES`] order.
+    pub phases: Vec<PhasePoint>,
+    /// Whether phase sums equal the registry's summed completion
+    /// latencies, cycle for cycle.
+    pub reconciled: bool,
+    /// Whether `Parallel(4)` reproduced the sequential span stream and
+    /// exemplar reservoir byte-for-byte.
+    pub span_stream_ok: bool,
+    /// Tail exemplars retained.
+    pub exemplars: u64,
+    /// Latency of the slowest retained exemplar.
+    pub slowest_latency: u64,
+}
+
+/// Span tracing's cost on the transaction workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanOverheadPoint {
+    /// Best-of-N ticks/second with the PR 8 constructor
+    /// (`TxnFabric::new`).
+    pub base_ticks_per_sec: f64,
+    /// Best-of-N ticks/second with the explicit `NullSpanSink`.
+    pub null_ticks_per_sec: f64,
+    /// Best-of-N ticks/second with a live `SpanCollector`.
+    pub enabled_ticks_per_sec: f64,
+    /// `new` → `NullSpanSink` throughput loss in percent (negative =
+    /// noise): same monomorphization, so anything real means a
+    /// bookkeeping site lost its `P::ENABLED` guard. Minimum over
+    /// paired repeats.
+    pub null_overhead_pct: f64,
+    /// `NullSpanSink` → `SpanCollector` throughput loss in percent:
+    /// the true cost of recording every span tree. Minimum over paired
+    /// repeats.
+    pub enabled_overhead_pct: f64,
+    /// Timing repeats the paired minima were taken over.
+    pub repeats: u32,
+}
+
+/// The whole `BENCH_PR9.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceReport {
+    /// Report schema tag.
+    pub bench: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Per-workload span profiles.
+    pub workloads: Vec<SpanWorkloadPoint>,
+    /// Span-tracing cost measurement.
+    pub overhead: SpanOverheadPoint,
+    /// Events in the emitted Perfetto trace.
+    pub trace_events: u64,
+}
+
+/// Everything `noc-bench trace-report` needs: the JSON document, the
+/// rendered breakdown table, and the Perfetto trace body.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// The machine-readable report.
+    pub report: TraceReport,
+    /// Aligned ASCII breakdown table, one row per workload.
+    pub table: String,
+    /// Chrome `trace_event` JSON of the slowest transactions.
+    pub perfetto: String,
+}
+
+/// Transaction workload shapes the report profiles. All are
+/// deterministic closed loops — no RNG, so the span streams are
+/// reproducible byte-for-byte.
+enum Shape {
+    /// 4 KiB non-posted DMA writes to the device half the fabric away —
+    /// the trajectory benchmark's canonical burst point.
+    DmaBurst,
+    /// 2 KiB non-posted writes on a stride-7 all-to-all shuffle: every
+    /// endpoint both sends and receives, load spread evenly.
+    UniformHigh,
+    /// 1 KiB non-posted writes from every endpoint to device 0: ejection
+    /// pressure concentrates, recirculation and window wait dominate.
+    Hotspot,
+}
+
+impl Shape {
+    fn name(&self) -> &'static str {
+        match self {
+            Shape::DmaBurst => "dma_burst",
+            Shape::UniformHigh => "uniform_high",
+            Shape::Hotspot => "hotspot",
+        }
+    }
+
+    /// The `i`-th request of the closed loop over `devs`.
+    fn request(&self, i: usize, devs: &[NodeId]) -> (NodeId, NodeId, TxnOp) {
+        let n = devs.len();
+        match self {
+            Shape::DmaBurst => (
+                devs[i % n],
+                devs[(i + n / 2) % n],
+                TxnOp::Write {
+                    bytes: 4096,
+                    posted: false,
+                },
+            ),
+            Shape::UniformHigh => {
+                let src = i % n;
+                let mut dst = (i * 7 + 3) % n;
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                (
+                    devs[src],
+                    devs[dst],
+                    TxnOp::Write {
+                        bytes: 2048,
+                        posted: false,
+                    },
+                )
+            }
+            Shape::Hotspot => (
+                devs[1 + i % (n - 1)],
+                devs[0],
+                TxnOp::Write {
+                    bytes: 1024,
+                    posted: false,
+                },
+            ),
+        }
+    }
+}
+
+/// The report fabric: the trajectory benchmark's generated 4×4 torus.
+fn torus_devices() -> (noc_core::Topology, Vec<NodeId>) {
+    let (topo, names) = GridParams::torus(4, 4)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(0x7261_6a65)
+        .generate()
+        .expect("torus generates")
+        .compile()
+        .expect("torus compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    (topo, named.into_iter().map(|(_, id)| id).collect())
+}
+
+/// Everything one span-collecting run yields.
+struct SpanRun {
+    trees: Vec<TxnSpanTree>,
+    exemplars: Vec<TxnSpanTree>,
+    cycles: u64,
+    latency_sum: u64,
+    completed: u64,
+    p50: u64,
+    p99: u64,
+}
+
+/// Drive `txns` transactions of `shape` to quiescence with a
+/// [`SpanCollector`] attached.
+fn span_run(shape: &Shape, txns: usize, exec: ExecMode) -> SpanRun {
+    let (topo, devs) = torus_devices();
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        exec,
+        NullSink,
+    );
+    let cfg = TxnConfig {
+        metrics_period: METRICS_PERIOD,
+        ..TxnConfig::default()
+    };
+    let mut fab = TxnFabric::with_spans(net, cfg, SpanCollector::new(txns.max(1), EXEMPLAR_K));
+    let mut accepted = 0usize;
+    let mut guard = 0u64;
+    while accepted < txns {
+        // Bounded-outstanding closed loop, like the timed runs: the
+        // profiles should describe steady-state traffic, not the
+        // fabric's saturation pathology.
+        if fab.in_flight_txns() < MAX_OUTSTANDING {
+            let (src, dst, op) = shape.request(accepted, &devs);
+            if fab
+                .submit(src, dst, op)
+                .expect("generated endpoints are valid")
+                .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        fab.tick();
+        guard += 1;
+        assert!(guard < 2_000_000, "trace-report workload starved");
+    }
+    assert!(
+        fab.run_until_quiet(2_000_000),
+        "trace-report workload failed to quiesce"
+    );
+    SpanRun {
+        trees: fab.span_sink().recent().cloned().collect(),
+        exemplars: fab.span_sink().exemplars().to_vec(),
+        cycles: fab.now().raw(),
+        latency_sum: fab.latency().sum(),
+        completed: fab.counters().completed(),
+        p50: fab.latency().percentile(0.50),
+        p99: fab.latency().percentile(0.99),
+    }
+}
+
+/// Profile one workload, cross-checking the `Parallel(4)` span stream
+/// against sequential byte-for-byte.
+fn workload_point(shape: Shape, txns: usize) -> (SpanWorkloadPoint, LatencyBreakdown, SpanRun) {
+    let seq = span_run(&shape, txns, ExecMode::Sequential);
+    let par = span_run(&shape, txns, ExecMode::Parallel(4));
+    let breakdown = LatencyBreakdown::of(&seq.trees);
+    // The acceptance invariant: every cycle of every completion latency
+    // the registry recorded is attributed to a named phase.
+    let reconciled = breakdown.reconciles()
+        && breakdown.total == seq.latency_sum
+        && breakdown.txns == seq.completed;
+    let span_stream_ok = span_trees_jsonl(&seq.trees) == span_trees_jsonl(&par.trees)
+        && span_trees_jsonl(&seq.exemplars) == span_trees_jsonl(&par.exemplars);
+    let phases = PHASE_NAMES
+        .iter()
+        .zip(breakdown.phases.as_array())
+        .enumerate()
+        .map(|(idx, (name, cycles))| PhasePoint {
+            phase: name.to_string(),
+            cycles,
+            share_pct: 100.0 * breakdown.share(idx),
+        })
+        .collect();
+    let point = SpanWorkloadPoint {
+        workload: shape.name().to_string(),
+        fabric: "torus-4x4".to_string(),
+        transactions: seq.completed,
+        cycles: seq.cycles,
+        mean_latency: breakdown.mean_latency(),
+        p50_latency: seq.p50,
+        p99_latency: seq.p99,
+        phases,
+        reconciled,
+        span_stream_ok,
+        exemplars: seq.exemplars.len() as u64,
+        slowest_latency: seq.exemplars.first().map_or(0, TxnSpanTree::latency),
+    };
+    (point, breakdown, seq)
+}
+
+/// Time one DMA-burst run under the given span instrumentation.
+/// `sink = None` uses the PR 8 constructor (`TxnFabric::new`);
+/// `Some(false)` the explicit `NullSpanSink`; `Some(true)` a live
+/// collector.
+fn timed_run(txns: usize, sink: Option<bool>) -> f64 {
+    let (topo, devs) = torus_devices();
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        ExecMode::Sequential,
+        NullSink,
+    );
+    let cfg = TxnConfig {
+        metrics_period: METRICS_PERIOD,
+        ..TxnConfig::default()
+    };
+
+    // One driver, monomorphized per sink type.
+    fn drive<P: SpanSink>(mut fab: TxnFabric<NullSink, P>, devs: &[NodeId], txns: usize) -> f64 {
+        let shape = Shape::DmaBurst;
+        let start = Instant::now();
+        let mut accepted = 0usize;
+        let mut guard = 0u64;
+        while accepted < txns {
+            guard += 1;
+            assert!(
+                guard < 4_000_000,
+                "timed run starved: {accepted}/{txns} accepted, cycle {}, in-flight {}",
+                fab.now().raw(),
+                fab.in_flight_txns()
+            );
+            // Closed-loop admission: hold outstanding transactions
+            // below the torus's saturation point (≈200 concurrent 4 KiB
+            // bursts wedges the fabric — see the ROADMAP's open items)
+            // so the timed region measures steady-state throughput, not
+            // a pathology.
+            if fab.in_flight_txns() < MAX_OUTSTANDING {
+                let (src, dst, op) = shape.request(accepted, devs);
+                if fab
+                    .submit(src, dst, op)
+                    .expect("generated endpoints are valid")
+                    .is_some()
+                {
+                    accepted += 1;
+                }
+            }
+            fab.tick();
+        }
+        assert!(
+            fab.run_until_quiet(2_000_000),
+            "timed run failed to quiesce"
+        );
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        fab.now().raw() as f64 / secs
+    }
+
+    match sink {
+        None => drive(TxnFabric::new(net, cfg), &devs, txns),
+        Some(false) => drive(TxnFabric::with_spans(net, cfg, NullSpanSink), &devs, txns),
+        Some(true) => drive(
+            TxnFabric::with_spans(net, cfg, SpanCollector::new(txns.max(1), EXEMPLAR_K)),
+            &devs,
+            txns,
+        ),
+    }
+}
+
+/// Run the whole trace report. `quick` trades transaction counts and
+/// timing repeats for CI wall-clock.
+pub fn run(quick: bool) -> TraceBundle {
+    let txns = if quick { 40 } else { 150 };
+
+    let (dma, dma_breakdown, dma_run) = workload_point(Shape::DmaBurst, txns);
+    let (uniform, uniform_breakdown, _) = workload_point(Shape::UniformHigh, txns);
+    let (hotspot, hotspot_breakdown, _) = workload_point(Shape::Hotspot, txns);
+
+    let table = breakdown_table(&[
+        (dma.workload.as_str(), &dma_breakdown),
+        (uniform.workload.as_str(), &uniform_breakdown),
+        (hotspot.workload.as_str(), &hotspot_breakdown),
+    ]);
+
+    // Perfetto trace of the DMA point's slowest transactions.
+    let perfetto = spans_chrome_trace(&dma_run.exemplars);
+    let trace_events = perfetto.matches("\"ph\":").count() as u64;
+
+    // Interleaved paired repeats, minimum overhead — scheduler noise
+    // only slows runs down, so the quietest pairing is the closest
+    // estimate of the true cost (trajectory convention). Never
+    // quick-scaled: the gates compare numbers ~1% apart, which a
+    // shorter run cannot resolve. One untimed warmup per variant first,
+    // so allocator and cache warmup don't land on whichever variant
+    // happens to run first.
+    let overhead_txns = 500;
+    let repeats: u32 = if quick { 5 } else { 7 };
+    for sink in [None, Some(false), Some(true)] {
+        let _ = timed_run(overhead_txns, sink);
+    }
+    let mut base_runs = Vec::new();
+    let mut null_runs = Vec::new();
+    let mut enabled_runs = Vec::new();
+    let mut null_over = Vec::new();
+    let mut enabled_over = Vec::new();
+    for _ in 0..repeats {
+        let base = timed_run(overhead_txns, None);
+        let null = timed_run(overhead_txns, Some(false));
+        let enabled = timed_run(overhead_txns, Some(true));
+        base_runs.push(base);
+        null_runs.push(null);
+        enabled_runs.push(enabled);
+        null_over.push((1.0 - null / base) * 100.0);
+        enabled_over.push((1.0 - enabled / null) * 100.0);
+    }
+    let best = |xs: Vec<f64>| xs.into_iter().fold(f64::MIN, f64::max);
+    let overhead = SpanOverheadPoint {
+        base_ticks_per_sec: best(base_runs),
+        null_ticks_per_sec: best(null_runs),
+        enabled_ticks_per_sec: best(enabled_runs),
+        null_overhead_pct: null_over.iter().copied().fold(f64::INFINITY, f64::min),
+        enabled_overhead_pct: enabled_over.iter().copied().fold(f64::INFINITY, f64::min),
+        repeats,
+    };
+
+    TraceBundle {
+        report: TraceReport {
+            bench: "noc-bench trace-report".to_string(),
+            quick,
+            workloads: vec![dma, uniform, hotspot],
+            overhead,
+            trace_events,
+        },
+        table,
+        perfetto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trace_report_reconciles_and_renders() {
+        let bundle = run(true);
+        let r = &bundle.report;
+        assert_eq!(r.workloads.len(), 3);
+        for w in &r.workloads {
+            assert_eq!(w.transactions, 40, "{}: transaction census", w.workload);
+            assert!(w.reconciled, "{}: unattributed cycles", w.workload);
+            assert!(w.span_stream_ok, "{}: span stream diverged", w.workload);
+            assert_eq!(w.phases.len(), PHASE_NAMES.len());
+            assert_eq!(w.exemplars, EXEMPLAR_K as u64);
+            assert!(w.slowest_latency >= w.p50_latency, "{}: tail", w.workload);
+            let share: f64 = w.phases.iter().map(|p| p.share_pct).sum();
+            assert!((share - 100.0).abs() < 1e-6, "{}: shares", w.workload);
+            assert!(
+                w.phases.iter().any(|p| p.phase == "ring" && p.cycles > 0),
+                "{}: no ring time",
+                w.workload
+            );
+        }
+        // Hotspot concentrates ejection pressure: more re-circulation
+        // share than the spread workload.
+        let recirc = |name: &str| {
+            r.workloads
+                .iter()
+                .find(|w| w.workload == name)
+                .and_then(|w| w.phases.iter().find(|p| p.phase == "recirc"))
+                .map(|p| p.share_pct)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            recirc("hotspot") >= recirc("uniform_high"),
+            "hotspot should recirculate at least as much as uniform_high"
+        );
+        assert!(bundle.table.contains("dma_burst"), "{}", bundle.table);
+        assert!(bundle.table.contains("staging"), "{}", bundle.table);
+        assert!(r.trace_events > 0);
+        assert!(bundle.perfetto.starts_with("{\"traceEvents\":["));
+        let json = serde_json::to_string_pretty(&r).expect("serializes");
+        assert!(json.contains("\"null_overhead_pct\""));
+    }
+}

@@ -12,12 +12,12 @@
 //! bare network's inject queue is full.
 
 use crate::system::ChiTransport;
-use noc_core::telemetry::TraceSink;
+use noc_core::telemetry::{SpanSink, TraceSink};
 use noc_core::{FlitClass, NodeId};
 use noc_sim::Cycle;
 use noc_txn::TxnFabric;
 
-impl<S: TraceSink> ChiTransport for TxnFabric<S> {
+impl<S: TraceSink, P: SpanSink> ChiTransport for TxnFabric<S, P> {
     fn offer(
         &mut self,
         src: NodeId,

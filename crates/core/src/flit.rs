@@ -108,6 +108,19 @@ pub struct Flit {
     /// `deflections`.
     #[serde(default)]
     pub charged_etag_laps: u32,
+    /// Ring cycles spent re-circulating past an eject point that
+    /// refused this flit: the sum, over every deflection episode, of
+    /// the cycles between the first refused ejection and the eventual
+    /// successful one. Because a flit on a ring advances every cycle,
+    /// `hops - recirc_cycles` is exactly the productive ring distance
+    /// and `recirc_cycles` is exactly the deflection penalty.
+    #[serde(default)]
+    pub recirc_cycles: u32,
+    /// Start of the current deflection episode (None when the flit has
+    /// not been refused ejection since it last left a ring). Internal
+    /// bookkeeping for `recirc_cycles`.
+    #[serde(default)]
+    pub deflected_since: Option<Cycle>,
 }
 
 /// Position of one flit inside a multi-flit packet, encoded into the
@@ -209,6 +222,19 @@ impl Flit {
             itag_wait: 0,
             charged_deflections: 0,
             charged_etag_laps: 0,
+            recirc_cycles: 0,
+            deflected_since: None,
+        }
+    }
+
+    /// Close the current deflection episode (if any) at a successful
+    /// ejection: fold the cycles spent re-circulating into
+    /// `recirc_cycles`. Called by the engine wherever a flit leaves a
+    /// ring for an eject queue.
+    #[inline]
+    pub fn settle_recirc(&mut self, now: Cycle) {
+        if let Some(since) = self.deflected_since.take() {
+            self.recirc_cycles += now.since(since) as u32;
         }
     }
 

@@ -376,6 +376,9 @@ impl<S: TraceSink> Network<S> {
             links: self.link_cells(),
             snapshots: rec.map_or_else(Vec::new, |r| r.snapshots().cloned().collect()),
             events: rec.map_or_else(Vec::new, |r| r.events().copied().collect()),
+            // The network has no transaction layer; TxnFabric attaches
+            // its tail exemplars when it re-dumps a bundle.
+            txn_exemplars: Vec::new(),
         }
     }
 

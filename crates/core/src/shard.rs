@@ -737,6 +737,7 @@ impl RingShard {
                     flit.etag = false;
                 }
                 let fid = flit.id;
+                flit.settle_recirc(now);
                 self.nodes[t].eject.push(flit).expect("space just vacated");
                 if TRACE {
                     let record = TraceRecord {
@@ -791,6 +792,11 @@ impl RingShard {
             }
         }
         flit.deflections += 1;
+        if flit.deflected_since.is_none() {
+            // Open a re-circulation episode: every ring cycle from here
+            // until the successful ejection is deflection penalty.
+            flit.deflected_since = Some(now);
+        }
         if had_etag {
             // A deflection of an already-tagged flit defeats the
             // one-lap guarantee once more (§4.1.2).
@@ -823,7 +829,14 @@ impl RingShard {
     /// Complete an arrival into local node `t`'s eject queue, recording
     /// delivery stats for devices. `lane` is the ring lane the flit
     /// left (or [`NO_LANE`] for the zero-hop local path).
-    fn finish_arrival<const TRACE: bool>(&mut self, now: Cycle, t: usize, flit: Flit, lane: u8) {
+    fn finish_arrival<const TRACE: bool>(
+        &mut self,
+        now: Cycle,
+        t: usize,
+        mut flit: Flit,
+        lane: u8,
+    ) {
+        flit.settle_recirc(now);
         let is_device = matches!(self.nodes[t].kind, NodeKind::Device);
         if is_device {
             self.stats.record_delivery(&flit, now);

@@ -11,7 +11,9 @@
 //! Cycle numbers are written directly as microsecond timestamps: the
 //! viewer's "us" axis reads as cycles.
 
+use crate::critical::critical_path;
 use crate::event::{FlitEvent, TraceRecord};
+use crate::spans::TxnSpanTree;
 use crate::views::CLASS_NAMES;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -122,6 +124,116 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Render transaction span trees as a Chrome `trace_event` JSON object.
+///
+/// Each transaction becomes its own process: track 0 carries the root
+/// span (issue → completion) with the critical chain's phase segments
+/// nested under it, and every packet gets a complete span on its own
+/// track (staged → reassembled) so overlapping request packets render
+/// side by side. Load in `chrome://tracing` or
+/// <https://ui.perfetto.dev>; cycle numbers are written as microsecond
+/// timestamps, so the "us" axis reads as cycles.
+pub fn spans_chrome_trace(trees: &[TxnSpanTree]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(ev);
+    };
+
+    let mut ev = String::new();
+    for tree in trees {
+        let pid = tree.txn;
+        ev.clear();
+        write!(
+            ev,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"txn {} {} n{}->n{}\"}}}}",
+            pid,
+            tree.txn,
+            tree.op_name(),
+            tree.src,
+            tree.dst
+        )
+        .expect("writing to a String cannot fail");
+        push(&mut out, &ev);
+
+        ev.clear();
+        write!(
+            ev,
+            "{{\"name\":\"txn {} {}\",\"cat\":\"txn\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\
+             \"args\":{{\"bytes\":{},\"window_occupancy\":{}}}}}",
+            tree.txn,
+            tree.op_name(),
+            tree.issued_at,
+            tree.latency().max(1),
+            pid,
+            tree.bytes,
+            tree.window_occupancy
+        )
+        .expect("writing to a String cannot fail");
+        push(&mut out, &ev);
+
+        // Critical-chain phase segments, nested inside the root span on
+        // track 0: contiguous and non-overlapping by construction.
+        let path = critical_path(tree);
+        for link in &path.links {
+            let mut at = link.from;
+            for (name, cycles) in crate::critical::PHASE_NAMES
+                .iter()
+                .zip(link.phases.as_array())
+            {
+                if cycles == 0 {
+                    continue;
+                }
+                ev.clear();
+                write!(
+                    ev,
+                    "{{\"name\":\"{} p{}\",\"cat\":\"critical\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0}}",
+                    name, link.packet, at, cycles, pid
+                )
+                .expect("writing to a String cannot fail");
+                push(&mut out, &ev);
+                at += cycles;
+            }
+        }
+
+        for (i, p) in tree.packets.iter().enumerate() {
+            let tid = i as u64 + 1;
+            ev.clear();
+            write!(
+                ev,
+                "{{\"name\":\"pkt {} {} n{}->n{}\",\"cat\":\"packet\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"flits\":{},\"hops\":{},\"deflections\":{},\
+                 \"recirc\":{},\"bridges\":{}}}}}",
+                p.packet,
+                p.role.name(),
+                p.src,
+                p.dst,
+                p.staged_at,
+                (p.reassembled_at - p.staged_at).max(1),
+                pid,
+                tid,
+                p.flits,
+                p.hops,
+                p.deflections,
+                p.recirc_cycles,
+                p.bridge_crossings
+            )
+            .expect("writing to a String cannot fail");
+            push(&mut out, &ev);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +296,97 @@ mod tests {
         ];
         let json = chrome_trace(&records);
         assert!(json.contains("\"dur\":1"), "{json}");
+    }
+
+    #[test]
+    fn span_export_is_loadable_json_with_phase_segments() {
+        use crate::spans::{FlitSpan, PacketSpan, SpanRole};
+        let tree = TxnSpanTree {
+            txn: 3,
+            op: 0,
+            src: 0,
+            dst: 4,
+            bytes: 64,
+            issued_at: 10,
+            req_done_at: Some(30),
+            completed_at: 40,
+            window_occupancy: 1,
+            final_packet: 1,
+            packets: vec![
+                PacketSpan {
+                    packet: 0,
+                    parent: None,
+                    role: SpanRole::Request,
+                    src: 0,
+                    dst: 4,
+                    class: 0,
+                    bytes: 64,
+                    flits: 2,
+                    staged_at: 10,
+                    first_flit_at: 25,
+                    reassembled_at: 30,
+                    hops: 20,
+                    deflections: 1,
+                    recirc_cycles: 3,
+                    etag_laps: 0,
+                    itag_wait: 2,
+                    bridge_crossings: 1,
+                    crit: FlitSpan {
+                        enqueued_at: 12,
+                        injected_at: 14,
+                        delivered_at: 30,
+                        hops: 13,
+                        deflections: 1,
+                        recirc_cycles: 3,
+                        etag_laps: 0,
+                        itag_wait: 2,
+                        bridge_crossings: 1,
+                    },
+                },
+                PacketSpan {
+                    packet: 1,
+                    parent: Some(0),
+                    role: SpanRole::Response,
+                    src: 4,
+                    dst: 0,
+                    class: 1,
+                    bytes: 0,
+                    flits: 1,
+                    staged_at: 30,
+                    first_flit_at: 40,
+                    reassembled_at: 40,
+                    hops: 8,
+                    deflections: 0,
+                    recirc_cycles: 0,
+                    etag_laps: 0,
+                    itag_wait: 0,
+                    bridge_crossings: 0,
+                    crit: FlitSpan {
+                        enqueued_at: 31,
+                        injected_at: 32,
+                        delivered_at: 40,
+                        hops: 8,
+                        deflections: 0,
+                        recirc_cycles: 0,
+                        etag_laps: 0,
+                        itag_wait: 0,
+                        bridge_crossings: 0,
+                    },
+                },
+            ],
+        };
+        let json = spans_chrome_trace(&[tree]);
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // 1 process_name + 1 root + phase segments + 2 packet spans.
+        assert!(events.len() >= 4, "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("txn 3 read"), "{json}");
+        assert!(json.contains("pkt 1 response"), "{json}");
+        assert!(json.contains("\"recirc p0\""), "phase segment: {json}");
+        assert!(spans_chrome_trace(&[]).contains("traceEvents"));
     }
 }

@@ -81,6 +81,7 @@
 //! ```
 
 pub mod chrome;
+pub mod critical;
 pub mod event;
 pub mod export;
 pub mod flowstats;
@@ -89,12 +90,19 @@ pub mod metrics;
 pub mod postmortem;
 pub mod recorder;
 pub mod sink;
+pub mod spans;
 pub mod txnstats;
 pub mod views;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, spans_chrome_trace};
+pub use critical::{
+    breakdown_table, critical_path, CriticalLink, CriticalPath, LatencyBreakdown, PhaseCycles,
+    PHASE_NAMES,
+};
 pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
-pub use export::{escape_label_value, prometheus_flows, prometheus_text, snapshots_jsonl};
+pub use export::{
+    escape_label_value, prometheus_flows, prometheus_text, prometheus_txn, snapshots_jsonl,
+};
 pub use flowstats::{flow_table_ascii, merge_ranked, FlowDelta, FlowEvent, FlowRecord, FlowTable};
 pub use health::{HealthConfig, HealthMonitor, HealthRule, Severity, Verdict};
 pub use metrics::{
@@ -103,5 +111,9 @@ pub use metrics::{
 pub use postmortem::{link_heat_ascii, BundleEnv, BundleMeta, PostmortemBundle};
 pub use recorder::{FlightRecorder, RecorderConfig};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceBuffer, TraceSink};
+pub use spans::{
+    span_trees_jsonl, FlitSpan, NullSpanSink, PacketSpan, SpanCollector, SpanRole, SpanSink,
+    TailExemplars, TxnSpanTree, SPAN_OP_NAMES,
+};
 pub use txnstats::{txn_snapshots_jsonl, TxnRegistry, TxnSnapshot};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};

@@ -22,6 +22,7 @@
 use crate::flowstats::{flow_table_ascii, FlowRecord};
 use crate::health::Verdict;
 use crate::metrics::MetricsSnapshot;
+use crate::spans::TxnSpanTree;
 use crate::TraceRecord;
 use serde::{Deserialize, Serialize, Value};
 
@@ -81,6 +82,11 @@ pub struct PostmortemBundle {
     /// The flight recorder's retained flit-lifecycle events, oldest
     /// first (empty when the network ran without a tracing sink).
     pub events: Vec<TraceRecord>,
+    /// Tail exemplars from the transaction layer: the K slowest
+    /// transactions' full span trees at capture time, slowest first —
+    /// causal context for the latched verdict (empty when the run had
+    /// no transaction layer or span tracing was off).
+    pub txn_exemplars: Vec<TxnSpanTree>,
 }
 
 /// Wrapper for the `"kind":"links"` line.
@@ -133,6 +139,10 @@ impl PostmortemBundle {
             out.push_str(&kind_line("event", e));
             out.push('\n');
         }
+        for t in &self.txn_exemplars {
+            out.push_str(&kind_line("txn_exemplar", t));
+            out.push('\n');
+        }
         out
     }
 
@@ -162,6 +172,7 @@ impl PostmortemBundle {
         let mut links = None;
         let mut snapshots = Vec::new();
         let mut events = Vec::new();
+        let mut txn_exemplars = Vec::new();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let v: Value = serde_json::from_str(line)?;
             let kind = v
@@ -177,6 +188,7 @@ impl PostmortemBundle {
                 "links" => links = Some(serde_json::from_value::<LinksLine>(&v)?.cells),
                 "snapshot" => snapshots.push(serde_json::from_value::<MetricsSnapshot>(&v)?),
                 "event" => events.push(serde_json::from_value::<TraceRecord>(&v)?),
+                "txn_exemplar" => txn_exemplars.push(serde_json::from_value::<TxnSpanTree>(&v)?),
                 other => {
                     return Err(serde_json::Error(format!(
                         "unknown bundle line kind {other:?}"
@@ -192,6 +204,7 @@ impl PostmortemBundle {
             links: links.ok_or_else(|| serde_json::Error("bundle without links line".into()))?,
             snapshots,
             events,
+            txn_exemplars,
         })
     }
 
@@ -216,6 +229,14 @@ impl PostmortemBundle {
             for v in &self.verdicts {
                 out.push_str(&format!("    {v}\n"));
             }
+        }
+        if !self.txn_exemplars.is_empty() {
+            out.push_str(&format!(
+                "  txn exemplars: {} (slowest: txn {} at {} cycles)\n",
+                self.txn_exemplars.len(),
+                self.txn_exemplars[0].txn,
+                self.txn_exemplars[0].latency()
+            ));
         }
         out.push_str("\nflow attribution (top flows by delivered + deflections):\n");
         out.push_str(&flow_table_ascii(&self.flows, |id| format!("n{id}")));
@@ -307,6 +328,19 @@ mod tests {
                 ..MetricsSnapshot::default()
             }],
             events: Vec::new(),
+            txn_exemplars: vec![TxnSpanTree {
+                txn: 17,
+                op: 1,
+                src: 1,
+                dst: 5,
+                bytes: 4096,
+                issued_at: 10,
+                req_done_at: None,
+                completed_at: 630,
+                window_occupancy: 4,
+                final_packet: 3,
+                packets: Vec::new(),
+            }],
         }
     }
 
@@ -345,6 +379,30 @@ mod tests {
         assert!(r.contains("n1 -> n5"), "{r}");
         assert!(r.contains("link utilization"), "{r}");
         assert!(r.contains("Parallel(4)"), "{r}");
+        assert!(
+            r.contains("txn exemplars: 1 (slowest: txn 17 at 620 cycles)"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn exemplar_lines_round_trip_and_stay_comparable() {
+        let b = sample_bundle();
+        let text = b.to_jsonl();
+        assert!(text.contains("{\"kind\":\"txn_exemplar\""), "{text}");
+        let back = PostmortemBundle::from_jsonl(&text).expect("parses");
+        assert_eq!(back.txn_exemplars, b.txn_exemplars);
+        // Exemplars are simulation output: they stay in the comparable
+        // rendering the determinism tests diff across engine variants.
+        assert!(b.comparable_jsonl().contains("{\"kind\":\"txn_exemplar\""));
+        // Pre-PR 9 bundles (no exemplar lines) still parse.
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("{\"kind\":\"txn_exemplar\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = PostmortemBundle::from_jsonl(&old).expect("old bundles parse");
+        assert!(back.txn_exemplars.is_empty());
     }
 
     #[test]

@@ -39,7 +39,10 @@ use crate::types::{
     AtomicKind, TxnCompletion, TxnConfig, TxnCounters, TxnError, TxnId, TxnKind, TxnOp,
 };
 use crate::window::InFlightWindow;
-use noc_core::telemetry::{NullSink, TraceSink, TxnRegistry, TxnSnapshot};
+use noc_core::telemetry::{
+    FlitSpan, NullSink, NullSpanSink, PacketSpan, PostmortemBundle, SpanRole, SpanSink, TraceSink,
+    TxnRegistry, TxnSnapshot, TxnSpanTree,
+};
 use noc_core::{
     EngineError, EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketToken, Topology,
 };
@@ -118,7 +121,7 @@ struct TxnState {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct TxnFabric<S: TraceSink = NullSink> {
+pub struct TxnFabric<S: TraceSink = NullSink, P: SpanSink = NullSpanSink> {
     net: Network<S>,
     cfg: TxnConfig,
     endpoints: BTreeMap<NodeId, Endpoint>,
@@ -137,12 +140,45 @@ pub struct TxnFabric<S: TraceSink = NullSink> {
     /// Admission cap on `outstanding` (see
     /// [`TxnConfig::max_outstanding_flits`]).
     outstanding_cap: u64,
+    /// Destination for finished span trees. Every bookkeeping site
+    /// below is guarded by `P::ENABLED`, so for the default
+    /// [`NullSpanSink`] monomorphization deletes span tracking
+    /// entirely.
+    span_sink: P,
+    /// In-progress packet spans: packet id → (owning txn, span).
+    /// Keyed lookups only; empty when spans are disabled.
+    pkt_spans: HashMap<u64, (u64, PacketSpan)>,
+    /// In-progress transaction trees by txn id. Keyed lookups only;
+    /// empty when spans are disabled.
+    txn_spans: HashMap<u64, TxnSpanTree>,
+}
+
+/// Map the fabric's [`TxnKind`] onto
+/// [`SPAN_OP_NAMES`](noc_core::telemetry::SPAN_OP_NAMES) indices.
+fn span_op(kind: TxnKind) -> u8 {
+    match kind {
+        TxnKind::Read => 0,
+        TxnKind::WritePosted => 1,
+        TxnKind::WriteNonPosted => 2,
+        TxnKind::Atomic => 3,
+        TxnKind::Broadcast => 4,
+    }
 }
 
 impl<S: TraceSink> TxnFabric<S> {
     /// Layer a transaction fabric over `net`. Every device node of the
-    /// topology becomes a transaction endpoint.
+    /// topology becomes a transaction endpoint. Span tracing is off
+    /// (and compiled away); use [`TxnFabric::with_spans`] to record
+    /// causal span trees.
     pub fn new(net: Network<S>, cfg: TxnConfig) -> Self {
+        Self::with_spans(net, cfg, NullSpanSink)
+    }
+}
+
+impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
+    /// Layer a transaction fabric over `net`, recording one
+    /// [`TxnSpanTree`] per finished transaction into `spans`.
+    pub fn with_spans(net: Network<S>, cfg: TxnConfig, spans: P) -> Self {
         assert!(cfg.flit_bytes > 0, "flit_bytes must be positive");
         assert!(
             cfg.max_data_flits >= 1 && cfg.max_data_flits <= 256,
@@ -184,7 +220,42 @@ impl<S: TraceSink> TxnFabric<S> {
             registry,
             outstanding: 0,
             outstanding_cap,
+            span_sink: spans,
+            pkt_spans: HashMap::new(),
+            txn_spans: HashMap::new(),
         }
+    }
+
+    /// The span sink (e.g. to read a
+    /// [`SpanCollector`](noc_core::telemetry::SpanCollector)'s trees).
+    pub fn span_sink(&self) -> &P {
+        &self.span_sink
+    }
+
+    /// Mutable span-sink access (e.g. to flush a streaming sink).
+    pub fn span_sink_mut(&mut self) -> &mut P {
+        &mut self.span_sink
+    }
+
+    /// The K slowest transactions' span trees, if the sink keeps them.
+    pub fn tail_exemplars(&self) -> &[TxnSpanTree] {
+        self.span_sink.exemplars()
+    }
+
+    /// Freeze a postmortem bundle from the network's flight recorder
+    /// and attach the span sink's tail exemplars as causal context.
+    /// `None` when the network's observatory is disabled.
+    pub fn dump_postmortem(&self, reason: &str) -> Option<PostmortemBundle> {
+        let mut bundle = self.net.dump_postmortem(reason)?;
+        self.attach_exemplars(&mut bundle);
+        Some(bundle)
+    }
+
+    /// Attach the sink's tail exemplars to an existing bundle — e.g.
+    /// one the network's watchdog latched mid-run, which the network
+    /// froze without transaction-layer context.
+    pub fn attach_exemplars(&self, bundle: &mut PostmortemBundle) {
+        bundle.txn_exemplars = self.span_sink.exemplars().to_vec();
     }
 
     /// The configuration.
@@ -293,17 +364,100 @@ impl<S: TraceSink> TxnFabric<S> {
     /// `from`'s endpoint. `urgent` bypasses the staging bound (used for
     /// responses and broadcast forwards, which must never be refused —
     /// refusing them would deadlock the windows waiting on them).
-    fn stage_packet(&mut self, from: NodeId, desc: PacketDesc, urgent: bool) {
+    /// `parent` is the packet whose reassembly completion caused this
+    /// staging (`None` at submit time); it becomes the span tree's
+    /// causal edge.
+    fn stage_packet(&mut self, from: NodeId, desc: PacketDesc, urgent: bool, parent: Option<u64>) {
         debug_assert!(urgent || !self.staging_full(from));
         let id = self.next_packet;
         self.next_packet += 1;
         let flits = desc.flits(id, &self.cfg);
+        if P::ENABLED {
+            let role = if parent.is_none() {
+                SpanRole::Request
+            } else if matches!(desc.kind, PacketKind::Bcast) {
+                SpanRole::Relay
+            } else {
+                SpanRole::Response
+            };
+            self.pkt_spans.insert(
+                id,
+                (
+                    desc.txn,
+                    PacketSpan {
+                        packet: id,
+                        parent,
+                        role,
+                        src: desc.src.0,
+                        dst: desc.dst.0,
+                        class: desc.class.index() as u8,
+                        bytes: desc.bytes,
+                        flits: 1 + desc.n_data,
+                        staged_at: self.net.now().raw(),
+                        // Sentinel until the first flit drains; always
+                        // overwritten before the span leaves the fabric
+                        // (reassembly completion is itself a drain).
+                        first_flit_at: u64::MAX,
+                        reassembled_at: 0,
+                        hops: 0,
+                        deflections: 0,
+                        recirc_cycles: 0,
+                        etag_laps: 0,
+                        itag_wait: 0,
+                        bridge_crossings: 0,
+                        crit: FlitSpan::default(),
+                    },
+                ),
+            );
+        }
         self.packets.insert(id, desc);
         self.endpoints
             .get_mut(&from)
             .expect("staging at a known endpoint")
             .staged
             .extend(flits);
+    }
+
+    /// Span bookkeeping for one accepted (non-duplicate) flit. Callers
+    /// guard with `P::ENABLED`; `completed` marks the flit that
+    /// finished reassembly — it becomes the packet's critical flit and
+    /// moves the span into its transaction's tree.
+    fn span_flit(&mut self, packet: u64, flit: &Flit, completed: bool) {
+        let now = self.net.now().raw();
+        let Some((_, span)) = self.pkt_spans.get_mut(&packet) else {
+            return;
+        };
+        if span.first_flit_at == u64::MAX {
+            span.first_flit_at = now;
+        }
+        span.hops += u64::from(flit.hops);
+        span.deflections += u64::from(flit.deflections);
+        span.recirc_cycles += u64::from(flit.recirc_cycles);
+        span.etag_laps += u64::from(flit.etag_laps);
+        span.itag_wait += u64::from(flit.itag_wait);
+        span.bridge_crossings += u64::from(flit.ring_changes);
+        if !completed {
+            return;
+        }
+        span.reassembled_at = now;
+        span.crit = FlitSpan {
+            enqueued_at: flit.created_at.raw(),
+            injected_at: flit.injected_at.unwrap_or(flit.created_at).raw(),
+            delivered_at: now,
+            hops: flit.hops,
+            deflections: flit.deflections,
+            recirc_cycles: flit.recirc_cycles,
+            etag_laps: flit.etag_laps,
+            itag_wait: flit.itag_wait,
+            bridge_crossings: flit.ring_changes,
+        };
+        let (txn, span) = self.pkt_spans.remove(&packet).expect("looked up above");
+        // Message packets have no tree (they are not transactions);
+        // their spans end here.
+        if let Some(tree) = self.txn_spans.get_mut(&txn) {
+            tree.final_packet = packet;
+            tree.packets.push(span);
+        }
     }
 
     /// Submit a point-to-point transaction from `src` to `dst`.
@@ -358,6 +512,24 @@ impl<S: TraceSink> TxnFabric<S> {
             TxnOp::Write { bytes, .. } => bytes,
             TxnOp::Atomic(_) => 0,
         };
+        if P::ENABLED {
+            self.txn_spans.insert(
+                txn,
+                TxnSpanTree {
+                    txn,
+                    op: span_op(kind),
+                    src: src.0,
+                    dst: dst.0,
+                    bytes: payload,
+                    issued_at: now.raw(),
+                    req_done_at: None,
+                    completed_at: 0,
+                    window_occupancy: self.endpoints[&src].window.occupancy() as u64,
+                    final_packet: 0,
+                    packets: Vec::new(),
+                },
+            );
+        }
         self.txns.insert(
             txn,
             TxnState {
@@ -395,6 +567,7 @@ impl<S: TraceSink> TxnFabric<S> {
                     n_data: data_flits(bytes, self.cfg.flit_bytes),
                 },
                 false,
+                None,
             );
         }
 
@@ -453,6 +626,24 @@ impl<S: TraceSink> TxnFabric<S> {
         let now = self.net.now();
         let first_child = tree.children_of(src)[0];
         let root_children: Vec<NodeId> = tree.children_of(src).to_vec();
+        if P::ENABLED {
+            self.txn_spans.insert(
+                txn,
+                TxnSpanTree {
+                    txn,
+                    op: span_op(TxnKind::Broadcast),
+                    src: src.0,
+                    dst: first_child.0,
+                    bytes,
+                    issued_at: now.raw(),
+                    req_done_at: None,
+                    completed_at: 0,
+                    window_occupancy: self.endpoints[&src].window.occupancy() as u64,
+                    final_packet: 0,
+                    packets: Vec::new(),
+                },
+            );
+        }
         self.txns.insert(
             txn,
             TxnState {
@@ -484,6 +675,7 @@ impl<S: TraceSink> TxnFabric<S> {
                     n_data: data_flits(bytes, self.cfg.flit_bytes),
                 },
                 false,
+                None,
             );
         }
         self.counters.submitted += 1;
@@ -540,6 +732,7 @@ impl<S: TraceSink> TxnFabric<S> {
                 n_data: data_flits(bytes, self.cfg.flit_bytes),
             },
             false,
+            None,
         );
         self.counters.messages_submitted += 1;
         true
@@ -721,18 +914,25 @@ impl<S: TraceSink> TxnFabric<S> {
         }
         let ep = self.endpoints.get_mut(&node).expect("delivery at endpoint");
         match ep.reassembly.accept(tok, desc.n_data) {
-            Accept::Partial => {}
+            Accept::Partial => {
+                if P::ENABLED {
+                    self.span_flit(tok.packet, flit, false);
+                }
+            }
             Accept::Duplicate => self.counters.duplicate_flits += 1,
             Accept::Complete => {
+                if P::ENABLED {
+                    self.span_flit(tok.packet, flit, true);
+                }
                 self.packets.remove(&tok.packet);
                 self.counters.packets_reassembled += 1;
-                self.packet_complete(node, desc);
+                self.packet_complete(node, tok.packet, desc);
             }
         }
     }
 
-    /// One whole packet has reassembled at `node`.
-    fn packet_complete(&mut self, node: NodeId, desc: PacketDesc) {
+    /// One whole packet (`packet_id`) has reassembled at `node`.
+    fn packet_complete(&mut self, node: NodeId, packet_id: u64, desc: PacketDesc) {
         let txn_id = desc.txn;
         match desc.kind {
             PacketKind::Msg { token } => {
@@ -764,6 +964,7 @@ impl<S: TraceSink> TxnFabric<S> {
                             n_data: desc.n_data,
                         },
                         true,
+                        Some(packet_id),
                     );
                 }
                 let st = self.txns.get_mut(&txn_id).expect("live broadcast");
@@ -783,7 +984,7 @@ impl<S: TraceSink> TxnFabric<S> {
                 // (arriving back at txn.src).
                 let req_side = node == self.txns.get(&txn_id).expect("live txn").dst;
                 if req_side {
-                    self.request_side_complete(node, txn_id, desc);
+                    self.request_side_complete(node, txn_id, packet_id, desc);
                 } else {
                     self.response_side_complete(node, txn_id);
                 }
@@ -809,6 +1010,9 @@ impl<S: TraceSink> TxnFabric<S> {
         if !released {
             self.counters.late_responses += 1;
             self.txns.remove(&txn_id);
+            if P::ENABLED {
+                self.txn_spans.remove(&txn_id);
+            }
             return;
         }
         self.finish_txn(txn_id);
@@ -816,7 +1020,15 @@ impl<S: TraceSink> TxnFabric<S> {
 
     /// All request-direction packets of `txn` are in at the
     /// destination: generate the response (or complete, for posted).
-    fn request_side_complete(&mut self, node: NodeId, txn_id: u64, desc: PacketDesc) {
+    /// `packet_id` is the request packet whose reassembly completed —
+    /// the causal parent of every response staged here.
+    fn request_side_complete(
+        &mut self,
+        node: NodeId,
+        txn_id: u64,
+        packet_id: u64,
+        desc: PacketDesc,
+    ) {
         let (src, atomic, resp_remaining) = {
             let st = self.txns.get_mut(&txn_id).expect("live txn");
             st.req_remaining -= 1;
@@ -825,6 +1037,11 @@ impl<S: TraceSink> TxnFabric<S> {
             }
             (st.src, st.atomic, st.resp_remaining)
         };
+        if P::ENABLED {
+            if let Some(tree) = self.txn_spans.get_mut(&txn_id) {
+                tree.req_done_at = Some(self.net.now().raw());
+            }
+        }
         match desc.kind {
             PacketKind::Data if resp_remaining == 0 => {
                 // Posted write: complete at delivery.
@@ -844,6 +1061,7 @@ impl<S: TraceSink> TxnFabric<S> {
                         n_data: 0,
                     },
                     true,
+                    Some(packet_id),
                 );
             }
             PacketKind::ReadReq { resp_bytes } => {
@@ -861,6 +1079,7 @@ impl<S: TraceSink> TxnFabric<S> {
                             n_data: data_flits(bytes, self.cfg.flit_bytes),
                         },
                         true,
+                        Some(packet_id),
                     );
                 }
             }
@@ -885,6 +1104,7 @@ impl<S: TraceSink> TxnFabric<S> {
                         n_data: 0,
                     },
                     true,
+                    Some(packet_id),
                 );
             }
             kind => unreachable!("request side saw {kind:?}"),
@@ -916,6 +1136,15 @@ impl<S: TraceSink> TxnFabric<S> {
         self.latency.record(lat);
         if let Some(reg) = &mut self.registry {
             reg.record(lat);
+        }
+        if P::ENABLED {
+            if let Some(mut tree) = self.txn_spans.remove(&txn_id) {
+                tree.completed_at = now.raw();
+                // Canonical form: children in packet-id (staging) order
+                // rather than completion order.
+                tree.packets.sort_by_key(|p| p.packet);
+                self.span_sink.record(tree);
+            }
         }
         self.completions.push_back(done);
     }

@@ -395,6 +395,133 @@ mod tests {
     }
 
     #[test]
+    fn span_trees_cover_completions_and_reconcile_exactly() {
+        use noc_core::telemetry::{critical_path, SpanCollector, SpanRole};
+
+        let mut b = TopologyBuilder::new();
+        let die = b.add_chiplet("die");
+        let r = b.add_ring(die, RingKind::Full, 12).unwrap();
+        let devs: Vec<NodeId> = (0..6u16)
+            .map(|i| b.add_node(format!("d{i}"), r, i * 2).unwrap())
+            .collect();
+        let net = Network::new(b.build().unwrap(), NetworkConfig::default());
+        let mut fab = TxnFabric::with_spans(net, TxnConfig::default(), SpanCollector::new(64, 4));
+
+        let d = &devs;
+        fab.submit(d[0], d[3], TxnOp::Read { bytes: 300 }).unwrap();
+        fab.submit(
+            d[1],
+            d[4],
+            TxnOp::Write {
+                bytes: 128,
+                posted: false,
+            },
+        )
+        .unwrap();
+        fab.submit(
+            d[2],
+            d[5],
+            TxnOp::Write {
+                bytes: 64,
+                posted: true,
+            },
+        )
+        .unwrap();
+        fab.submit(d[0], d[5], TxnOp::Atomic(AtomicKind::Swap(9)))
+            .unwrap();
+        fab.submit_broadcast(d[5], &d[..5], 256).unwrap();
+        // Messages are not transactions and must not produce trees.
+        assert!(fab.submit_message(d[3], d[0], FlitClass::Request, 32, 0xC0));
+        assert!(fab.run_until_quiet(200_000), "fabric wedged");
+
+        let done = fab.drain_completions();
+        assert_eq!(done.len(), 5);
+        let trees: Vec<_> = fab.span_sink().recent().cloned().collect();
+        assert_eq!(trees.len(), 5, "one tree per completed transaction");
+        assert_eq!(fab.span_sink().recorded(), 5);
+
+        for c in &done {
+            let tree = trees.iter().find(|t| t.txn == c.txn.0).unwrap();
+            assert_eq!(tree.issued_at, c.issued_at.raw());
+            assert_eq!(tree.completed_at, c.completed_at.raw());
+            // Every cycle of the transaction's life is attributed to a
+            // named phase, and the attribution is exact.
+            let cp = critical_path(tree);
+            assert!(
+                cp.reconciles(),
+                "txn {} phases {:?} != latency {}",
+                tree.txn,
+                cp.phases,
+                tree.latency()
+            );
+            assert_eq!(cp.total, tree.latency());
+            // The chain starts at a submit-time packet and ends at the
+            // finishing one.
+            assert_eq!(cp.links.last().unwrap().packet, tree.final_packet);
+            assert!(tree.packet(cp.links[0].packet).unwrap().parent.is_none());
+        }
+
+        // Causal edges: the read's response data packets point at the
+        // request packet; the broadcast has relay spans.
+        let read = trees.iter().find(|t| t.op == 0).unwrap();
+        let req = read
+            .packets
+            .iter()
+            .find(|p| p.role == SpanRole::Request)
+            .unwrap();
+        let responses: Vec<_> = read
+            .packets
+            .iter()
+            .filter(|p| p.role == SpanRole::Response)
+            .collect();
+        assert!(!responses.is_empty());
+        assert!(responses.iter().all(|p| p.parent == Some(req.packet)));
+        assert!(read.req_done_at.is_some());
+        assert_eq!(req.reassembled_at, read.req_done_at.unwrap());
+
+        let bcast = trees.iter().find(|t| t.op == 4).unwrap();
+        assert!(bcast
+            .packets
+            .iter()
+            .any(|p| p.role == SpanRole::Relay && p.parent.is_some()));
+        assert!(bcast.req_done_at.is_none());
+
+        // The tail reservoir holds the 4 slowest, slowest first.
+        let ex = fab.tail_exemplars();
+        assert_eq!(ex.len(), 4);
+        assert!(ex.windows(2).all(|w| w[0].latency() >= w[1].latency()));
+    }
+
+    #[test]
+    fn null_span_sink_fabric_matches_default_fabric() {
+        use noc_core::telemetry::NullSpanSink;
+
+        // `TxnFabric::new` is `with_spans(.., NullSpanSink)`: same
+        // monomorphization, so the spans-off overhead is zero by
+        // construction. Check behavior anyway.
+        let (mut a, d) = ring_fabric(TxnConfig::default());
+        let topo = {
+            let mut b = TopologyBuilder::new();
+            let die = b.add_chiplet("die");
+            let r = b.add_ring(die, RingKind::Full, 12).unwrap();
+            for i in 0..6u16 {
+                b.add_node(format!("d{i}"), r, i * 2).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let net = Network::new(topo, NetworkConfig::default());
+        let mut bfab = TxnFabric::with_spans(net, TxnConfig::default(), NullSpanSink);
+        for fab in [&mut a, &mut bfab] {
+            fab.submit(d[0], d[3], TxnOp::Read { bytes: 512 }).unwrap();
+            fab.submit(d[1], d[4], TxnOp::Atomic(AtomicKind::Accumulate(3)))
+                .unwrap();
+            assert!(fab.run_until_quiet(100_000));
+        }
+        assert_eq!(a.fingerprint(), bfab.fingerprint());
+        assert!(bfab.tail_exemplars().is_empty());
+    }
+
+    #[test]
     fn fingerprint_extends_network_fingerprint() {
         let (mut fab, d) = ring_fabric(TxnConfig::default());
         let before = fab.fingerprint();

@@ -7,13 +7,14 @@
 //! transaction observatory's view: per-transaction p50/p99 latency
 //! percentiles, the in-flight-window gauge, and the admission throttle
 //! that keeps offered load below the deflection fabric's saturation
-//! point.
+//! point — then the causal-span view: the slowest transaction's
+//! critical path, phase by phase, reconciled to the cycle.
 //!
 //! ```text
 //! cargo run --example transactions
 //! ```
 
-use noc_core::telemetry::txn_snapshots_jsonl;
+use noc_core::telemetry::{critical_path, prometheus_txn, txn_snapshots_jsonl, SpanCollector};
 use noc_core::{GridParams, Network, NetworkConfig, NodeId};
 use noc_txn::{AtomicKind, TxnConfig, TxnFabric, TxnOp};
 
@@ -37,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics_period: 64,
         ..TxnConfig::default()
     };
-    let mut fab = TxnFabric::new(net, cfg);
+    // Causal span tracing on: every transaction leaves a span tree
+    // (one span per packet, counters plus the critical flit's
+    // timestamps), and the collector keeps the 4 slowest as exemplars.
+    let mut fab = TxnFabric::with_spans(net, cfg, SpanCollector::new(256, 4));
     println!(
         "fabric: {} devices on a 4x4 torus, window {} per device, \
          admission cap {} flits in flight (half the fabric's ring slots)",
@@ -150,5 +154,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if total > 6 {
         println!("  … {} more windows", total - 6);
     }
+
+    // The same snapshot as a Prometheus scrape body (exposition 0.0.4).
+    if let Some(last) = snaps.last() {
+        println!("\nprometheus exposition (last window, first lines):");
+        for line in prometheus_txn(last).lines().take(5) {
+            println!("  {line}");
+        }
+    }
+
+    // The causal-span view: take the slowest transaction the reservoir
+    // kept and reduce it to its critical path. The phase sums account
+    // for every cycle of the completion latency — the reconciliation
+    // invariant the trace-report bench gates on.
+    let slowest = fab.tail_exemplars().first().expect("exemplars retained");
+    let cp = critical_path(slowest);
+    println!(
+        "\nslowest transaction: {} txn {} n{} -> n{}, {} cycles over {} packets",
+        slowest.op_name(),
+        slowest.txn,
+        slowest.src,
+        slowest.dst,
+        cp.total,
+        slowest.packets.len()
+    );
+    for link in &cp.links {
+        println!(
+            "  packet {} ({}): cycles {}..{} — staging {} inject {} ring {} recirc {} bridge {}",
+            link.packet,
+            link.role.name(),
+            link.from,
+            link.until,
+            link.phases.staging,
+            link.phases.inject,
+            link.phases.ring,
+            link.phases.recirc,
+            link.phases.bridge
+        );
+    }
+    assert!(
+        cp.reconciles(),
+        "critical path must account for every cycle"
+    );
+    println!(
+        "  attribution: staging {} + inject {} + ring {} + recirc {} + bridge {} = {} cycles (exact)",
+        cp.phases.staging,
+        cp.phases.inject,
+        cp.phases.ring,
+        cp.phases.recirc,
+        cp.phases.bridge,
+        cp.total
+    );
     Ok(())
 }

@@ -1,0 +1,182 @@
+//! Span-stream determinism: the causal span trees (and the
+//! tail-exemplar reservoir derived from them) must be byte-identical
+//! across every engine variant, because they are emitted from the
+//! fabric's single-threaded drain path in deterministic endpoint
+//! order. This is the observability extension of `txn_lockstep`: not
+//! just *that* the same transactions complete at the same cycles, but
+//! that every per-packet counter, causal edge and critical-flit record
+//! agrees byte for byte.
+//!
+//! Epoch batching (K > 1) legitimately reschedules admission, so each
+//! K is checked against its own K-golden (PR 8 convention), not
+//! against K = 1.
+
+use noc_core::telemetry::{critical_path, span_trees_jsonl, SpanCollector, SpanSink};
+use noc_core::{ExecMode, GridParams, Network, NetworkConfig, NodeId, TickMode};
+use noc_sim::fuzz::TrafficPattern;
+use noc_sim::SimRng;
+use noc_txn::{TxnConfig, TxnFabric};
+use noc_workloads::{TxnMix, TxnRequest, TxnWorkload};
+
+const SEEDS: u64 = 20;
+const TXNS_PER_SEED: usize = 30;
+const EXEMPLAR_K: usize = 8;
+
+/// The serialized observability record of one run.
+#[derive(Debug, PartialEq)]
+struct SpanStream {
+    /// Every recorded tree, oldest first, as JSONL.
+    trees: String,
+    /// The K slowest trees, slowest first, as JSONL.
+    exemplars: String,
+    recorded: u64,
+}
+
+fn torus(seed: u64) -> (noc_core::Topology, Vec<NodeId>) {
+    let (topo, names) = GridParams::torus(2, 2)
+        .with_devices(8)
+        .with_seed(seed)
+        .generate()
+        .expect("params are valid")
+        .compile()
+        .expect("spec compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    (topo, devs)
+}
+
+fn txn_cfg() -> TxnConfig {
+    TxnConfig {
+        window: 4,
+        max_data_flits: 32,
+        ..TxnConfig::default()
+    }
+}
+
+/// Drive the seeded workload to quiescence, collecting spans. `epoch`
+/// of 1 uses the per-cycle tick; larger values the epoch tick.
+fn run_variant(seed: u64, mode: TickMode, exec: ExecMode, epoch: u64) -> SpanStream {
+    let (topo, devs) = torus(seed);
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        mode,
+        exec,
+        noc_core::telemetry::NullSink,
+    );
+    let mut fab = TxnFabric::with_spans(net, txn_cfg(), SpanCollector::new(4096, EXEMPLAR_K));
+    let wl = TxnWorkload::new(devs, TxnMix::default(), TrafficPattern::Uniform, 64, 32);
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9));
+    let mut accepted = 0usize;
+    let mut pending: Option<TxnRequest> = None;
+    let mut guard = 0u64;
+    while accepted < TXNS_PER_SEED {
+        let req = pending.take().unwrap_or_else(|| wl.next(&mut rng));
+        let outcome = match &req {
+            TxnRequest::Point { src, dst, op } => fab
+                .submit(*src, *dst, *op)
+                .expect("generated endpoints are valid")
+                .map(|_| ()),
+            TxnRequest::Broadcast {
+                src,
+                targets,
+                bytes,
+            } => fab
+                .submit_broadcast(*src, targets, *bytes)
+                .expect("generated broadcasts are valid")
+                .map(|_| ()),
+        };
+        match outcome {
+            Some(()) => accepted += 1,
+            None => pending = Some(req),
+        }
+        fab.tick_epoch(epoch).expect("epoch within the torus bound");
+        guard += 1;
+        assert!(guard < 1_000_000, "seed {seed}: workload never accepted");
+    }
+    let mut spent = 0u64;
+    while !fab.quiet() && spent < 2_000_000 {
+        fab.tick_epoch(epoch).expect("epoch within the torus bound");
+        spent += epoch;
+    }
+    assert!(
+        fab.quiet(),
+        "seed {seed}: fabric failed to quiesce on {mode:?}/{exec:?} k={epoch}"
+    );
+
+    // Every recorded tree must reconcile exactly before we bother
+    // comparing streams: phase sums == completion latency.
+    let trees: Vec<_> = fab.span_sink().recent().cloned().collect();
+    assert_eq!(trees.len(), TXNS_PER_SEED, "seed {seed}: tree per txn");
+    for t in &trees {
+        let cp = critical_path(t);
+        assert!(
+            cp.reconciles(),
+            "seed {seed}: txn {} phases {:?} != latency {}",
+            t.txn,
+            cp.phases,
+            t.latency()
+        );
+    }
+    SpanStream {
+        trees: span_trees_jsonl(&trees),
+        exemplars: span_trees_jsonl(fab.span_sink().exemplars()),
+        recorded: fab.span_sink().recorded(),
+    }
+}
+
+/// 20 pinned seeds: the span and exemplar JSONL streams are
+/// byte-identical across `Reference/Fast` × `Sequential/Parallel(2/4)`.
+#[test]
+fn span_streams_are_byte_identical_across_engines() {
+    let variants: [(TickMode, ExecMode); 4] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(2)),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+    ];
+    for seed in 0..SEEDS {
+        let golden = run_variant(seed, variants[0].0, variants[0].1, 1);
+        assert_eq!(golden.recorded, TXNS_PER_SEED as u64);
+        assert!(!golden.exemplars.is_empty(), "seed {seed}: no exemplars");
+        for &(mode, exec) in &variants[1..] {
+            let other = run_variant(seed, mode, exec, 1);
+            assert_eq!(
+                golden.trees, other.trees,
+                "seed {seed}: span stream diverged on {mode:?}/{exec:?}"
+            );
+            assert_eq!(
+                golden.exemplars, other.exemplars,
+                "seed {seed}: exemplar reservoir diverged on {mode:?}/{exec:?}"
+            );
+        }
+    }
+}
+
+/// Epoch axis: each K ∈ {2, 4, 8} reproduces its own K-golden span
+/// stream on every engine variant.
+#[test]
+fn epoch_batched_span_streams_match_their_own_k_golden() {
+    let variants: [(TickMode, ExecMode); 3] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+    ];
+    for k in [2u64, 4, 8] {
+        for seed in 0..6 {
+            let golden = run_variant(seed, variants[0].0, variants[0].1, k);
+            for &(mode, exec) in &variants[1..] {
+                let other = run_variant(seed, mode, exec, k);
+                assert_eq!(
+                    golden.trees, other.trees,
+                    "seed {seed} k={k}: span stream diverged on {mode:?}/{exec:?}"
+                );
+                assert_eq!(
+                    golden.exemplars, other.exemplars,
+                    "seed {seed} k={k}: exemplar reservoir diverged on {mode:?}/{exec:?}"
+                );
+            }
+        }
+    }
+}
