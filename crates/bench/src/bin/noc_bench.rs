@@ -4,6 +4,7 @@
 //! noc-bench trajectory   [--quick] [--out PATH] [--check-overhead PCT]
 //! noc-bench scaling      [--quick] [--out PATH] [--gate]
 //! noc-bench trace-report [--quick] [--out PATH] [--trace PATH] [--gate]
+//! noc-bench wedge-report [--quick] [--out PATH] [--bundle PATH] [--gate]
 //! ```
 //!
 //! `trajectory` runs the performance-trajectory benchmark
@@ -32,15 +33,27 @@
 //! costs more than its budget: 1% with the `NullSpanSink` (which must
 //! be free — it is the same monomorphization as the untraced fabric)
 //! and 5% with a live `SpanCollector`.
+//!
+//! `wedge-report` runs the stall-forensics wedge-frontier sweep
+//! ([`noc_experiments::wedgereport`]) on the 4×4 torus, writes
+//! `BENCH_PR10.json` plus the latched postmortem bundle
+//! (`WEDGE_PR10.jsonl`), and prints the frontier table and the first
+//! latched wedge report. A detector false negative (an undrained run
+//! that never latched), a false positive (a draining run that
+//! latched), an empty frontier, or a credited run that fails to drain
+//! all fail the run unconditionally. With `--gate` the process also
+//! exits non-zero when the detector costs more than its budget: 1%
+//! with the tracker idle, 5% with sampling on.
 
-use noc_experiments::{scaling, spanreport, trajectory};
+use noc_experiments::{scaling, spanreport, trajectory, wedgereport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: noc-bench trajectory   [--quick] [--out PATH] [--check-overhead PCT]\n\
          \x20      noc-bench scaling      [--quick] [--out PATH] [--gate]\n\
-         \x20      noc-bench trace-report [--quick] [--out PATH] [--trace PATH] [--gate]"
+         \x20      noc-bench trace-report [--quick] [--out PATH] [--trace PATH] [--gate]\n\
+         \x20      noc-bench wedge-report [--quick] [--out PATH] [--bundle PATH] [--gate]"
     );
     ExitCode::from(2)
 }
@@ -252,11 +265,117 @@ fn run_trace_report(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_wedge_report(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR10.json".to_string();
+    let mut bundle_out = "WEDGE_PR10.jsonl".to_string();
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--gate" => gate = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--bundle" => match it.next() {
+                Some(path) => bundle_out = path.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    eprintln!(
+        "noc-bench wedge-report: running ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+    let bundle = wedgereport::run(quick);
+    let report = &bundle.report;
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    if let Err(code) = write_artifact(&out, &json) {
+        return code;
+    }
+    if !bundle.bundle_jsonl.is_empty() {
+        if let Err(e) = std::fs::write(&bundle_out, &bundle.bundle_jsonl) {
+            eprintln!("noc-bench: FAIL — cannot write {bundle_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // The headline: the frontier table, then the first latched wedge
+    // report's cyclic chain — printed to stdout for the CI log.
+    println!("{}", bundle.table);
+    if !bundle.wedge_text.is_empty() {
+        println!("{}", bundle.wedge_text);
+    }
+    eprintln!(
+        "  detector-off overhead: {:.2}% ({:.0} → {:.0} ticks/sec, best of {})",
+        report.overhead.detector_off_overhead_pct,
+        report.overhead.base_ticks_per_sec,
+        report.overhead.idle_ticks_per_sec,
+        report.overhead.repeats
+    );
+    eprintln!(
+        "  sampling-on overhead: {:.2}% ({:.0} → {:.0} ticks/sec, best of {})",
+        report.overhead.sampling_overhead_pct,
+        report.overhead.idle_ticks_per_sec,
+        report.overhead.sampling_ticks_per_sec,
+        report.overhead.repeats
+    );
+    eprintln!("noc-bench: wrote {out} and {bundle_out}");
+
+    // Detector soundness fails unconditionally — a watchdog that
+    // misses a wedge, or cries wolf on a draining fabric, is not an
+    // observability artifact.
+    if !report.fires_on_wedge {
+        eprintln!("noc-bench: FAIL — an undrained run never latched the detector");
+        return ExitCode::FAILURE;
+    }
+    if !report.silent_below {
+        eprintln!("noc-bench: FAIL — the detector latched on a draining run");
+        return ExitCode::FAILURE;
+    }
+    if !report.frontier_nonempty {
+        eprintln!("noc-bench: FAIL — no legacy-admission run wedged; the frontier is gone");
+        return ExitCode::FAILURE;
+    }
+    if !report.fix_drains_all {
+        eprintln!("noc-bench: FAIL — a reassembly-credited run failed to drain");
+        return ExitCode::FAILURE;
+    }
+    if gate {
+        const OFF_BUDGET_PCT: f64 = 1.0;
+        const SAMPLING_BUDGET_PCT: f64 = 5.0;
+        if report.overhead.detector_off_overhead_pct > OFF_BUDGET_PCT {
+            eprintln!(
+                "noc-bench: FAIL — idle detector overhead {:.2}% exceeds the {OFF_BUDGET_PCT}% budget",
+                report.overhead.detector_off_overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.overhead.sampling_overhead_pct > SAMPLING_BUDGET_PCT {
+            eprintln!(
+                "noc-bench: FAIL — wait-graph sampling overhead {:.2}% exceeds the {SAMPLING_BUDGET_PCT}% budget",
+                report.overhead.sampling_overhead_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "noc-bench: detector overhead within budget (off {:.2}% ≤ {OFF_BUDGET_PCT}%, sampling {:.2}% ≤ {SAMPLING_BUDGET_PCT}%)",
+            report.overhead.detector_off_overhead_pct, report.overhead.sampling_overhead_pct
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("scaling") => return run_scaling(&args[1..]),
         Some("trace-report") => return run_trace_report(&args[1..]),
+        Some("wedge-report") => return run_wedge_report(&args[1..]),
         Some("trajectory") => {}
         _ => return usage(),
     }

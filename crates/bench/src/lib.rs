@@ -24,6 +24,7 @@
 //! | [`trajectory`] | `noc-bench trajectory` → `BENCH_PR4.json` perf trajectory |
 //! | [`scaling`] | `noc-bench scaling` → `BENCH_PR8.json` epoch-batched parallel scaling |
 //! | [`spanreport`] | `noc-bench trace-report` → `BENCH_PR9.json` critical-path latency attribution |
+//! | [`wedgereport`] | `noc-bench wedge-report` → `BENCH_PR10.json` wedge-frontier stall forensics |
 
 pub mod ablations;
 pub mod determinism;
@@ -44,6 +45,7 @@ pub mod table07;
 pub mod table08;
 pub mod table09;
 pub mod trajectory;
+pub mod wedgereport;
 
 pub use report::{ExperimentResult, Scale};
 

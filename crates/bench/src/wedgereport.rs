@@ -1,0 +1,465 @@
+//! `noc-bench wedge-report`: the stall-forensics acceptance artifact
+//! (`BENCH_PR10.json`) — a sweep of outstanding load across the 4×4
+//! torus's wedge frontier with the wait-graph detector armed, plus the
+//! detector's own cost measurement.
+//!
+//! The sweep drives the two saturation shapes the ROADMAP recorded as
+//! wedging the fabric (antipodal 4 KiB DMA bursts; stride-7 2 KiB
+//! non-posted writes) at increasing outstanding-transaction caps, once
+//! under legacy admission (`reassembly_slots = 0`) and once with
+//! reassembly credits (`reassembly_slots = 1`). Two invariants are
+//! checked row by row and recorded in the artifact:
+//!
+//! * **fires-on-wedge / silent-below** — on every run that fails to
+//!   drain, the detector must have latched a wedge report with a
+//!   non-trivial cyclic chain; on every run that drains, it must never
+//!   have latched. No false negatives, no false positives.
+//! * **the fix holds** — every credited row drains, including the
+//!   configurations that wedge under legacy admission (the frontier
+//!   must be non-empty for the claim to mean anything).
+//!
+//! The cost measurement times the same steady-state credited workload
+//! three ways — forensics never constructed, constructed but idle
+//! (`enable_forensics_idle`, the tripwire that per-tick paths stay
+//! gated), and sampling at the observatory cadence — and reports
+//! overheads between best-of-N throughputs (scheduler noise only
+//! slows runs down, so each configuration's fastest run is its least
+//! contaminated estimate). CI budgets: 1% detector-off, 5% sampling-on.
+
+use crate::trajectory::METRICS_PERIOD;
+use noc_core::telemetry::{NullSink, WaitGraphConfig};
+use noc_core::topogen::GridParams;
+use noc_core::{ExecMode, Network, NetworkConfig, NodeId, TickMode};
+use noc_txn::{TxnConfig, TxnFabric, TxnOp};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Hard per-run bound: a run that neither drains, wedges, nor latches
+/// within this many cycles is reported as stuck (and fails the
+/// invariants — the detector should have spoken).
+const CYCLE_CAP: u64 = 200_000;
+
+/// Cycles without a completion before a run is declared wedged.
+const NO_PROGRESS_CAP: u64 = 30_000;
+
+/// One cell of the wedge-frontier sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontierPoint {
+    /// Workload shape (`dma_burst` / `stride7`).
+    pub workload: String,
+    /// Outstanding-transaction cap for the closed loop.
+    pub outstanding: usize,
+    /// `greedy` refills the outstanding window every cycle; `paced`
+    /// submits at most one transaction per cycle.
+    pub greedy: bool,
+    /// `TxnConfig::reassembly_slots` for the run (0 = legacy).
+    pub reassembly_slots: usize,
+    /// Transactions accepted before the run ended.
+    pub accepted: usize,
+    /// Transactions completed.
+    pub completed: u64,
+    /// Cycle the run ended at.
+    pub cycles: u64,
+    /// Whether the fabric drained every accepted transaction.
+    pub drained: bool,
+    /// Whether the deadlock watchdog latched.
+    pub latched: bool,
+    /// Length of the latched report's cyclic chain (0 if none).
+    pub chain_len: usize,
+    /// Row-level invariant: latched exactly when not drained, and a
+    /// latched report names a real cycle.
+    pub detector_ok: bool,
+}
+
+/// The detector's cost on a steady-state credited workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WedgeOverheadPoint {
+    /// Best-of-N ticks/second with forensics never constructed.
+    pub base_ticks_per_sec: f64,
+    /// Best-of-N ticks/second with the tracker constructed but idle.
+    pub idle_ticks_per_sec: f64,
+    /// Best-of-N ticks/second with wait-graph sampling at the
+    /// observatory cadence.
+    pub sampling_ticks_per_sec: f64,
+    /// Best-of-N `base → idle` throughput loss in percent
+    /// (negative = noise). CI budget 1%.
+    pub detector_off_overhead_pct: f64,
+    /// Best-of-N `idle → sampling` throughput loss in percent.
+    /// CI budget 5%.
+    pub sampling_overhead_pct: f64,
+    /// Timing repeats the best-of throughputs were taken over.
+    pub repeats: u32,
+}
+
+/// The whole `BENCH_PR10.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct WedgeFrontierReport {
+    /// Report schema tag.
+    pub bench: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// The sweep, legacy rows first.
+    pub frontier: Vec<FrontierPoint>,
+    /// Every undrained run latched a wedge report with a cyclic chain.
+    pub fires_on_wedge: bool,
+    /// No drained run ever latched.
+    pub silent_below: bool,
+    /// At least one legacy row actually wedged — the frontier exists.
+    pub frontier_nonempty: bool,
+    /// Every credited (`reassembly_slots = 1`) row drained.
+    pub fix_drains_all: bool,
+    /// Detector cost measurement.
+    pub overhead: WedgeOverheadPoint,
+}
+
+/// Everything `noc-bench wedge-report` needs: the JSON document, a
+/// rendered frontier table, the first latched report's human rendering,
+/// and the latched postmortem bundle as JSONL (the CI artifact).
+#[derive(Debug, Clone)]
+pub struct WedgeBundle {
+    /// The machine-readable report.
+    pub report: WedgeFrontierReport,
+    /// Aligned ASCII table, one row per sweep cell.
+    pub table: String,
+    /// `WedgeReport::render()` of the first latched run, if any.
+    pub wedge_text: String,
+    /// Postmortem bundle (JSONL) captured at the first latch, if any.
+    pub bundle_jsonl: String,
+}
+
+/// The wedge topology: the trajectory benchmark's generated 4×4 torus.
+fn torus_devices() -> (noc_core::Topology, Vec<NodeId>) {
+    let (topo, names) = GridParams::torus(4, 4)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(0x7261_6a65)
+        .generate()
+        .expect("torus generates")
+        .compile()
+        .expect("torus compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    (topo, named.into_iter().map(|(_, id)| id).collect())
+}
+
+fn dma(i: usize, devs: &[NodeId]) -> (NodeId, NodeId, TxnOp) {
+    let n = devs.len();
+    (
+        devs[i % n],
+        devs[(i + n / 2) % n],
+        TxnOp::Write {
+            bytes: 4096,
+            posted: false,
+        },
+    )
+}
+
+fn stride7(i: usize, devs: &[NodeId]) -> (NodeId, NodeId, TxnOp) {
+    let n = devs.len();
+    let src = i % n;
+    let mut dst = (i * 7 + 3) % n;
+    if dst == src {
+        dst = (dst + 1) % n;
+    }
+    (
+        devs[src],
+        devs[dst],
+        TxnOp::Write {
+            bytes: 2048,
+            posted: false,
+        },
+    )
+}
+
+type Shape = fn(usize, &[NodeId]) -> (NodeId, NodeId, TxnOp);
+
+/// Run one sweep cell. Returns the point plus, when the detector
+/// latched, the rendered report and the postmortem bundle JSONL.
+fn frontier_run(
+    workload: &str,
+    shape: Shape,
+    outstanding: usize,
+    total: usize,
+    greedy: bool,
+    slots: usize,
+) -> (FrontierPoint, Option<(String, String)>) {
+    let (topo, devs) = torus_devices();
+    let mut net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        ExecMode::Sequential,
+        NullSink,
+    );
+    // The network observatory must be live for the watchdog to capture
+    // a postmortem bundle at the latch.
+    net.enable_metrics(METRICS_PERIOD);
+    let mut fab = TxnFabric::new(
+        net,
+        TxnConfig {
+            metrics_period: METRICS_PERIOD,
+            reassembly_slots: slots,
+            ..TxnConfig::default()
+        },
+    );
+    fab.enable_forensics(WaitGraphConfig::default());
+    let mut accepted = 0usize;
+    let mut last_completed = 0u64;
+    let mut last_progress = 0u64;
+    let (drained, latched) = loop {
+        loop {
+            if accepted >= total || fab.in_flight_txns() >= outstanding {
+                break;
+            }
+            let (src, dst, op) = shape(accepted, &devs);
+            if fab.submit(src, dst, op).expect("valid endpoints").is_some() {
+                accepted += 1;
+                if !greedy {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        fab.tick();
+        let done = fab.counters().completed();
+        if done != last_completed {
+            last_completed = done;
+            last_progress = fab.now().raw();
+        }
+        if fab.quiet() && accepted >= total {
+            break (true, fab.wedge_latched());
+        }
+        if fab.wedge_latched() {
+            break (false, true);
+        }
+        let now = fab.now().raw();
+        if now - last_progress > NO_PROGRESS_CAP || now > CYCLE_CAP {
+            break (false, false);
+        }
+    };
+    let chain_len = fab.wedge_report().map_or(0, |r| r.chain.len());
+    let detector_ok = if drained {
+        !latched
+    } else {
+        latched && chain_len >= 2
+    };
+    let evidence = fab.wedge_report().map(|r| {
+        let jsonl = fab
+            .wedge_bundles()
+            .first()
+            .map(|b| b.to_jsonl())
+            .unwrap_or_default();
+        (r.render(), jsonl)
+    });
+    let point = FrontierPoint {
+        workload: workload.to_string(),
+        outstanding,
+        greedy,
+        reassembly_slots: slots,
+        accepted,
+        completed: last_completed,
+        cycles: fab.now().raw(),
+        drained,
+        latched,
+        chain_len,
+        detector_ok,
+    };
+    (point, evidence)
+}
+
+/// Time one credited steady-state run (stride-7, drains cleanly) with
+/// the given forensics arming: `0` never constructs the tracker, `1`
+/// constructs it idle, `2` samples at the observatory cadence.
+fn timed_run(txns: usize, arming: u8) -> f64 {
+    let (topo, devs) = torus_devices();
+    let net = Network::with_exec(
+        topo,
+        NetworkConfig::default(),
+        TickMode::Fast,
+        ExecMode::Sequential,
+        NullSink,
+    );
+    let mut fab = TxnFabric::new(
+        net,
+        TxnConfig {
+            metrics_period: METRICS_PERIOD,
+            reassembly_slots: 1,
+            ..TxnConfig::default()
+        },
+    );
+    match arming {
+        0 => {}
+        1 => fab.enable_forensics_idle(),
+        _ => fab.enable_forensics(WaitGraphConfig::default()),
+    }
+    let start = Instant::now();
+    let mut accepted = 0usize;
+    let mut guard = 0u64;
+    while accepted < txns {
+        guard += 1;
+        assert!(guard < 4_000_000, "wedge-report timed run starved");
+        if fab.in_flight_txns() < 64 {
+            let (src, dst, op) = stride7(accepted, &devs);
+            if fab.submit(src, dst, op).expect("valid endpoints").is_some() {
+                accepted += 1;
+            }
+        }
+        fab.tick();
+    }
+    assert!(
+        fab.run_until_quiet(2_000_000),
+        "wedge-report timed run failed to quiesce"
+    );
+    assert!(!fab.wedge_latched(), "timed run latched the watchdog");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    fab.now().raw() as f64 / secs
+}
+
+fn frontier_table(points: &[FrontierPoint]) -> String {
+    let mut out = String::from(
+        "workload    outstanding  mode    slots  accepted  completed   cycles  outcome\n",
+    );
+    for p in points {
+        let outcome = match (p.drained, p.latched) {
+            (true, false) => "drained",
+            (true, true) => "drained+LATCHED",
+            (false, true) => "WEDGED (latched)",
+            (false, false) => "STUCK (no latch)",
+        };
+        out.push_str(&format!(
+            "{:<11} {:>11}  {:<6} {:>6} {:>9} {:>10} {:>8}  {}\n",
+            p.workload,
+            p.outstanding,
+            if p.greedy { "greedy" } else { "paced" },
+            p.reassembly_slots,
+            p.accepted,
+            p.completed,
+            p.cycles,
+            outcome
+        ));
+    }
+    out
+}
+
+/// Run the whole wedge-frontier report. `quick` trades sweep points
+/// and timing repeats for CI wall-clock.
+pub fn run(quick: bool) -> WedgeBundle {
+    // (workload, shape, outstanding, total, greedy). The full sweep
+    // walks the stride-7 cap through the frontier (it wedges legacy
+    // admission from 64 outstanding up) and pins the paced variant and
+    // the DMA-burst shape at their ROADMAP-recorded wedge points.
+    let mut sweep: Vec<(&str, Shape, usize, usize, bool)> = vec![
+        ("stride7", stride7 as Shape, 32, 400, true),
+        ("stride7", stride7 as Shape, 200, 400, true),
+    ];
+    if !quick {
+        sweep.push(("stride7", stride7 as Shape, 16, 400, true));
+        sweep.push(("stride7", stride7 as Shape, 64, 400, true));
+        sweep.push(("stride7", stride7 as Shape, 128, 400, true));
+        sweep.push(("stride7", stride7 as Shape, 64, 400, false));
+        sweep.push(("dma_burst", dma as Shape, 200, 400, true));
+    }
+
+    let mut frontier = Vec::new();
+    let mut wedge_text = String::new();
+    let mut bundle_jsonl = String::new();
+    for slots in [0usize, 1] {
+        for &(name, shape, outstanding, total, greedy) in &sweep {
+            let (point, evidence) = frontier_run(name, shape, outstanding, total, greedy, slots);
+            if let Some((text, jsonl)) = evidence {
+                if wedge_text.is_empty() {
+                    wedge_text = text;
+                    bundle_jsonl = jsonl;
+                }
+            }
+            frontier.push(point);
+        }
+    }
+
+    let fires_on_wedge = frontier
+        .iter()
+        .filter(|p| !p.drained)
+        .all(|p| p.latched && p.chain_len >= 2);
+    let silent_below = frontier.iter().filter(|p| p.drained).all(|p| !p.latched);
+    let frontier_nonempty = frontier
+        .iter()
+        .any(|p| p.reassembly_slots == 0 && !p.drained);
+    let fix_drains_all = frontier
+        .iter()
+        .filter(|p| p.reassembly_slots == 1)
+        .all(|p| p.drained && !p.latched);
+
+    // Interleaved paired repeats, minimum overhead (trajectory
+    // convention), with one untimed warmup per arming first. Never
+    // quick-scaled below a resolvable run length: the gates compare
+    // numbers ~1% apart.
+    let overhead_txns = 500;
+    let repeats: u32 = if quick { 5 } else { 7 };
+    for arming in [0u8, 1, 2] {
+        let _ = timed_run(overhead_txns, arming);
+    }
+    let mut base_runs = Vec::new();
+    let mut idle_runs = Vec::new();
+    let mut sampling_runs = Vec::new();
+    for _ in 0..repeats {
+        base_runs.push(timed_run(overhead_txns, 0));
+        idle_runs.push(timed_run(overhead_txns, 1));
+        sampling_runs.push(timed_run(overhead_txns, 2));
+    }
+    // Best-of-N throughput per arming, overheads between the bests:
+    // scheduler noise only slows runs down, so each config's fastest
+    // run is its least-contaminated estimate and the reported
+    // percentages match the reported throughputs.
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::MIN, f64::max);
+    let (base, idle, sampling) = (best(&base_runs), best(&idle_runs), best(&sampling_runs));
+    let overhead = WedgeOverheadPoint {
+        base_ticks_per_sec: base,
+        idle_ticks_per_sec: idle,
+        sampling_ticks_per_sec: sampling,
+        detector_off_overhead_pct: (1.0 - idle / base) * 100.0,
+        sampling_overhead_pct: (1.0 - sampling / idle) * 100.0,
+        repeats,
+    };
+
+    let table = frontier_table(&frontier);
+    WedgeBundle {
+        report: WedgeFrontierReport {
+            bench: "noc-bench wedge-report".to_string(),
+            quick,
+            frontier,
+            fires_on_wedge,
+            silent_below,
+            frontier_nonempty,
+            fix_drains_all,
+            overhead,
+        },
+        table,
+        wedge_text,
+        bundle_jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_wedge_report_holds_its_invariants() {
+        let bundle = run(true);
+        let r = &bundle.report;
+        assert_eq!(r.frontier.len(), 4, "quick sweep is 2 shapes × 2 slots");
+        assert!(r.fires_on_wedge, "an undrained run escaped the detector");
+        assert!(r.silent_below, "the detector latched on a draining run");
+        assert!(r.frontier_nonempty, "no legacy run wedged — frontier gone");
+        assert!(r.fix_drains_all, "a credited run failed to drain");
+        assert!(r.frontier.iter().all(|p| p.detector_ok));
+        // The latched evidence is captured for the CI artifact.
+        assert!(bundle.wedge_text.contains("ring:"), "{}", bundle.wedge_text);
+        assert!(bundle.wedge_text.contains("escape:"));
+        assert!(!bundle.bundle_jsonl.is_empty(), "no postmortem bundle");
+        assert!(bundle.table.contains("WEDGED"), "{}", bundle.table);
+        let json = serde_json::to_string_pretty(&r).expect("serializes");
+        assert!(json.contains("\"detector_off_overhead_pct\""));
+    }
+}

@@ -67,6 +67,17 @@ pub(crate) struct BridgeSide {
     /// Times this side has entered DRM since construction (monotonic;
     /// the per-side split of `NetStats::drm_entries`).
     pub drm_entries: u64,
+    /// Flits ever pushed into `tx` by bridge intake (monotonic). The
+    /// wait-graph detector's progress counter for this escape
+    /// resource: a side with flits resident whose `tx_pushed` stops
+    /// advancing is frozen, even though occupancy alone can't
+    /// distinguish a full-but-flowing pipe from a wedged one.
+    pub tx_pushed: u64,
+    /// Flits ever drained from `rx` into the endpoint inject queue
+    /// (monotonic). Paired with the peer's `tx_pushed` it covers both
+    /// ends of the pipeline: either counter advancing means the escape
+    /// resource is still moving.
+    pub rx_popped: u64,
 }
 
 impl BridgeSide {

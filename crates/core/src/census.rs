@@ -1,0 +1,220 @@
+//! Wait census: the engine-side evidence feed of the stall-forensics
+//! detector.
+//!
+//! At an observatory sample boundary the transaction layer needs to
+//! know, for every ring and bridge escape resource: how full it is,
+//! whether it is still moving, and which packets hold or want it. The
+//! engine owns that state; this module is the typed snapshot it hands
+//! upward. The census carries *mechanical facts only* — occupancy,
+//! capacity, monotone progress counters, per-packet placement — and
+//! the `noc-txn` fabric combines them with its own window/reassembly
+//! state into the wait-for graph of
+//! `noc_telemetry::waitgraph`.
+//!
+//! # Determinism
+//!
+//! [`Network::wait_census`](crate::Network::wait_census) runs between
+//! ticks, when every shard is owned by the network (the same settled
+//! point the metrics snapshots commit at), iterating rings, lanes and
+//! bridge sides in ascending id order. The census is therefore a pure
+//! function of the deterministic engine state: byte-identical across
+//! `Sequential`/`Parallel(n)`, `Fast`/`Reference` and epoch `K`.
+
+use crate::flit::PacketToken;
+use serde::{Deserialize, Serialize};
+
+/// Where a packet's in-network flits currently sit, from the
+/// perspective of the resource they hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PacketPlace {
+    /// On a ring's lanes, or queued at a node of that ring waiting to
+    /// inject (either way the packet's forward progress is pinned to
+    /// that ring's slot pool).
+    Ring {
+        /// Ring id.
+        ring: u16,
+    },
+    /// Inside one bridge side's escape resource (outbound pipe, escape
+    /// buffers, or the in-flight mailbox toward the peer).
+    Escape {
+        /// Bridge id.
+        bridge: u16,
+        /// Side (0 or 1).
+        side: u8,
+    },
+}
+
+/// Transit demand from one ring toward one bridge side: flits resident
+/// on the ring whose route exits through that side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitCensus {
+    /// The bridge the flits want to cross.
+    pub bridge: u16,
+    /// Which side of it they approach.
+    pub side: u8,
+    /// How many resident flits route through it.
+    pub count: u64,
+    /// Smallest packet id among them (deterministic representative).
+    pub min_packet: u64,
+}
+
+/// One ring's slot pool at the census boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingCensus {
+    /// Ring id.
+    pub ring: u16,
+    /// Flits resident on the ring's lanes.
+    pub occupancy: u64,
+    /// Total lane slots.
+    pub capacity: u64,
+    /// Monotone progress: injections + deliveries + bridge crossings
+    /// on this ring since construction. A non-empty ring whose counter
+    /// stops advancing is frozen; a full ring under live load keeps
+    /// advancing even though its occupancy never changes.
+    pub progress: u64,
+    /// Per-bridge-side transit demand, ascending (bridge, side).
+    pub transit: Vec<TransitCensus>,
+}
+
+/// One bridge side's escape resource at the census boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EscapeCensus {
+    /// Bridge id.
+    pub bridge: u16,
+    /// Side (0 or 1) — the side flits *enter* from.
+    pub side: u8,
+    /// Ring this side sits on.
+    pub ring: u16,
+    /// Ring the crossing lands on (the peer side's ring) — the
+    /// resource this escape waits for.
+    pub to_ring: u16,
+    /// Flits resident in the resource: staged `tx` + escape `reserved`
+    /// on this side, plus the peer's inbound mailbox.
+    pub occupancy: u64,
+    /// Pipe capacity + escape-buffer capacity.
+    pub capacity: u64,
+    /// Monotone progress: flits ever pushed into the pipe on this side
+    /// plus flits ever drained out at the peer. Either end moving
+    /// counts.
+    pub progress: u64,
+    /// Smallest packet id resident in the resource, if any.
+    pub min_packet: Option<u64>,
+    /// Whether this side is currently in deadlock-resolution mode.
+    pub drm: bool,
+}
+
+/// The full engine-side evidence snapshot. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitCensus {
+    /// Cycle the census was taken at.
+    pub cycle: u64,
+    /// Every ring, ascending id.
+    pub rings: Vec<RingCensus>,
+    /// Every bridge side, ascending (bridge, side).
+    pub escapes: Vec<EscapeCensus>,
+    /// Placement of every in-network flit's packet: sorted, unique
+    /// `(packet, place)` pairs. A packet spread across three resources
+    /// contributes three pairs. Decoded from flit tokens via
+    /// [`PacketToken`]; meaningful only for traffic that encodes
+    /// packet tokens (the transaction layer does, raw flit tests need
+    /// not).
+    pub packet_where: Vec<(u64, PacketPlace)>,
+}
+
+impl WaitCensus {
+    /// Every place holding flits of `packet`, in sorted order.
+    pub fn places_of(&self, packet: u64) -> impl Iterator<Item = PacketPlace> + '_ {
+        let start = self.packet_where.partition_point(|&(p, _)| p < packet);
+        self.packet_where[start..]
+            .iter()
+            .take_while(move |&&(p, _)| p == packet)
+            .map(|&(_, place)| place)
+    }
+
+    /// The ring census for `ring`, if present.
+    pub fn ring(&self, ring: u16) -> Option<&RingCensus> {
+        self.rings.iter().find(|r| r.ring == ring)
+    }
+
+    /// The escape census for `(bridge, side)`, if present.
+    pub fn escape(&self, bridge: u16, side: u8) -> Option<&EscapeCensus> {
+        self.escapes
+            .iter()
+            .find(|e| e.bridge == bridge && e.side == side)
+    }
+
+    /// Canonicalize `packet_where`: sort and deduplicate. Called once
+    /// by the builder after all shards contributed.
+    pub(crate) fn seal(&mut self) {
+        self.packet_where.sort_unstable();
+        self.packet_where.dedup();
+    }
+}
+
+/// Decode the packet id a flit belongs to.
+#[inline]
+pub(crate) fn packet_of(token: u64) -> u64 {
+    PacketToken::decode(token).packet
+}
+
+/// Raw one-side readings a shard hands the engine; two parts (one per
+/// shard) combine into one [`EscapeCensus`] row, because a side's pipe
+/// contents physically straddle both shards (staged `tx` here, the
+/// in-flight mailbox at the peer).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SidePart {
+    pub bridge: u16,
+    pub side: u8,
+    pub ring: u16,
+    /// `tx.len() + reserved.len()` on this side.
+    pub out_occ: u64,
+    /// Inbound mailbox depth on this side (counts toward the *peer's*
+    /// escape resource).
+    pub rx_occ: u64,
+    pub min_packet_out: Option<u64>,
+    pub min_packet_rx: Option<u64>,
+    pub tx_pushed: u64,
+    pub rx_popped: u64,
+    pub pipe_cap: u64,
+    pub reserved_cap: u64,
+    pub drm: bool,
+}
+
+/// Pair up per-side parts into the escape rows: for each bridge side,
+/// combine its outbound half with the peer side's inbound mailbox.
+/// `parts` must hold every side of every bridge exactly once.
+pub(crate) fn combine_escapes(parts: &[SidePart]) -> Vec<EscapeCensus> {
+    // Sort a view by (bridge, side) so the two sides of each bridge
+    // are adjacent — pairs them in one pass instead of a quadratic
+    // scan, and emits the rows already in canonical order.
+    let mut idx: Vec<usize> = (0..parts.len()).collect();
+    idx.sort_unstable_by_key(|&i| (parts[i].bridge, parts[i].side));
+    let mut out: Vec<EscapeCensus> = Vec::with_capacity(parts.len());
+    for pair in idx.chunks(2) {
+        let [a, b] = pair else {
+            panic!("every bridge side contributes a part");
+        };
+        let (a, b) = (&parts[*a], &parts[*b]);
+        assert!(
+            a.bridge == b.bridge && a.side == 0 && b.side == 1,
+            "every bridge side contributes a part"
+        );
+        for (p, peer) in [(a, b), (b, a)] {
+            out.push(EscapeCensus {
+                bridge: p.bridge,
+                side: p.side,
+                ring: p.ring,
+                to_ring: peer.ring,
+                occupancy: p.out_occ + peer.rx_occ,
+                capacity: p.pipe_cap + p.reserved_cap,
+                progress: p.tx_pushed + peer.rx_popped,
+                min_packet: match (p.min_packet_out, peer.min_packet_rx) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                },
+                drm: p.drm,
+            });
+        }
+    }
+    out
+}

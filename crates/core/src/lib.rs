@@ -45,6 +45,7 @@
 
 pub mod bits;
 mod bridge;
+pub mod census;
 pub mod config;
 pub mod diag;
 mod epoch;
@@ -70,6 +71,7 @@ pub mod topology;
 pub use noc_telemetry as telemetry;
 
 pub use bits::BitRing;
+pub use census::{EscapeCensus, PacketPlace, RingCensus, TransitCensus, WaitCensus};
 pub use config::{BridgeConfig, BridgeLevel, NetworkConfig};
 pub use diag::NocDiagnostics;
 pub use error::{EngineError, EnqueueError, TopologyError};

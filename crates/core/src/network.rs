@@ -52,6 +52,7 @@
 //! golden model for the differential tests in
 //! `tests/tick_equivalence.rs`.
 
+use crate::census::{self, WaitCensus};
 use crate::config::NetworkConfig;
 use crate::epoch::{EpochCell, EpochEngine, EpochTask};
 use crate::error::{EngineError, EnqueueError};
@@ -66,7 +67,7 @@ use noc_sim::{BandwidthProbe, Component, Cycle, PoolJob, ShardPool};
 use noc_telemetry::{
     merge_ranked, BundleEnv, BundleMeta, FlightRecorder, FlitEvent, FlowRecord, HealthConfig,
     HealthMonitor, MetricsRegistry, NullSink, PostmortemBundle, RecorderConfig, RingWindow,
-    TraceRecord, TraceSink, NO_FLIT, NO_LANE,
+    TraceRecord, TraceSink, WaitGraphSample, WaitStats, NO_FLIT, NO_LANE,
 };
 use std::sync::Arc;
 
@@ -103,6 +104,9 @@ struct Observatory {
     /// [`RecorderConfig::max_bundles`]. Explicit
     /// [`Network::dump_postmortem`] calls are not stored here.
     bundles: Vec<PostmortemBundle>,
+    /// Gauges of the most recent wait-graph sample fed through
+    /// [`Network::observe_wait`], for the diagnostics stall summary.
+    last_wait: Option<WaitStats>,
 }
 
 /// The bufferless multi-ring network.
@@ -273,6 +277,7 @@ impl<S: TraceSink> Network<S> {
             monitor: HealthMonitor::new(cfg),
             recorder: None,
             bundles: Vec::new(),
+            last_wait: None,
         });
     }
 
@@ -377,8 +382,10 @@ impl<S: TraceSink> Network<S> {
             snapshots: rec.map_or_else(Vec::new, |r| r.snapshots().cloned().collect()),
             events: rec.map_or_else(Vec::new, |r| r.events().copied().collect()),
             // The network has no transaction layer; TxnFabric attaches
-            // its tail exemplars when it re-dumps a bundle.
+            // its tail exemplars and wedge reports when it re-dumps a
+            // bundle.
             txn_exemplars: Vec::new(),
+            wedges: Vec::new(),
         }
     }
 
@@ -396,10 +403,107 @@ impl<S: TraceSink> Network<S> {
     /// one-line all-clear. Works on any network; says so when the
     /// observatory is off.
     pub fn health_report(&self) -> String {
-        match self.health() {
+        let mut out = match self.health() {
             Some(monitor) => monitor.report(),
             None => "health: observatory disabled (call enable_metrics)\n".to_string(),
+        };
+        if let Some(ws) = self.wait_stats() {
+            out.push_str(&format!(
+                "stalls: {} at cycle {} — blocked {} ring / {} escape / {} window / {} reassembly, \
+                 oldest frozen {} cycles, {} cyclic sccs\n",
+                ws.verdict,
+                ws.cycle,
+                ws.blocked[0],
+                ws.blocked[1],
+                ws.blocked[2],
+                ws.blocked[3],
+                ws.oldest_frozen,
+                ws.cyclic_sccs
+            ));
         }
+        out
+    }
+
+    /// Snapshot the engine-side stall-forensics evidence: every ring's
+    /// slot pool and every bridge escape resource with occupancy,
+    /// capacity and monotone progress counters, per-ring transit demand
+    /// toward each bridge side, and the placement of every in-network
+    /// packet (see [`crate::census`]). Runs on owner-held state between
+    /// ticks, iterating in ascending ring/side order — byte-identical
+    /// across execution modes, tick modes and epoch lengths.
+    pub fn wait_census(&self) -> WaitCensus {
+        self.census_with(true)
+    }
+
+    /// [`Network::wait_census`] without the per-flit walks: occupancy,
+    /// capacity and progress for every ring and escape resource, but no
+    /// transit demand, packet placement or min-packet holders. This is
+    /// the stall-forensics fast path — cheap enough to run at every
+    /// observatory boundary; the full census is only taken when a
+    /// freeze streak warrants edge construction.
+    pub fn wait_census_light(&self) -> WaitCensus {
+        self.census_with(false)
+    }
+
+    fn census_with(&self, full: bool) -> WaitCensus {
+        let mut out = WaitCensus {
+            cycle: self.now.raw(),
+            rings: Vec::with_capacity(self.shards.len()),
+            escapes: Vec::new(),
+            packet_where: Vec::new(),
+        };
+        let mut parts = Vec::new();
+        for shard in &self.shards {
+            parts.extend(shard.wait_census_part(&self.shared, &mut out, full));
+        }
+        out.escapes = census::combine_escapes(&parts);
+        out.seal();
+        out
+    }
+
+    /// Feed one wait-graph sample from the stall-forensics detector to
+    /// the health monitor's `deadlock-suspected` watchdog, remembering
+    /// its gauges for [`NocDiagnostics::health_summary`] stall lines.
+    /// A newly latched verdict captures a postmortem bundle exactly
+    /// like the snapshot watchdogs do. Returns how many new verdicts
+    /// fired. No-op (returns 0) when the observatory is disabled.
+    ///
+    /// [`NocDiagnostics::health_summary`]: crate::diag::NocDiagnostics::health_summary
+    pub fn observe_wait(&mut self, sample: &WaitGraphSample) -> usize {
+        let Some(obs) = self.observatory.as_mut() else {
+            return 0;
+        };
+        let fired = obs.monitor.observe_wait(sample);
+        let can_capture = obs
+            .recorder
+            .as_ref()
+            .is_some_and(|r| obs.bundles.len() < r.config().max_bundles);
+        if fired > 0 && can_capture {
+            for shard in &mut self.shards {
+                shard.charge_and_flush();
+            }
+            let bundle = self.capture_bundle("watchdog: CRIT:deadlock-suspected", sample.cycle);
+            self.observatory
+                .as_mut()
+                .expect("checked above")
+                .bundles
+                .push(bundle);
+        }
+        fired
+    }
+
+    /// Remember the latest wait-graph gauges (called by the transaction
+    /// fabric alongside [`Network::observe_wait`], and usable directly
+    /// by embedders running their own tracker).
+    pub fn note_wait_stats(&mut self, stats: WaitStats) {
+        if let Some(obs) = self.observatory.as_mut() {
+            obs.last_wait = Some(stats);
+        }
+    }
+
+    /// Gauges of the most recent wait-graph sample observed, if any.
+    pub fn wait_stats(&self) -> Option<&WaitStats> {
+        self.observatory.as_ref().and_then(|o| o.last_wait.as_ref())
     }
 
     /// Force one final sample covering the partial window since the

@@ -24,6 +24,7 @@
 
 use crate::bits::BitRing;
 use crate::bridge::BridgeSide;
+use crate::census::{self, PacketPlace, RingCensus, SidePart, TransitCensus, WaitCensus};
 use crate::config::{BridgeLevel, NetworkConfig};
 use crate::flit::Flit;
 use crate::ids::{NodeId, RingId};
@@ -261,6 +262,8 @@ pub(crate) fn build(topo: Topology, cfg: NetworkConfig) -> (EngineShared, Vec<Ri
                 reserved: Vec::new(),
                 drm: false,
                 drm_entries: 0,
+                tx_pushed: 0,
+                rx_popped: 0,
             });
         }
         side_loc.push(locs);
@@ -337,6 +340,7 @@ impl RingShard {
                     break;
                 }
                 let (_, flit) = self.sides[si].rx.pop_front().expect("checked non-empty");
+                self.sides[si].rx_popped += 1;
                 self.nodes[ep].inject.push(flit).expect("checked not full");
                 if self.nodes[ep].inject.len() == 1 {
                     self.inject_became_nonempty(ep);
@@ -918,6 +922,7 @@ impl RingShard {
                     self.push_bridge_enqueued(nraw, si, ep, flit.id);
                 }
                 self.sides[si].tx.push_back((nraw + latency, flit));
+                self.sides[si].tx_pushed += 1;
                 moved += 1;
             }
             while moved < width
@@ -930,6 +935,7 @@ impl RingShard {
                     self.push_bridge_enqueued(nraw, si, ep, flit.id);
                 }
                 self.sides[si].tx.push_back((nraw + latency, flit));
+                self.sides[si].tx_pushed += 1;
                 moved += 1;
             }
         }
@@ -1197,6 +1203,152 @@ impl RingShard {
                 links,
             },
         });
+    }
+
+    /// Contribute this ring's rows to a wait census (see
+    /// [`crate::census`]): the ring's slot-pool node with its monotone
+    /// progress counter, per-bridge-side transit demand (who on this
+    /// ring wants to cross where), raw per-side escape readings for the
+    /// engine to pair up across shards, and the placement of every
+    /// resident flit's packet. Runs between ticks on owner-held state;
+    /// iteration is in lane/station/side order, so the contribution is
+    /// deterministic across execution modes.
+    ///
+    /// `full = false` skips everything that walks individual flits —
+    /// transit demand, packet placement, min-packet holders — leaving
+    /// only the O(1)-per-resource occupancy and progress readings the
+    /// stall-forensics fast path needs.
+    pub(crate) fn wait_census_part(
+        &self,
+        shared: &EngineShared,
+        census: &mut WaitCensus,
+        full: bool,
+    ) -> Vec<SidePart> {
+        let ring_id = self.ring.id.0;
+        // Transit demand: flits resident on the lanes whose route exits
+        // over a bridge, accumulated per (bridge, side).
+        let mut transit: Vec<TransitCensus> = Vec::new();
+        let mut note_transit = |bridge: u16, side: u8, packet: u64| match transit
+            .iter_mut()
+            .find(|t| t.bridge == bridge && t.side == side)
+        {
+            Some(t) => {
+                t.count += 1;
+                t.min_packet = t.min_packet.min(packet);
+            }
+            None => transit.push(TransitCensus {
+                bridge,
+                side,
+                count: 1,
+                min_packet: packet,
+            }),
+        };
+        if full {
+            for lane in &self.ring.lanes {
+                for flit in lane.flits() {
+                    let packet = census::packet_of(flit.token);
+                    census
+                        .packet_where
+                        .push((packet, PacketPlace::Ring { ring: ring_id }));
+                    if let Some(hop) = shared.route.exit(self.ring.id, flit.dst) {
+                        if let NodeKind::BridgeEndpoint { bridge, side } =
+                            shared.topo.nodes()[hop.target.index()].kind
+                        {
+                            note_transit(bridge.index() as u16, side, packet);
+                        }
+                    }
+                }
+            }
+            // Flits queued to inject are pinned to this ring's slot pool
+            // exactly like resident flits — they only matter for packet
+            // placement, not occupancy (they hold no slot yet).
+            for node in &self.nodes {
+                for flit in node.inject.iter() {
+                    census.packet_where.push((
+                        census::packet_of(flit.token),
+                        PacketPlace::Ring { ring: ring_id },
+                    ));
+                }
+            }
+        }
+        transit.sort_unstable_by_key(|t| (t.bridge, t.side));
+        census.rings.push(RingCensus {
+            ring: ring_id,
+            occupancy: self.ring.occupancy() as u64,
+            capacity: self.ring.capacity() as u64,
+            progress: self.stats.injected.get()
+                + self.stats.delivered.get()
+                + self.stats.bridge_crossings.get(),
+            transit,
+        });
+
+        // Raw per-side readings; the engine pairs side A's outbound
+        // half with side B's inbound mailbox to form each escape row.
+        self.sides
+            .iter()
+            .map(|side| {
+                let bridge = side.bridge.index() as u16;
+                let mut min_out = None;
+                let mut min_rx = None;
+                if full {
+                    min_out = side
+                        .tx
+                        .iter()
+                        .map(|(_, f)| census::packet_of(f.token))
+                        .chain(side.reserved.iter().map(|f| census::packet_of(f.token)))
+                        .min();
+                    min_rx = side
+                        .rx
+                        .iter()
+                        .map(|(_, f)| census::packet_of(f.token))
+                        .min();
+                    for (_, f) in &side.tx {
+                        census.packet_where.push((
+                            census::packet_of(f.token),
+                            PacketPlace::Escape {
+                                bridge,
+                                side: side.side,
+                            },
+                        ));
+                    }
+                    for f in &side.reserved {
+                        census.packet_where.push((
+                            census::packet_of(f.token),
+                            PacketPlace::Escape {
+                                bridge,
+                                side: side.side,
+                            },
+                        ));
+                    }
+                    // Inbound flits belong to the *peer's* escape
+                    // resource: they are its pipe contents in flight
+                    // toward us.
+                    for (_, f) in &side.rx {
+                        census.packet_where.push((
+                            census::packet_of(f.token),
+                            PacketPlace::Escape {
+                                bridge,
+                                side: 1 - side.side,
+                            },
+                        ));
+                    }
+                }
+                SidePart {
+                    bridge,
+                    side: side.side,
+                    ring: ring_id,
+                    out_occ: (side.tx.len() + side.reserved.len()) as u64,
+                    rx_occ: side.rx.len() as u64,
+                    min_packet_out: min_out,
+                    min_packet_rx: min_rx,
+                    tx_pushed: side.tx_pushed,
+                    rx_popped: side.rx_popped,
+                    pipe_cap: side.cfg.buffer_cap as u64,
+                    reserved_cap: side.cfg.reserved_cap as u64,
+                    drm: side.drm,
+                }
+            })
+            .collect()
     }
 
     /// Flits physically inside this shard (queues, slots, mailboxes,

@@ -13,6 +13,7 @@
 use crate::flowstats::FlowRecord;
 use crate::metrics::MetricsSnapshot;
 use crate::txnstats::TxnSnapshot;
+use crate::waitgraph::{WaitStats, WaitVerdict, WAIT_CLASS_NAMES};
 use std::fmt::Write as _;
 
 /// `writeln!` into a `String`, made explicit about infallibility
@@ -294,6 +295,82 @@ pub fn prometheus_txn(snap: &TxnSnapshot) -> String {
     out
 }
 
+/// Render the latest wait-graph gauges as Prometheus text exposition
+/// (version 0.0.4) — the scrape surface of the stall-forensics
+/// detector. Blocked-holder counts export per resource class, the
+/// verdict as a one-hot state set, and the freeze age directly. On a
+/// fast-path sample (no ring/escape freeze, so no edge build) the
+/// blocked gauges and SCC count read 0 by construction.
+pub fn prometheus_wait(stats: &WaitStats) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    line!(
+        w,
+        "# HELP noc_wait_sample_cycle Cycle of the latest wait-graph sample."
+    );
+    line!(w, "# TYPE noc_wait_sample_cycle gauge");
+    line!(w, "noc_wait_sample_cycle {}", stats.cycle);
+
+    line!(
+        w,
+        "# HELP noc_wait_blocked Resources of the class currently waiting on another resource."
+    );
+    line!(w, "# TYPE noc_wait_blocked gauge");
+    for (i, class) in WAIT_CLASS_NAMES.iter().enumerate() {
+        line!(
+            w,
+            "noc_wait_blocked{{class=\"{class}\"}} {}",
+            stats.blocked[i]
+        );
+    }
+
+    line!(
+        w,
+        "# HELP noc_wait_oldest_frozen_cycles Cycles since the oldest frozen resource last progressed."
+    );
+    line!(w, "# TYPE noc_wait_oldest_frozen_cycles gauge");
+    line!(w, "noc_wait_oldest_frozen_cycles {}", stats.oldest_frozen);
+
+    line!(
+        w,
+        "# HELP noc_wait_cyclic_sccs Cyclic strongly connected components in the wait graph."
+    );
+    line!(w, "# TYPE noc_wait_cyclic_sccs gauge");
+    line!(w, "noc_wait_cyclic_sccs {}", stats.cyclic_sccs);
+
+    line!(
+        w,
+        "# HELP noc_wait_verdict One-hot detector verdict for the sample."
+    );
+    line!(w, "# TYPE noc_wait_verdict gauge");
+    for v in [
+        WaitVerdict::Progressing,
+        WaitVerdict::TransientCycle,
+        WaitVerdict::Wedged,
+    ] {
+        line!(
+            w,
+            "noc_wait_verdict{{verdict=\"{v}\"}} {}",
+            u8::from(stats.verdict == v)
+        );
+    }
+    out
+}
+
+/// Render a wait-gauge series as JSON Lines, one [`WaitStats`] row per
+/// line — the compact time-series twin of
+/// [`wait_graphs_jsonl`](crate::waitgraph::wait_graphs_jsonl) (which
+/// carries the full per-sample graphs).
+pub fn wait_stats_jsonl(stats: &[WaitStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        out.push_str(&serde_json::to_string(s).expect("stats serialize"));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +477,56 @@ mod tests {
             6,
             "{text}"
         );
+    }
+
+    #[test]
+    fn wait_exposition_has_class_gauges_and_one_hot_verdict() {
+        let stats = WaitStats {
+            cycle: 96,
+            verdict: WaitVerdict::Wedged,
+            blocked: [2, 1, 3, 0],
+            oldest_frozen: 128,
+            cyclic_sccs: 1,
+        };
+        let text = prometheus_wait(&stats);
+        assert!(text.contains("noc_wait_sample_cycle 96"), "{text}");
+        assert!(
+            text.contains("noc_wait_blocked{class=\"ring\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("noc_wait_blocked{class=\"reassembly\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("noc_wait_verdict{verdict=\"wedged\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("noc_wait_verdict{verdict=\"progressing\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("noc_wait_oldest_frozen_cycles 128"), "{text}");
+        assert!(text.contains("noc_wait_cyclic_sccs 1"), "{text}");
+        // Format discipline: every non-comment line is `name value`,
+        // every metric has HELP and TYPE headers.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "{line}");
+        }
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("# TYPE")).count(),
+            5,
+            "{text}"
+        );
+
+        let jsonl = wait_stats_jsonl(&[stats, stats]);
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let v: Value = serde_json::from_str(line).expect("valid JSON");
+            assert!(v.get("blocked").is_some(), "{line}");
+            assert!(v.get("verdict").is_some(), "{line}");
+        }
+        assert!(wait_stats_jsonl(&[]).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! deterministic as the snapshots themselves.
 
 use crate::metrics::MetricsSnapshot;
+use crate::waitgraph::{WaitGraphSample, WaitVerdict};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -78,6 +79,9 @@ pub enum HealthRule {
     SwapStorm,
     /// No deliveries for K cycles with flits in flight.
     LivenessStall,
+    /// The wait-graph detector certified a frozen cyclic wait: a
+    /// resource cycle whose members all stopped making progress.
+    DeadlockSuspected,
 }
 
 impl fmt::Display for HealthRule {
@@ -87,6 +91,7 @@ impl fmt::Display for HealthRule {
             HealthRule::CongestionKnee => "congestion-knee",
             HealthRule::SwapStorm => "swap-storm",
             HealthRule::LivenessStall => "liveness-stall",
+            HealthRule::DeadlockSuspected => "deadlock-suspected",
         })
     }
 }
@@ -162,6 +167,8 @@ pub struct HealthMonitor {
     /// nothing left in flight).
     last_progress_cycle: u64,
     stall_latched: bool,
+    /// Whether the wait-graph deadlock verdict is currently latched.
+    deadlock_latched: bool,
 }
 
 impl HealthMonitor {
@@ -177,6 +184,7 @@ impl HealthMonitor {
             storming: BTreeSet::new(),
             last_progress_cycle: 0,
             stall_latched: false,
+            deadlock_latched: false,
         }
     }
 
@@ -194,6 +202,47 @@ impl HealthMonitor {
         self.check_swap_storm(snap);
         self.check_liveness(snap);
         self.verdicts.len() - before
+    }
+
+    /// Evaluate the `deadlock-suspected` rule against one wait-graph
+    /// sample from the stall-forensics detector. Rising-edge latched
+    /// like the snapshot rules: fires on the first
+    /// [`WaitVerdict::Wedged`] sample, stays silent while wedged, and
+    /// re-arms if a later sample shows the cycle broke. Returns how
+    /// many new verdicts fired (0 or 1).
+    pub fn observe_wait(&mut self, sample: &WaitGraphSample) -> usize {
+        if sample.verdict != WaitVerdict::Wedged {
+            self.deadlock_latched = false;
+            return 0;
+        }
+        if self.deadlock_latched {
+            return 0;
+        }
+        self.deadlock_latched = true;
+        let cycle_len = sample.cyclic.len();
+        let chain: Vec<String> = sample
+            .edges
+            .iter()
+            .filter(|e| sample.cyclic.contains(&e.from) && sample.cyclic.contains(&e.to))
+            .map(|e| format!("{} -[{}]-> {}", e.from, e.holder, e.to))
+            .collect();
+        self.verdicts.push(Verdict {
+            cycle: sample.cycle,
+            rule: HealthRule::DeadlockSuspected,
+            severity: Severity::Critical,
+            ring: None,
+            bridge: None,
+            value: cycle_len as f64,
+            threshold: 0.0,
+            message: format!(
+                "wait-graph cycle of {cycle_len} resource(s) frozen ({} pinned behind \
+                 it): {}; SWAP resolves intra-bridge deadlock only — this cyclic wait \
+                 spans resources it cannot reorder",
+                sample.wedged.len().saturating_sub(cycle_len),
+                chain.join(", ")
+            ),
+        });
+        1
     }
 
     fn check_starvation(&mut self, snap: &MetricsSnapshot) {
@@ -525,6 +574,52 @@ mod tests {
         }
         assert!(m.is_healthy());
         assert!(m.report().contains("OK"));
+    }
+
+    #[test]
+    fn deadlock_suspected_latches_on_wedged_and_rearms() {
+        use crate::waitgraph::{ResourceId, WaitEdge, WaitGraphSample, WaitVerdict};
+        let ring = |r| ResourceId::Ring { ring: r };
+        let wedged = WaitGraphSample {
+            cycle: 320,
+            nodes: vec![],
+            edges: vec![
+                WaitEdge {
+                    from: ring(0),
+                    to: ring(1),
+                    holder: 7,
+                },
+                WaitEdge {
+                    from: ring(1),
+                    to: ring(0),
+                    holder: 9,
+                },
+            ],
+            verdict: WaitVerdict::Wedged,
+            cyclic: vec![ring(0), ring(1)],
+            wedged: vec![ring(0), ring(1)],
+        };
+        let clear = WaitGraphSample {
+            verdict: WaitVerdict::Progressing,
+            cyclic: vec![],
+            wedged: vec![],
+            ..wedged.clone()
+        };
+        let mut m = HealthMonitor::default();
+        assert_eq!(m.observe_wait(&clear), 0);
+        assert_eq!(m.observe_wait(&wedged), 1);
+        assert_eq!(m.observe_wait(&wedged), 0, "latched");
+        let v = &m.verdicts()[0];
+        assert_eq!(v.rule, HealthRule::DeadlockSuspected);
+        assert_eq!(v.severity, Severity::Critical);
+        assert!(
+            v.message.contains("ring:r0 -[7]-> ring:r1"),
+            "{}",
+            v.message
+        );
+        // Cycle breaks, then reforms: fires again.
+        assert_eq!(m.observe_wait(&clear), 0);
+        assert_eq!(m.observe_wait(&wedged), 1);
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod sink;
 pub mod spans;
 pub mod txnstats;
 pub mod views;
+pub mod waitgraph;
 
 pub use chrome::{chrome_trace, spans_chrome_trace};
 pub use critical::{
@@ -101,7 +102,8 @@ pub use critical::{
 };
 pub use event::{EventCounts, FlitEvent, TraceRecord, NO_FLIT, NO_LANE};
 pub use export::{
-    escape_label_value, prometheus_flows, prometheus_text, prometheus_txn, snapshots_jsonl,
+    escape_label_value, prometheus_flows, prometheus_text, prometheus_txn, prometheus_wait,
+    snapshots_jsonl, wait_stats_jsonl,
 };
 pub use flowstats::{flow_table_ascii, merge_ranked, FlowDelta, FlowEvent, FlowRecord, FlowTable};
 pub use health::{HealthConfig, HealthMonitor, HealthRule, Severity, Verdict};
@@ -117,3 +119,7 @@ pub use spans::{
 };
 pub use txnstats::{txn_snapshots_jsonl, TxnRegistry, TxnSnapshot};
 pub use views::{Heatmap, LatencyView, UtilizationTimeline};
+pub use waitgraph::{
+    cyclic_sccs, wait_graphs_jsonl, ResourceId, WaitEdge, WaitGraphConfig, WaitGraphSample,
+    WaitGraphTracker, WaitNode, WaitStats, WaitVerdict, WedgeReport, WAIT_CLASS_NAMES,
+};

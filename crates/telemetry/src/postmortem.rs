@@ -23,6 +23,7 @@ use crate::flowstats::{flow_table_ascii, FlowRecord};
 use crate::health::Verdict;
 use crate::metrics::MetricsSnapshot;
 use crate::spans::TxnSpanTree;
+use crate::waitgraph::WedgeReport;
 use crate::TraceRecord;
 use serde::{Deserialize, Serialize, Value};
 
@@ -87,6 +88,10 @@ pub struct PostmortemBundle {
     /// causal context for the latched verdict (empty when the run had
     /// no transaction layer or span tracing was off).
     pub txn_exemplars: Vec<TxnSpanTree>,
+    /// Wedge reports from the stall-forensics detector: the frozen
+    /// cyclic-wait certificates latched before capture (empty when the
+    /// detector was off or nothing wedged).
+    pub wedges: Vec<WedgeReport>,
 }
 
 /// Wrapper for the `"kind":"links"` line.
@@ -143,6 +148,10 @@ impl PostmortemBundle {
             out.push_str(&kind_line("txn_exemplar", t));
             out.push('\n');
         }
+        for w in &self.wedges {
+            out.push_str(&kind_line("wedge", w));
+            out.push('\n');
+        }
         out
     }
 
@@ -173,6 +182,7 @@ impl PostmortemBundle {
         let mut snapshots = Vec::new();
         let mut events = Vec::new();
         let mut txn_exemplars = Vec::new();
+        let mut wedges = Vec::new();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let v: Value = serde_json::from_str(line)?;
             let kind = v
@@ -189,6 +199,7 @@ impl PostmortemBundle {
                 "snapshot" => snapshots.push(serde_json::from_value::<MetricsSnapshot>(&v)?),
                 "event" => events.push(serde_json::from_value::<TraceRecord>(&v)?),
                 "txn_exemplar" => txn_exemplars.push(serde_json::from_value::<TxnSpanTree>(&v)?),
+                "wedge" => wedges.push(serde_json::from_value::<WedgeReport>(&v)?),
                 other => {
                     return Err(serde_json::Error(format!(
                         "unknown bundle line kind {other:?}"
@@ -205,6 +216,7 @@ impl PostmortemBundle {
             snapshots,
             events,
             txn_exemplars,
+            wedges,
         })
     }
 
@@ -237,6 +249,10 @@ impl PostmortemBundle {
                 self.txn_exemplars[0].txn,
                 self.txn_exemplars[0].latency()
             ));
+        }
+        for w in &self.wedges {
+            out.push('\n');
+            out.push_str(&w.render());
         }
         out.push_str("\nflow attribution (top flows by delivered + deflections):\n");
         out.push_str(&flow_table_ascii(&self.flows, |id| format!("n{id}")));
@@ -285,6 +301,7 @@ mod tests {
     use super::*;
     use crate::health::{HealthRule, Severity};
     use crate::metrics::MetricsSnapshot;
+    use crate::waitgraph::{ResourceId, WaitEdge};
 
     fn sample_bundle() -> PostmortemBundle {
         PostmortemBundle {
@@ -340,6 +357,22 @@ mod tests {
                 window_occupancy: 4,
                 final_packet: 3,
                 packets: Vec::new(),
+            }],
+            wedges: vec![WedgeReport {
+                cycle: 640,
+                freeze_windows: 4,
+                chain: vec![WaitEdge {
+                    from: ResourceId::Ring { ring: 0 },
+                    to: ResourceId::Escape { bridge: 0, side: 1 },
+                    holder: 12,
+                }],
+                pinned: vec![WaitEdge {
+                    from: ResourceId::Window { node: 3 },
+                    to: ResourceId::Ring { ring: 0 },
+                    holder: 17,
+                }],
+                occupancy: vec![(ResourceId::Ring { ring: 0 }, vec![32, 32, 32])],
+                holders: vec![12, 17],
             }],
         }
     }
@@ -403,6 +436,28 @@ mod tests {
             .collect();
         let back = PostmortemBundle::from_jsonl(&old).expect("old bundles parse");
         assert!(back.txn_exemplars.is_empty());
+    }
+
+    #[test]
+    fn wedge_lines_round_trip_and_old_bundles_parse() {
+        let b = sample_bundle();
+        let text = b.to_jsonl();
+        assert!(text.contains("{\"kind\":\"wedge\""), "{text}");
+        let back = PostmortemBundle::from_jsonl(&text).expect("parses");
+        assert_eq!(back.wedges, b.wedges);
+        // Wedge reports are simulation output: comparable across modes.
+        assert!(b.comparable_jsonl().contains("{\"kind\":\"wedge\""));
+        // Rendered postmortem names the cycle chain.
+        let r = b.render();
+        assert!(r.contains("ring:r0 -[12]-> escape:b0.s1"), "{r}");
+        // Pre-PR 10 bundles (no wedge lines) still parse.
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("{\"kind\":\"wedge\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = PostmortemBundle::from_jsonl(&old).expect("old bundles parse");
+        assert!(back.wedges.is_empty());
     }
 
     #[test]

@@ -40,14 +40,16 @@ use crate::types::{
 };
 use crate::window::InFlightWindow;
 use noc_core::telemetry::{
-    FlitSpan, NullSink, NullSpanSink, PacketSpan, PostmortemBundle, SpanRole, SpanSink, TraceSink,
-    TxnRegistry, TxnSnapshot, TxnSpanTree,
+    FlitSpan, NullSink, NullSpanSink, PacketSpan, PostmortemBundle, ResourceId, SpanRole, SpanSink,
+    TraceSink, TxnRegistry, TxnSnapshot, TxnSpanTree, WaitEdge, WaitGraphConfig, WaitGraphTracker,
+    WaitNode, WedgeReport,
 };
 use noc_core::{
-    EngineError, EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketToken, Topology,
+    EngineError, EnqueueError, Flit, FlitClass, Network, NodeId, NodeKind, PacketPlace,
+    PacketToken, Topology,
 };
 use noc_sim::{Cycle, Histogram};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Per-endpoint transaction state.
 #[derive(Debug)]
@@ -57,6 +59,10 @@ struct Endpoint {
     staged: VecDeque<StagedFlit>,
     msg_inbox: VecDeque<u64>,
     atomic_cell: u64,
+    /// Reassembly credits held *toward* this endpoint: request packets
+    /// admitted by the pump and not yet fully reassembled here
+    /// ([`TxnConfig::reassembly_slots`]).
+    credit_used: usize,
 }
 
 impl Endpoint {
@@ -67,8 +73,21 @@ impl Endpoint {
             staged: VecDeque::new(),
             msg_inbox: VecDeque::new(),
             atomic_cell: 0,
+            credit_used: 0,
         }
     }
+}
+
+/// Stall-forensics state (see [`TxnFabric::enable_forensics`]).
+#[derive(Debug)]
+struct Forensics {
+    tracker: WaitGraphTracker,
+    /// `false` is the "detector-off" tripwire mode: the per-sample hook
+    /// runs but builds no graph — the overhead-gate baseline.
+    active: bool,
+    /// Postmortem bundles captured on the rising wedge edge, with the
+    /// wedge report and tail exemplars attached.
+    bundles: Vec<PostmortemBundle>,
 }
 
 /// Broadcast progress of one transaction.
@@ -151,6 +170,16 @@ pub struct TxnFabric<S: TraceSink = NullSink, P: SpanSink = NullSpanSink> {
     /// In-progress transaction trees by txn id. Keyed lookups only;
     /// empty when spans are disabled.
     txn_spans: HashMap<u64, TxnSpanTree>,
+    /// Wait-graph stall forensics, if enabled.
+    forensics: Option<Forensics>,
+    /// Packets staged non-urgently that must acquire a reassembly
+    /// credit at their destination before the pump releases their
+    /// header flit. Keyed lookups only; empty when
+    /// [`TxnConfig::reassembly_slots`] is 0.
+    credit_pending: HashSet<u64>,
+    /// Packets currently holding a reassembly credit at their
+    /// destination. Keyed lookups only.
+    credited: HashSet<u64>,
 }
 
 /// Map the fabric's [`TxnKind`] onto
@@ -223,6 +252,9 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
             span_sink: spans,
             pkt_spans: HashMap::new(),
             txn_spans: HashMap::new(),
+            forensics: None,
+            credit_pending: HashSet::new(),
+            credited: HashSet::new(),
         }
     }
 
@@ -243,11 +275,13 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
     }
 
     /// Freeze a postmortem bundle from the network's flight recorder
-    /// and attach the span sink's tail exemplars as causal context.
-    /// `None` when the network's observatory is disabled.
+    /// and attach the span sink's tail exemplars and any latched wedge
+    /// report as causal context. `None` when the network's observatory
+    /// is disabled.
     pub fn dump_postmortem(&self, reason: &str) -> Option<PostmortemBundle> {
         let mut bundle = self.net.dump_postmortem(reason)?;
         self.attach_exemplars(&mut bundle);
+        self.attach_wedges(&mut bundle);
         Some(bundle)
     }
 
@@ -256,6 +290,72 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
     /// froze without transaction-layer context.
     pub fn attach_exemplars(&self, bundle: &mut PostmortemBundle) {
         bundle.txn_exemplars = self.span_sink.exemplars().to_vec();
+    }
+
+    /// Attach the latched wedge report, if any, to an existing bundle.
+    pub fn attach_wedges(&self, bundle: &mut PostmortemBundle) {
+        if let Some(rep) = self.wedge_report() {
+            bundle.wedges = vec![rep.clone()];
+        }
+    }
+
+    /// Enable stall forensics: at every transaction-observatory sample
+    /// boundary, build the typed resource wait-for graph (ring slots,
+    /// bridge escape buffers, in-flight windows, reassembly buffers),
+    /// classify it, and feed the network's `deadlock-suspected`
+    /// watchdog. On the first wedged verdict a [`WedgeReport`] latches
+    /// and a postmortem bundle with the report and tail exemplars
+    /// attached is captured ([`TxnFabric::wedge_bundles`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the transaction observatory is on
+    /// ([`TxnConfig::metrics_period`] > 0) — forensics rides its
+    /// sample schedule, which is what makes the detector stream
+    /// byte-identical across engines.
+    pub fn enable_forensics(&mut self, cfg: WaitGraphConfig) {
+        assert!(
+            self.registry.is_some(),
+            "stall forensics rides the transaction observatory; \
+             set TxnConfig::metrics_period > 0"
+        );
+        self.forensics = Some(Forensics {
+            tracker: WaitGraphTracker::new(cfg),
+            active: true,
+            bundles: Vec::new(),
+        });
+    }
+
+    /// Enable forensics in detector-off tripwire mode: the per-sample
+    /// hook runs but no graph is built and nothing can latch. This is
+    /// the baseline arm of the detector-overhead gate.
+    pub fn enable_forensics_idle(&mut self) {
+        self.forensics = Some(Forensics {
+            tracker: WaitGraphTracker::new(WaitGraphConfig::default()),
+            active: false,
+            bundles: Vec::new(),
+        });
+    }
+
+    /// The wait-graph tracker, if forensics is enabled — samples,
+    /// per-sample gauge rows, and the latched report live here.
+    pub fn wait_tracker(&self) -> Option<&WaitGraphTracker> {
+        self.forensics.as_ref().map(|f| &f.tracker)
+    }
+
+    /// Whether the deadlock detector has latched a wedge.
+    pub fn wedge_latched(&self) -> bool {
+        self.forensics.as_ref().is_some_and(|f| f.tracker.latched())
+    }
+
+    /// The frozen wedge report, if the detector latched.
+    pub fn wedge_report(&self) -> Option<&WedgeReport> {
+        self.forensics.as_ref().and_then(|f| f.tracker.report())
+    }
+
+    /// Postmortem bundles captured on the rising wedge edge.
+    pub fn wedge_bundles(&self) -> &[PostmortemBundle] {
+        self.forensics.as_ref().map_or(&[], |f| &f.bundles)
     }
 
     /// The configuration.
@@ -411,6 +511,14 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
             );
         }
         self.packets.insert(id, desc);
+        if !urgent && self.cfg.reassembly_slots > 0 {
+            // Request packets acquire a reassembly credit at their
+            // destination before the pump releases their header.
+            // Urgent packets (responses, broadcast forwards) are
+            // exempt: deferring them would deadlock the windows
+            // waiting on them.
+            self.credit_pending.insert(id);
+        }
         self.endpoints
             .get_mut(&from)
             .expect("staging at a known endpoint")
@@ -780,11 +888,32 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
                 if paused[i] || self.outstanding >= self.outstanding_cap {
                     continue;
                 }
-                let ep = self.endpoints.get_mut(&node).expect("known endpoint");
-                let Some(&flit) = ep.staged.front() else {
+                let Some(&flit) = self.endpoints[&node].staged.front() else {
                     paused[i] = true;
                     continue;
                 };
+                let tok = PacketToken::decode(flit.token);
+                if tok.is_header() && self.credit_pending.contains(&tok.packet) {
+                    // Reserve a reassembly credit at the responder
+                    // before releasing a request packet's header. The
+                    // credit returns when the packet finishes
+                    // reassembly there, bounding inbound demand per
+                    // endpoint — the admission-side fix for the
+                    // saturation wedge (full rings + full escape
+                    // buffers in a cyclic wait SWAP cannot break).
+                    let dst = self.packets[&tok.packet].dst;
+                    if self.endpoints[&dst].credit_used >= self.cfg.reassembly_slots {
+                        self.counters.reassembly_deferred += 1;
+                        paused[i] = true;
+                        continue;
+                    }
+                    self.credit_pending.remove(&tok.packet);
+                    self.credited.insert(tok.packet);
+                    self.endpoints
+                        .get_mut(&dst)
+                        .expect("known endpoint")
+                        .credit_used += 1;
+                }
                 match self
                     .net
                     .enqueue(node, flit.dst, flit.class, flit.bytes, flit.token)
@@ -824,6 +953,243 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
         if let Some(reg) = &mut self.registry {
             reg.sample(self.net.now(), inflight, occupancy);
         }
+        self.sample_forensics();
+    }
+
+    /// Build the wait-graph's node set: one [`WaitNode`] per ring,
+    /// escape buffer, window and reassembly buffer, carrying occupancy
+    /// and monotone progress counters. This is the cheap per-boundary
+    /// pass — it uses the light census (no per-flit packet walks) and
+    /// its values are identical to what the full census would report,
+    /// since both read the same owner-held counters.
+    fn build_wait_nodes(&self) -> Vec<WaitNode> {
+        let census = self.net.wait_census_light();
+        // Push in [`ResourceId`] order (rings, escapes, windows,
+        // reassembly; each group ascending) so no sort is needed: the
+        // census emits rings/escapes sorted, and the endpoint map
+        // iterates ascending.
+        let mut nodes: Vec<WaitNode> = Vec::with_capacity(
+            census.rings.len() + census.escapes.len() + 2 * self.endpoints.len(),
+        );
+        for r in &census.rings {
+            nodes.push(WaitNode {
+                id: ResourceId::Ring { ring: r.ring },
+                occupancy: r.occupancy,
+                capacity: r.capacity,
+                progress: r.progress,
+            });
+        }
+        for e in &census.escapes {
+            nodes.push(WaitNode {
+                id: ResourceId::Escape {
+                    bridge: u32::from(e.bridge),
+                    side: e.side,
+                },
+                occupancy: e.occupancy,
+                capacity: e.capacity,
+                progress: e.progress,
+            });
+        }
+        let mut rea: Vec<WaitNode> = Vec::with_capacity(self.endpoints.len());
+        for (&id, ep) in &self.endpoints {
+            nodes.push(WaitNode {
+                id: ResourceId::Window { node: id.0 },
+                occupancy: ep.window.occupancy() as u64,
+                capacity: ep.window.cap() as u64,
+                progress: ep.window.completions(),
+            });
+            rea.push(WaitNode {
+                id: ResourceId::Reassembly { node: id.0 },
+                occupancy: ep.reassembly.open_packets() as u64,
+                capacity: self.cfg.reassembly_slots as u64,
+                progress: ep.reassembly.accepted(),
+            });
+        }
+        nodes.extend(rea);
+        debug_assert!(nodes.windows(2).all(|w| w[0].id < w[1].id), "nodes sorted");
+        nodes
+    }
+
+    /// Build the wait-graph's edge set: the engine's full census
+    /// contributes where every in-network packet sits, the fabric
+    /// contributes staged packets, credit-deferred headers and the
+    /// holder-transaction ids. This is the expensive pass — the lazy
+    /// tracker only requests it when a ring or escape resource has
+    /// stopped making progress.
+    fn build_wait_edges(&self) -> Vec<WaitEdge> {
+        let census = self.net.wait_census();
+        let topo_nodes = self.net.topology().nodes();
+        // Holder id for edges: the owning transaction of a packet, or
+        // the raw packet id for traffic the fabric never staged.
+        let holder_of = |packet: u64| self.packets.get(&packet).map_or(packet, |d| d.txn);
+
+        let mut edges: Vec<WaitEdge> = Vec::new();
+        for r in &census.rings {
+            let from = ResourceId::Ring { ring: r.ring };
+            // Resident flits routing through a bridge side hold ring
+            // slots until that side's escape resource admits them.
+            for t in &r.transit {
+                edges.push(WaitEdge {
+                    from,
+                    to: ResourceId::Escape {
+                        bridge: u32::from(t.bridge),
+                        side: t.side,
+                    },
+                    holder: holder_of(t.min_packet),
+                });
+            }
+        }
+        for e in &census.escapes {
+            // An occupied escape pipe needs free slots on the ring the
+            // crossing lands on.
+            if e.occupancy > 0 {
+                edges.push(WaitEdge {
+                    from: ResourceId::Escape {
+                        bridge: u32::from(e.bridge),
+                        side: e.side,
+                    },
+                    to: ResourceId::Ring { ring: e.to_ring },
+                    holder: e.min_packet.map_or(0, holder_of),
+                });
+            }
+        }
+
+        // Fabric-side placement: which endpoint is reassembling each
+        // open packet, and which ring each staged packet waits to
+        // enter. Both maps iterate owner-held ordered state.
+        let mut open_at: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut staged_on: BTreeMap<u64, u16> = BTreeMap::new();
+        for (&id, ep) in &self.endpoints {
+            let ring = topo_nodes[id.index()].ring.0;
+            for pkt in ep.reassembly.open_packet_ids() {
+                open_at.insert(pkt, id.0);
+            }
+            for flit in &ep.staged {
+                staged_on
+                    .entry(PacketToken::decode(flit.token).packet)
+                    .or_insert(ring);
+            }
+        }
+        // Every resource flits of `packet` currently hold or wait at.
+        let places = |packet: u64| -> Vec<ResourceId> {
+            let mut v: Vec<ResourceId> = census
+                .places_of(packet)
+                .map(|p| match p {
+                    PacketPlace::Ring { ring } => ResourceId::Ring { ring },
+                    PacketPlace::Escape { bridge, side } => ResourceId::Escape {
+                        bridge: u32::from(bridge),
+                        side,
+                    },
+                })
+                .collect();
+            if let Some(&ring) = staged_on.get(&packet) {
+                v.push(ResourceId::Ring { ring });
+            }
+            if let Some(&n) = open_at.get(&packet) {
+                v.push(ResourceId::Reassembly { node: n });
+            }
+            if self.credit_pending.contains(&packet) {
+                // Admission-deferred: the header waits for a
+                // reassembly credit at the destination.
+                if let Some(desc) = self.packets.get(&packet) {
+                    if self.endpoints[&desc.dst].credit_used >= self.cfg.reassembly_slots {
+                        v.push(ResourceId::Reassembly { node: desc.dst.0 });
+                    }
+                }
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+
+        // Live packets per transaction (hash map collected, then
+        // sorted — determinism is restored before anything reads it).
+        let mut pkts_of: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        {
+            let mut all: Vec<(u64, u64)> = self.packets.iter().map(|(&p, d)| (d.txn, p)).collect();
+            all.sort_unstable();
+            for (t, p) in all {
+                pkts_of.entry(t).or_default().push(p);
+            }
+        }
+
+        for (&id, ep) in &self.endpoints {
+            let win = ResourceId::Window { node: id.0 };
+            let rea = ResourceId::Reassembly { node: id.0 };
+            // A held window slot waits on every resource its
+            // transaction's live packets occupy.
+            for txn in ep.window.pending_txns() {
+                for &pkt in pkts_of.get(&txn).map_or(&[][..], |v| v) {
+                    for to in places(pkt) {
+                        edges.push(WaitEdge {
+                            from: win,
+                            to,
+                            holder: txn,
+                        });
+                    }
+                }
+            }
+            // A pinned reassembly entry waits wherever its packet's
+            // missing flits are.
+            for pkt in ep.reassembly.open_packet_ids() {
+                let holder = holder_of(pkt);
+                for to in places(pkt) {
+                    if to != rea {
+                        edges.push(WaitEdge {
+                            from: rea,
+                            to,
+                            holder,
+                        });
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Forensics hook, run at every observatory sample: take the cheap
+    /// node census, let the tracker decide whether the full edge build
+    /// is warranted ([`WaitGraphTracker::ingest_lazy`]), feed the
+    /// network's watchdog and gauges, and on the rising wedge edge
+    /// capture a postmortem bundle with the report and tail exemplars
+    /// attached.
+    fn sample_forensics(&mut self) {
+        // Take the forensics state out so the deferred edge closure can
+        // borrow `self` while the tracker is being driven.
+        let Some(mut f) = self.forensics.take() else {
+            return;
+        };
+        if !f.active {
+            self.forensics = Some(f);
+            return;
+        }
+        let cycle = self.net.now().raw();
+        let nodes = self.build_wait_nodes();
+        let was_latched = f.tracker.latched();
+        f.tracker
+            .ingest_lazy(cycle, nodes, || self.build_wait_edges());
+        let sample = f.tracker.last().expect("just ingested");
+        let stats = *f.tracker.stats().last().expect("ingest pushed a row");
+        self.net.observe_wait(sample);
+        self.net.note_wait_stats(stats);
+        let latched = f.tracker.latched();
+        self.forensics = Some(f);
+        if was_latched || !latched {
+            return;
+        }
+        let Some(mut bundle) = self
+            .net
+            .dump_postmortem("watchdog: CRIT:deadlock-suspected")
+        else {
+            return;
+        };
+        self.attach_exemplars(&mut bundle);
+        self.attach_wedges(&mut bundle);
+        self.forensics
+            .as_mut()
+            .expect("latched")
+            .bundles
+            .push(bundle);
     }
 
     /// Advance one cycle: pump staged flits, tick the network, drain
@@ -925,6 +1291,12 @@ impl<S: TraceSink, P: SpanSink> TxnFabric<S, P> {
                     self.span_flit(tok.packet, flit, true);
                 }
                 self.packets.remove(&tok.packet);
+                if self.credited.remove(&tok.packet) {
+                    // The packet's reassembly credit returns to its
+                    // destination (this endpoint).
+                    let ep = self.endpoints.get_mut(&node).expect("delivery at endpoint");
+                    ep.credit_used -= 1;
+                }
                 self.counters.packets_reassembled += 1;
                 self.packet_complete(node, tok.packet, desc);
             }

@@ -55,6 +55,11 @@ impl PartialPacket {
 #[derive(Debug, Clone, Default)]
 pub struct ReassemblyBuffer {
     parts: HashMap<u64, PartialPacket>,
+    /// Flits ever absorbed (headers + data, duplicates excluded;
+    /// monotonic) — the wait-graph detector's progress counter for
+    /// this buffer: open packets with no absorption across consecutive
+    /// samples mean every missing flit is stuck upstream.
+    accepted: u64,
 }
 
 impl ReassemblyBuffer {
@@ -66,6 +71,19 @@ impl ReassemblyBuffer {
     /// Packets currently mid-assembly at this endpoint.
     pub fn open_packets(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Flits ever absorbed since construction (monotonic).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Ids of packets currently mid-assembly, ascending (sorted for
+    /// deterministic iteration over the underlying hash map).
+    pub fn open_packet_ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.parts.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Feed one flit. `expect_data` is the packet's data-flit count
@@ -101,8 +119,12 @@ impl ReassemblyBuffer {
             part.seen[word] |= mask;
             part.received_data += 1;
         }
-        if part.complete() {
+        let done = part.complete();
+        if done {
             self.parts.remove(&tok.packet);
+        }
+        self.accepted += 1;
+        if done {
             Accept::Complete
         } else {
             Accept::Partial

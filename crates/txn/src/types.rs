@@ -203,6 +203,18 @@ pub struct TxnConfig {
     /// Sample a transaction-metrics snapshot every this many cycles
     /// (0 disables the observatory hook).
     pub metrics_period: u64,
+    /// Per-endpoint reassembly credits: how many request packets may be
+    /// concurrently admitted *toward* one endpoint. The admission pump
+    /// reserves a credit at the responder before releasing a request
+    /// packet's header flit and the credit returns when that packet
+    /// finishes reassembly, so inbound demand can never pile up
+    /// unboundedly on the rings around a hot destination — the
+    /// saturation pattern that wedges a multi-ring fabric (full rings +
+    /// full escape buffers in a cyclic wait SWAP cannot break).
+    /// Responses and broadcast forwards are never credit-gated (gating
+    /// them could deadlock the windows waiting on them). `0` disables
+    /// crediting (legacy admission).
+    pub reassembly_slots: usize,
 }
 
 impl Default for TxnConfig {
@@ -216,6 +228,7 @@ impl Default for TxnConfig {
             broadcast_fanout: 4,
             max_outstanding_flits: 0,
             metrics_period: 0,
+            reassembly_slots: 0,
         }
     }
 }
@@ -262,6 +275,10 @@ pub struct TxnCounters {
     pub duplicate_flits: u64,
     /// Responses for transactions no longer in the window (dropped).
     pub late_responses: u64,
+    /// Pump passes that paused an endpoint because the responder's
+    /// reassembly credits were exhausted
+    /// ([`TxnConfig::reassembly_slots`]).
+    pub reassembly_deferred: u64,
 }
 
 impl TxnCounters {
@@ -288,6 +305,7 @@ impl TxnCounters {
             self.stray_flits,
             self.duplicate_flits,
             self.late_responses,
+            self.reassembly_deferred,
         ]
     }
 }
@@ -352,7 +370,7 @@ mod tests {
 
     #[test]
     fn counters_digest_covers_every_field() {
-        // 15 public u64 fields — the digest must track them all.
+        // 16 public u64 fields — the digest must track them all.
         let c = TxnCounters {
             submitted: 1,
             messages_submitted: 2,
@@ -369,10 +387,11 @@ mod tests {
             stray_flits: 13,
             duplicate_flits: 14,
             late_responses: 15,
+            reassembly_deferred: 16,
         };
         let d = c.digest();
-        assert_eq!(d.len(), 15);
-        assert_eq!(d, (1..=15).collect::<Vec<u64>>());
+        assert_eq!(d.len(), 16);
+        assert_eq!(d, (1..=16).collect::<Vec<u64>>());
         assert_eq!(c.completed(), 4 + 5 + 6 + 7 + 8);
     }
 }

@@ -16,6 +16,11 @@ use std::collections::HashSet;
 pub struct InFlightWindow {
     cap: usize,
     pending: HashSet<u64>,
+    /// Slots ever released (monotonic) — the wait-graph detector's
+    /// progress counter for this window: occupied slots with no
+    /// completions across consecutive samples mean the window is
+    /// frozen behind something.
+    completions: u64,
 }
 
 impl InFlightWindow {
@@ -25,6 +30,7 @@ impl InFlightWindow {
         InFlightWindow {
             cap,
             pending: HashSet::with_capacity(cap),
+            completions: 0,
         }
     }
 
@@ -58,7 +64,22 @@ impl InFlightWindow {
     /// when `txn` holds no slot — a late or duplicate response that
     /// must be dropped.
     pub fn complete(&mut self, txn: u64) -> bool {
-        self.pending.remove(&txn)
+        let released = self.pending.remove(&txn);
+        self.completions += u64::from(released);
+        released
+    }
+
+    /// Slots ever released since construction (monotonic).
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Transaction ids currently holding slots, ascending (sorted for
+    /// deterministic iteration over the underlying hash set).
+    pub fn pending_txns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 

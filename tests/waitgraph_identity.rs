@@ -1,0 +1,260 @@
+//! Detector-stream lockstep: the stall-forensics surface — sampled
+//! wait graphs, SCC verdicts, gauge rows and wedge reports — must be
+//! byte-identical across `TickMode::{Reference,Fast}` ×
+//! `ExecMode::{Sequential,Parallel(2,4)}` × epoch K ∈ {1,2,4,8}, each
+//! K against its own K-golden (the workspace's lockstep convention:
+//! admission cadence is a pure function of K).
+//!
+//! Two workloads cover both detector regimes: a mixed transactional
+//! load that never wedges (verdict stream stays
+//! progressing/transient), and the known 4×4-torus stride-7 saturation
+//! pattern with legacy admission, which must latch the *same* wedge
+//! report on every engine.
+
+use noc_core::telemetry::{wait_graphs_jsonl, NullSink, WaitGraphConfig, WaitVerdict};
+use noc_core::{ExecMode, GridParams, Network, NetworkConfig, NodeId, TickMode};
+use noc_sim::fuzz::TrafficPattern;
+use noc_sim::SimRng;
+use noc_txn::{TxnConfig, TxnFabric, TxnOp};
+use noc_workloads::{TxnMix, TxnRequest, TxnWorkload};
+
+const SEEDS: u64 = 10;
+const TXNS_PER_SEED: usize = 24;
+
+/// The forensics surface of one run, all pre-serialized: comparing
+/// strings is the byte-identity claim, not structural equality.
+#[derive(Debug, PartialEq)]
+struct DetectorStream {
+    /// One JSON line per retained wait-graph sample.
+    graphs: String,
+    /// The per-sample gauge rows (verdict, blocked counts, SCC count).
+    stats: String,
+    /// The latched wedge report, or `null`.
+    report: String,
+    cycles: u64,
+}
+
+fn torus(seed: u64) -> (noc_core::Topology, Vec<NodeId>) {
+    let (topo, names) = GridParams::torus(2, 2)
+        .with_devices(8)
+        .with_seed(seed)
+        .generate()
+        .expect("params are valid")
+        .compile()
+        .expect("spec compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    (topo, devs)
+}
+
+fn txn_cfg() -> TxnConfig {
+    TxnConfig {
+        window: 4,
+        max_data_flits: 32,
+        metrics_period: 16,
+        reassembly_slots: 1, // the credit path must itself be lockstep
+        ..TxnConfig::default()
+    }
+}
+
+fn stream_of<S: noc_core::telemetry::TraceSink>(fab: &TxnFabric<S>) -> DetectorStream {
+    let tracker = fab.wait_tracker().expect("forensics enabled");
+    DetectorStream {
+        graphs: wait_graphs_jsonl(tracker.samples()),
+        stats: serde_json::to_string(&tracker.stats().to_vec()).expect("stats serialize"),
+        report: serde_json::to_string(&fab.wedge_report()).expect("report serializes"),
+        cycles: fab.now().raw(),
+    }
+}
+
+/// Drive a mixed seeded workload to quiescence in `k`-cycle epochs and
+/// return the detector stream.
+fn run_mixed(seed: u64, mode: TickMode, exec: ExecMode, k: u64) -> DetectorStream {
+    let (topo, devs) = torus(seed);
+    let mut net = Network::with_exec(topo, NetworkConfig::default(), mode, exec, NullSink);
+    net.enable_metrics(16);
+    let mut fab = TxnFabric::new(net, txn_cfg());
+    fab.enable_forensics(WaitGraphConfig::default());
+    let wl = TxnWorkload::new(devs, TxnMix::default(), TrafficPattern::Uniform, 64, 32);
+    let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9));
+    let mut accepted = 0usize;
+    let mut pending: Option<TxnRequest> = None;
+    let mut guard = 0u64;
+    while accepted < TXNS_PER_SEED {
+        let req = pending.take().unwrap_or_else(|| wl.next(&mut rng));
+        let outcome = match &req {
+            TxnRequest::Point { src, dst, op } => fab
+                .submit(*src, *dst, *op)
+                .expect("generated endpoints are valid")
+                .map(|_| ()),
+            TxnRequest::Broadcast {
+                src,
+                targets,
+                bytes,
+            } => fab
+                .submit_broadcast(*src, targets, *bytes)
+                .expect("generated broadcasts are valid")
+                .map(|_| ()),
+        };
+        match outcome {
+            Some(()) => accepted += 1,
+            None => pending = Some(req),
+        }
+        fab.tick_epoch(k).expect("k within the torus bound");
+        guard += 1;
+        assert!(guard < 1_000_000, "seed {seed}: workload never accepted");
+    }
+    let mut spent = 0u64;
+    while !fab.quiet() && spent < 2_000_000 {
+        fab.tick_epoch(k).expect("k within the torus bound");
+        spent += k;
+    }
+    assert!(fab.quiet(), "seed {seed} k={k}: failed to quiesce");
+    stream_of(&fab)
+}
+
+/// Drive the known stride-7 saturation wedge (legacy admission, no
+/// reassembly credits) until the detector latches, then a few more
+/// epochs, and return the detector stream.
+fn run_wedge(mode: TickMode, exec: ExecMode, k: u64) -> DetectorStream {
+    let (topo, names) = GridParams::torus(4, 4)
+        .with_stations(16)
+        .with_devices(2)
+        .with_seed(0x7261_6a65)
+        .generate()
+        .expect("torus generates")
+        .compile()
+        .expect("torus compiles");
+    let mut named: Vec<(String, NodeId)> = names.into_iter().collect();
+    named.sort();
+    let devs: Vec<NodeId> = named.into_iter().map(|(_, id)| id).collect();
+    let mut net = Network::with_exec(topo, NetworkConfig::default(), mode, exec, NullSink);
+    net.enable_metrics(32);
+    let mut fab = TxnFabric::new(
+        net,
+        TxnConfig {
+            metrics_period: 32,
+            ..TxnConfig::default()
+        },
+    );
+    fab.enable_forensics(WaitGraphConfig::default());
+    let n = devs.len();
+    let mut i = 0usize;
+    while fab.now().raw() < 4_000 && !fab.wedge_latched() {
+        while fab.in_flight_txns() < 200 {
+            let src = i % n;
+            let mut dst = (i * 7 + 3) % n;
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            let op = TxnOp::Write {
+                bytes: 2048,
+                posted: false,
+            };
+            if fab
+                .submit(devs[src], devs[dst], op)
+                .expect("valid")
+                .is_none()
+            {
+                break;
+            }
+            i += 1;
+        }
+        fab.tick_epoch(k).expect("k within the torus bound");
+    }
+    assert!(
+        fab.wedge_latched(),
+        "stride-7 saturation must latch on {mode:?}/{exec:?} k={k}"
+    );
+    // A few more samples past the latch: the post-latch stream must
+    // stay identical too (the report is frozen, samples keep flowing).
+    for _ in 0..4 {
+        fab.tick_epoch(k).expect("k within the torus bound");
+    }
+    stream_of(&fab)
+}
+
+#[test]
+fn detector_streams_match_their_k_golden_on_ten_seeds() {
+    let variants: [(TickMode, ExecMode); 6] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Reference, ExecMode::Parallel(2)),
+        (TickMode::Reference, ExecMode::Parallel(4)),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(2)),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+    ];
+    for k in [1u64, 2, 4, 8] {
+        for seed in 0..SEEDS {
+            let golden = run_mixed(seed, variants[0].0, variants[0].1, k);
+            assert!(
+                !golden.graphs.is_empty(),
+                "seed {seed} k={k}: no wait-graph samples recorded"
+            );
+            assert_eq!(
+                golden.report, "null",
+                "seed {seed} k={k}: mixed workload latched a wedge"
+            );
+            for &(mode, exec) in &variants[1..] {
+                let other = run_mixed(seed, mode, exec, k);
+                assert_eq!(
+                    golden, other,
+                    "seed {seed} k={k}: detector stream diverged on {mode:?}/{exec:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wedge_reports_are_byte_identical_across_engines() {
+    let variants: [(TickMode, ExecMode); 4] = [
+        (TickMode::Reference, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Sequential),
+        (TickMode::Fast, ExecMode::Parallel(2)),
+        (TickMode::Fast, ExecMode::Parallel(4)),
+    ];
+    for k in [1u64, 4] {
+        let golden = run_wedge(variants[0].0, variants[0].1, k);
+        assert_ne!(golden.report, "null", "k={k}: no report latched");
+        assert!(
+            golden.report.contains("\"chain\""),
+            "k={k}: report names no cyclic chain"
+        );
+        for &(mode, exec) in &variants[1..] {
+            let other = run_wedge(mode, exec, k);
+            assert_eq!(
+                golden, other,
+                "k={k}: wedge report diverged on {mode:?}/{exec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn verdict_stream_distinguishes_load_from_wedge() {
+    // The wedge run must walk through progressing/transient verdicts
+    // into a terminal wedged streak; the latched report must name ring
+    // and escape resources in its chain and pin windows or reassembly
+    // buffers behind it.
+    let s = run_wedge(TickMode::Fast, ExecMode::Sequential, 1);
+    let stats: Vec<noc_core::telemetry::WaitStats> =
+        serde_json::from_str(&s.stats).expect("stats parse");
+    assert!(
+        stats.iter().any(|r| r.verdict != WaitVerdict::Wedged),
+        "stream begins before the wedge forms"
+    );
+    assert_eq!(
+        stats.last().expect("samples exist").verdict,
+        WaitVerdict::Wedged,
+        "stream ends wedged"
+    );
+    let report: noc_core::telemetry::WedgeReport =
+        serde_json::from_str(&s.report).expect("report parses");
+    let rendered = report.render();
+    assert!(rendered.contains("ring:"), "chain names ring resources");
+    assert!(rendered.contains("escape:"), "chain names escape resources");
+    let pinned = rendered.contains("window:") || rendered.contains("reassembly:");
+    assert!(pinned, "report pins the dependent resources");
+}
